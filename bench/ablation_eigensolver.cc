@@ -1,0 +1,72 @@
+// Ablation of a design choice called out in DESIGN.md: the eigenvector
+// computation inside shape extraction (Algorithm 2). The maximizer of the
+// Rayleigh quotient is the dominant eigenvector of the PSD matrix M; the
+// reference implementation calls a full eigensolver (MATLAB eigs), while
+// this library defaults to power iteration (O(m^2) per step vs O(m^3)).
+// This bench shows end-to-end k-Shape accuracy is unaffected while runtime
+// improves, across series lengths.
+
+#include <iostream>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/kshape.h"
+#include "data/generators.h"
+#include "eval/metrics.h"
+#include "harness/table.h"
+#include "tseries/normalization.h"
+
+int main() {
+  using namespace kshape;
+
+  core::KShapeOptions power_options;
+  power_options.shape_options.use_power_iteration = true;
+  const core::KShape kshape_power(power_options);
+
+  core::KShapeOptions full_options;
+  full_options.shape_options.use_power_iteration = false;
+  const core::KShape kshape_full(full_options);
+
+  harness::PrintSection(std::cout,
+                        "Ablation: shape-extraction eigensolver (power "
+                        "iteration vs full decomposition), CBF, n = 150");
+  harness::TablePrinter table({"m", "Power iter (s)", "Full eigen (s)",
+                               "Speedup", "Power Rand", "Full Rand"});
+
+  for (std::size_t m : {64, 128, 256, 512}) {
+    common::Rng data_rng(m);
+    std::vector<tseries::Series> series;
+    std::vector<int> labels;
+    for (int i = 0; i < 150; ++i) {
+      const int klass = i % 3;
+      series.push_back(
+          tseries::ZNormalized(data::MakeCbf(klass, m, &data_rng)));
+      labels.push_back(klass);
+    }
+
+    common::Rng rng_a(7);
+    common::Stopwatch power_timer;
+    const auto power_result = kshape_power.Cluster(series, 3, &rng_a);
+    const double power_seconds = power_timer.ElapsedSeconds();
+
+    common::Rng rng_b(7);
+    common::Stopwatch full_timer;
+    const auto full_result = kshape_full.Cluster(series, 3, &rng_b);
+    const double full_seconds = full_timer.ElapsedSeconds();
+
+    table.AddRow(
+        {std::to_string(m), harness::FormatDouble(power_seconds, 3),
+         harness::FormatDouble(full_seconds, 3),
+         harness::FormatRatio(full_seconds / power_seconds),
+         harness::FormatDouble(eval::RandIndex(labels,
+                                               power_result.assignments)),
+         harness::FormatDouble(eval::RandIndex(labels,
+                                               full_result.assignments))});
+  }
+  table.Print(std::cout);
+  std::cout << "(Power iteration converges to the same centroid because M's "
+               "dominant\neigenvalue is well separated on real clusters; the "
+               "speedup grows with m,\nconsistent with the O(m^2)-per-step "
+               "vs O(m^3) analysis in §3.3.)\n";
+  return 0;
+}

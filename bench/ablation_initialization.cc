@@ -1,0 +1,64 @@
+// Ablation (extension beyond the paper): k-Shape initialization strategy.
+// Algorithm 3 initializes with uniformly random assignments; on small
+// datasets with similar class shapes this is prone to a symmetric local
+// optimum where all initial centroids coincide (every random mixture has the
+// same dominant eigenvector) and the split never recovers. SBD-D^2
+// ("k-means++-style") seeding starts from spread-out series instead. This
+// bench quantifies the gap per dataset and in aggregate.
+
+#include <iostream>
+
+#include "core/kshape.h"
+#include "data/archive.h"
+#include "harness/experiments.h"
+#include "harness/table.h"
+#include "common/stopwatch.h"
+
+int main() {
+  using namespace kshape;
+
+  const auto archive = data::MakeSyntheticArchive();
+
+  const core::KShape kshape_random;  // Paper default.
+  core::KShapeOptions pp_options;
+  pp_options.init = core::KShapeInit::kPlusPlusSeeding;
+  const core::KShape kshape_pp(pp_options);
+
+  harness::MethodScores random_scores{"k-Shape (random init)", {}, 0.0};
+  harness::MethodScores pp_scores{"k-Shape (SBD-D2 seeding)", {}, 0.0};
+  std::vector<std::string> dataset_names;
+
+  uint64_t seed = 99;
+  for (const auto& split : archive) {
+    const tseries::Dataset fused = split.Fused();
+    const int k = fused.NumClasses();
+    dataset_names.push_back(split.name());
+    {
+      common::Stopwatch timer;
+      random_scores.scores.push_back(harness::AverageRandIndex(
+          kshape_random, fused.series(), fused.labels(), k, 10, seed));
+      random_scores.total_seconds += timer.ElapsedSeconds();
+    }
+    {
+      common::Stopwatch timer;
+      pp_scores.scores.push_back(harness::AverageRandIndex(
+          kshape_pp, fused.series(), fused.labels(), k, 10, seed));
+      pp_scores.total_seconds += timer.ElapsedSeconds();
+    }
+    ++seed;
+  }
+
+  harness::PrintSection(std::cout,
+                        "Ablation: k-Shape initialization (random "
+                        "assignment, Algorithm 3, vs SBD-D2 seeding)");
+  harness::PrintComparisonTable(random_scores, {pp_scores}, "Rand Index",
+                                0.01, std::cout);
+  harness::PrintSection(std::cout, "Per-dataset Rand index");
+  harness::PrintScatterPairs(random_scores, pp_scores, dataset_names,
+                             std::cout);
+  std::cout << "\n(The paper's protocol — averaging over random restarts — "
+               "already absorbs part\nof the initialization variance; the "
+               "seeding mainly helps datasets whose class\nshapes are "
+               "similar, where random mixtures start indistinguishable.)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces the paper's headline ECG claims (§1, §5.1, §5.2) on the
+// ECG-like synthetic dataset:
+//   1. SBD's 1-NN accuracy beats cDTW's on this out-of-phase data
+//      (paper: 98.9% vs 79.7% on ECGFiveDays).
+//   2. k-Shape's clustering Rand index far exceeds k-medoids+cDTW's
+//      (paper: ~84% vs ~53%).
+
+#include <iostream>
+
+#include "classify/nearest_neighbor.h"
+#include "cluster/kmedoids.h"
+#include "common/random.h"
+#include "core/kshape.h"
+#include "core/sbd.h"
+#include "data/generators.h"
+#include "distance/dtw.h"
+#include "distance/euclidean.h"
+#include "eval/metrics.h"
+#include "harness/experiments.h"
+#include "harness/table.h"
+#include "tseries/normalization.h"
+
+int main() {
+  using namespace kshape;
+
+  // A small training set, as in ECGFiveDays (23 training sequences): with
+  // few phase examples per class, a measure must *align* rather than hope a
+  // neighbor with a matching offset exists.
+  common::Rng rng(20150531);
+  const data::GeneratorFn generator = [](int klass, common::Rng* r) {
+    return data::MakeEcgLike(klass, 136, r, 0.35);
+  };
+  tseries::SplitDataset split =
+      data::MakeSplitDataset("ECGLike", 2, 6, 60, generator, &rng);
+  tseries::ZNormalizeDataset(&split.train);
+  tseries::ZNormalizeDataset(&split.test);
+
+  const core::SbdDistance sbd;
+  const distance::EuclideanDistance ed;
+  const dtw::DtwMeasure cdtw5 = dtw::DtwMeasure::SakoeChiba(0.05, "cDTW5");
+
+  harness::PrintSection(std::cout,
+                        "Headline claim 1: 1-NN accuracy on out-of-phase "
+                        "ECG-like data (paper: SBD 98.9% vs cDTW 79.7%)");
+  harness::TablePrinter nn_table({"Measure", "1-NN accuracy"});
+  nn_table.AddRow({"SBD", harness::FormatDouble(classify::OneNnAccuracy(
+                              split.train, split.test, sbd))});
+  nn_table.AddRow({"cDTW5", harness::FormatDouble(classify::OneNnAccuracy(
+                                split.train, split.test, cdtw5))});
+  nn_table.AddRow({"ED", harness::FormatDouble(classify::OneNnAccuracy(
+                             split.train, split.test, ed))});
+  nn_table.Print(std::cout);
+
+  harness::PrintSection(std::cout,
+                        "Headline claim 2: clustering Rand index on the "
+                        "fused split (paper: k-Shape ~0.84 vs PAM+cDTW "
+                        "~0.53)");
+  const tseries::Dataset fused = split.Fused();
+  const core::KShape kshape;
+  const cluster::KMedoids pam_cdtw(&cdtw5, "PAM+cDTW");
+  const int runs = 10;
+  const double kshape_rand = harness::AverageRandIndex(
+      kshape, fused.series(), fused.labels(), 2, runs, 1);
+  const double pam_rand = harness::AverageRandIndex(
+      pam_cdtw, fused.series(), fused.labels(), 2, runs, 2);
+  harness::TablePrinter cl_table({"Method", "Rand index (10 runs)"});
+  cl_table.AddRow({"k-Shape", harness::FormatDouble(kshape_rand)});
+  cl_table.AddRow({"PAM+cDTW", harness::FormatDouble(pam_rand)});
+  cl_table.Print(std::cout);
+
+  std::cout << "\nExpected shape: SBD >= cDTW on accuracy and k-Shape >> "
+               "PAM+cDTW on Rand index,\nbecause a global alignment (which "
+               "SBD finds) explains this data while cDTW's\nlocal warping "
+               "matches individual ripples across classes (Figure 1).\n";
+  return 0;
+}

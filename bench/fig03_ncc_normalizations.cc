@@ -1,0 +1,76 @@
+// Reproduces Figure 3 of the paper: how data and cross-correlation
+// normalizations affect the produced NCC sequence. Two aligned sequences of
+// length m = 1024 are compared; the peak position of the NCC sequence
+// (index 1024 in the paper's 1-based convention = zero shift) shows whether
+// the normalization correctly reports "no shifting required":
+//   (a) NCCb without z-normalization  -> peak far from zero shift (wrong)
+//   (b) NCCu with z-normalization     -> peak away from zero shift (wrong)
+//   (c) NCCc with z-normalization     -> peak at zero shift (correct)
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "common/random.h"
+#include "core/sbd.h"
+#include "harness/table.h"
+#include "tseries/normalization.h"
+
+int main() {
+  using namespace kshape;
+
+  const std::size_t m = 1024;
+  constexpr double kPi = 3.14159265358979323846;
+
+  // Two already-aligned sequences with a shared shape but very different
+  // amplitude and offset (the regime of Figure 3): a large-amplitude biased
+  // sequence vs a small one, both with a transient at the same position.
+  common::Rng rng(20150603);
+  tseries::Series x(m);
+  tseries::Series y(m);
+  for (std::size_t t = 0; t < m; ++t) {
+    const double u = static_cast<double>(t) / static_cast<double>(m);
+    const double shape = std::sin(2.0 * kPi * 3.0 * u) +
+                         2.0 * std::exp(-std::pow((u - 0.3) / 0.02, 2));
+    x[t] = 40.0 + 25.0 * shape + rng.Gaussian(0.0, 0.5);
+    y[t] = -1.0 + 0.5 * shape + rng.Gaussian(0.0, 0.05);
+  }
+
+  const tseries::Series zx = tseries::ZNormalized(x);
+  const tseries::Series zy = tseries::ZNormalized(y);
+
+  auto peak_of = [&](const std::vector<double>& ncc) {
+    const auto it = std::max_element(ncc.begin(), ncc.end());
+    const int index = static_cast<int>(it - ncc.begin());
+    return std::make_pair(index - static_cast<int>(m) + 1, *it);
+  };
+
+  const auto [shift_b_raw, value_b_raw] = peak_of(core::NccSequence(
+      x, y, core::NccNormalization::kBiased));
+  const auto [shift_u, value_u] = peak_of(core::NccSequence(
+      zx, zy, core::NccNormalization::kUnbiased));
+  const auto [shift_c, value_c] = peak_of(core::NccSequence(
+      zx, zy, core::NccNormalization::kCoefficient));
+
+  harness::PrintSection(std::cout,
+                        "Figure 3: cross-correlation normalizations on an "
+                        "aligned pair (m = 1024, true shift = 0)");
+  harness::TablePrinter table(
+      {"Variant", "Data normalization", "Peak shift", "Peak value",
+       "Correct?"});
+  table.AddRow({"NCCb", "none", std::to_string(shift_b_raw),
+                harness::FormatDouble(value_b_raw, 2),
+                shift_b_raw == 0 ? "yes" : "no (amplitude bias)"});
+  table.AddRow({"NCCu", "z-normalized", std::to_string(shift_u),
+                harness::FormatDouble(value_u, 2),
+                shift_u == 0 ? "yes" : "no (edge bias)"});
+  table.AddRow({"NCCc", "z-normalized", std::to_string(shift_c),
+                harness::FormatDouble(value_c, 2),
+                shift_c == 0 ? "yes" : "no"});
+  table.Print(std::cout);
+  std::cout
+      << "The paper's conclusion (Figure 3d): only coefficient normalization\n"
+         "over z-normalized data places the peak at the true alignment,\n"
+         "which is why SBD is built on NCCc.\n";
+  return 0;
+}

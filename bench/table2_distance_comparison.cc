@@ -1,0 +1,136 @@
+// Reproduces Table 2 of the paper (1-NN classification accuracy of distance
+// measures vs the ED baseline, with runtime factors), plus the data behind
+// Figure 5 (per-dataset scatter of SBD vs ED and SBD vs DTW) and Figure 6
+// (average ranks of ED, SBD, cDTW5, cDTW_opt with Friedman + Nemenyi).
+//
+// Protocol (§4): per dataset, 1-NN accuracy over the train/test split; the
+// cDTW_opt window is tuned by leave-one-out over the training set; runtimes
+// are reported as factors relative to ED. The "*_LB" rows rerun the cDTW/DTW
+// searches with LB_Keogh pruning — identical predictions, lower runtime.
+
+#include <iostream>
+#include <memory>
+
+#include "classify/nearest_neighbor.h"
+#include "common/stopwatch.h"
+#include "core/sbd.h"
+#include "data/archive.h"
+#include "distance/dtw.h"
+#include "distance/euclidean.h"
+#include "harness/experiments.h"
+#include "harness/table.h"
+
+namespace {
+
+using kshape::classify::OneNnAccuracy;
+using kshape::classify::OneNnAccuracyCdtwLb;
+using kshape::harness::MethodScores;
+
+}  // namespace
+
+int main() {
+  using namespace kshape;
+
+  data::ArchiveOptions archive_options;
+  const auto archive = data::MakeSyntheticArchive(archive_options);
+  std::vector<std::string> dataset_names;
+  for (const auto& split : archive) dataset_names.push_back(split.name());
+
+  const distance::EuclideanDistance ed;
+  const dtw::DtwMeasure dtw_full = dtw::DtwMeasure::Unconstrained();
+  const dtw::DtwMeasure cdtw5 = dtw::DtwMeasure::SakoeChiba(0.05, "cDTW5");
+  const dtw::DtwMeasure cdtw10 = dtw::DtwMeasure::SakoeChiba(0.10, "cDTW10");
+  const core::SbdDistance sbd(core::CrossCorrelationImpl::kFft);
+  const core::SbdDistance sbd_nopow2(core::CrossCorrelationImpl::kFftNoPow2);
+  const core::SbdDistance sbd_nofft(core::CrossCorrelationImpl::kNaive);
+
+  MethodScores ed_scores{"ED", {}, 0.0};
+  MethodScores dtw_scores{"DTW", {}, 0.0};
+  MethodScores dtw_lb_scores{"DTW_LB", {}, 0.0};
+  MethodScores cdtwopt_scores{"cDTWopt", {}, 0.0};
+  MethodScores cdtwopt_lb_scores{"cDTWopt_LB", {}, 0.0};
+  MethodScores cdtw5_scores{"cDTW5", {}, 0.0};
+  MethodScores cdtw5_lb_scores{"cDTW5_LB", {}, 0.0};
+  MethodScores cdtw10_scores{"cDTW10", {}, 0.0};
+  MethodScores cdtw10_lb_scores{"cDTW10_LB", {}, 0.0};
+  MethodScores sbd_scores{"SBD", {}, 0.0};
+  MethodScores sbd_nopow2_scores{"SBD_NoPow2", {}, 0.0};
+  MethodScores sbd_nofft_scores{"SBD_NoFFT", {}, 0.0};
+
+  double tuning_seconds = 0.0;
+
+  auto run_measure = [&](MethodScores* out, const tseries::SplitDataset& split,
+                         const distance::DistanceMeasure& measure) {
+    common::Stopwatch timer;
+    out->scores.push_back(OneNnAccuracy(split.train, split.test, measure));
+    out->total_seconds += timer.ElapsedSeconds();
+  };
+  auto run_lb = [&](MethodScores* out, const tseries::SplitDataset& split,
+                    int window) {
+    common::Stopwatch timer;
+    out->scores.push_back(
+        OneNnAccuracyCdtwLb(split.train, split.test, window));
+    out->total_seconds += timer.ElapsedSeconds();
+  };
+
+  for (const auto& split : archive) {
+    const std::size_t m = split.train.length();
+
+    run_measure(&ed_scores, split, ed);
+    run_measure(&sbd_scores, split, sbd);
+    run_measure(&sbd_nopow2_scores, split, sbd_nopow2);
+    run_measure(&sbd_nofft_scores, split, sbd_nofft);
+    run_measure(&dtw_scores, split, dtw_full);
+    run_measure(&cdtw5_scores, split, cdtw5);
+    run_measure(&cdtw10_scores, split, cdtw10);
+
+    // cDTW_opt: leave-one-out window tuning over the training set (§4).
+    common::Stopwatch tuning_timer;
+    const int opt_window = classify::TuneCdtwWindowLoo(
+        split.train, classify::DefaultWindowFractions());
+    tuning_seconds += tuning_timer.ElapsedSeconds();
+    {
+      common::Stopwatch timer;
+      const dtw::DtwMeasure cdtw_opt =
+          dtw::DtwMeasure::FixedWindow(opt_window, "cDTWopt");
+      cdtwopt_scores.scores.push_back(
+          OneNnAccuracy(split.train, split.test, cdtw_opt));
+      cdtwopt_scores.total_seconds += timer.ElapsedSeconds();
+    }
+
+    // LB_Keogh-pruned searches (identical accuracy, lower cost).
+    run_lb(&dtw_lb_scores, split, static_cast<int>(m) - 1);
+    run_lb(&cdtwopt_lb_scores, split, opt_window);
+    run_lb(&cdtw5_lb_scores, split, dtw::WindowFromFraction(0.05, m));
+    run_lb(&cdtw10_lb_scores, split, dtw::WindowFromFraction(0.10, m));
+  }
+
+  harness::PrintSection(std::cout,
+                        "Table 2: 1-NN accuracy of distance measures vs ED "
+                        "(synthetic archive, " +
+                            std::to_string(archive.size()) + " datasets)");
+  harness::PrintComparisonTable(ed_scores,
+                       {dtw_scores, dtw_lb_scores, cdtwopt_scores,
+                        cdtwopt_lb_scores, cdtw5_scores, cdtw5_lb_scores,
+                        cdtw10_scores, cdtw10_lb_scores, sbd_nofft_scores,
+                        sbd_nopow2_scores, sbd_scores},
+                       "Accuracy", 0.01, std::cout);
+  std::cout << "(cDTWopt leave-one-out tuning cost, excluded from its row: "
+            << harness::FormatDouble(tuning_seconds, 2) << " s vs ED total "
+            << harness::FormatDouble(ed_scores.total_seconds, 2) << " s)\n";
+
+  harness::PrintSection(std::cout,
+                        "Figure 5a: per-dataset accuracy, SBD vs ED");
+  harness::PrintScatterPairs(ed_scores, sbd_scores, dataset_names, std::cout);
+
+  harness::PrintSection(std::cout,
+                        "Figure 5b: per-dataset accuracy, SBD vs DTW");
+  harness::PrintScatterPairs(dtw_scores, sbd_scores, dataset_names, std::cout);
+
+  harness::PrintSection(
+      std::cout,
+      "Figure 6: average ranks of distance measures (Friedman + Nemenyi)");
+  harness::PrintAverageRanks({cdtwopt_scores, cdtw5_scores, sbd_scores, ed_scores},
+                    std::cout);
+  return 0;
+}

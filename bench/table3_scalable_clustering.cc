@@ -1,0 +1,98 @@
+// Reproduces Table 3 of the paper: Rand index of the scalable k-means
+// variants against the k-AVG+ED baseline, with runtime factors. Also prints
+// the data behind Figure 7 (k-Shape vs KSC and k-Shape vs k-DBA scatter) and
+// Figure 8 (average ranks of the k-means variants, Friedman + Nemenyi).
+//
+// Protocol (§4): clustering runs on the fused train+test split; k is the
+// number of classes; partitional methods are averaged over runs with
+// different random initializations (10 in the paper; configurable here via
+// KSHAPE_RUNS to trade fidelity for wall time on slow machines).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cluster/averaging.h"
+#include "cluster/dba.h"
+#include "cluster/kmeans.h"
+#include "cluster/ksc.h"
+#include "common/stopwatch.h"
+#include "core/kshape.h"
+#include "core/sbd.h"
+#include "data/archive.h"
+#include "distance/dtw.h"
+#include "distance/euclidean.h"
+#include "harness/experiments.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace kshape;
+
+  int runs = 10;
+  if (const char* env = std::getenv("KSHAPE_RUNS")) {
+    runs = std::max(1, std::atoi(env));
+  }
+
+  const auto archive = data::MakeSyntheticArchive();
+  std::vector<std::string> dataset_names;
+  for (const auto& split : archive) dataset_names.push_back(split.name());
+
+  // Method roster (Table 3).
+  const distance::EuclideanDistance ed;
+  const core::SbdDistance sbd;
+  const dtw::DtwMeasure dtw_full = dtw::DtwMeasure::Unconstrained();
+  const cluster::ArithmeticMeanAveraging mean_avg;
+  const cluster::DbaAveraging dba_avg;
+
+  const cluster::KMeans k_avg_ed(&ed, &mean_avg, "k-AVG+ED");
+  const cluster::KMeans k_avg_sbd(&sbd, &mean_avg, "k-AVG+SBD");
+  const cluster::KMeans k_avg_dtw(&dtw_full, &mean_avg, "k-AVG+DTW");
+  const cluster::KMeans k_dba(&dtw_full, &dba_avg, "k-DBA");
+  const cluster::Ksc ksc;
+  const core::KShape kshape;
+  core::KShapeOptions dtw_options;
+  dtw_options.assignment_distance = &dtw_full;
+  const core::KShape kshape_dtw(dtw_options);
+
+  const std::vector<const cluster::ClusteringAlgorithm*> methods = {
+      &k_avg_ed, &k_avg_sbd, &k_avg_dtw, &ksc, &k_dba, &kshape_dtw, &kshape};
+
+  std::vector<harness::MethodScores> scores(methods.size());
+  for (std::size_t j = 0; j < methods.size(); ++j) {
+    scores[j].name = methods[j]->Name();
+  }
+
+  uint64_t seed = 20150601;
+  for (const auto& split : archive) {
+    const tseries::Dataset fused = split.Fused();
+    const int k = fused.NumClasses();
+    for (std::size_t j = 0; j < methods.size(); ++j) {
+      common::Stopwatch timer;
+      scores[j].scores.push_back(harness::AverageRandIndex(
+          *methods[j], fused.series(), fused.labels(), k, runs, seed));
+      scores[j].total_seconds += timer.ElapsedSeconds();
+    }
+    ++seed;
+  }
+
+  harness::PrintSection(
+      std::cout, "Table 3: k-means variants vs k-AVG+ED (Rand index, " +
+                     std::to_string(runs) + " random restarts per dataset)");
+  harness::PrintComparisonTable(scores[0],
+                       {scores[1], scores[2], scores[3], scores[4], scores[5],
+                        scores[6]},
+                       "Rand Index", 0.01, std::cout);
+
+  harness::PrintSection(std::cout,
+                        "Figure 7a: per-dataset Rand index, k-Shape vs KSC");
+  harness::PrintScatterPairs(scores[3], scores[6], dataset_names, std::cout);
+
+  harness::PrintSection(std::cout,
+                        "Figure 7b: per-dataset Rand index, k-Shape vs k-DBA");
+  harness::PrintScatterPairs(scores[4], scores[6], dataset_names, std::cout);
+
+  harness::PrintSection(
+      std::cout,
+      "Figure 8: average ranks of k-means variants (Friedman + Nemenyi)");
+  harness::PrintAverageRanks({scores[6], scores[0], scores[3], scores[4]}, std::cout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Multivariate clustering example: multi-lead "ECG" recordings where every
+// lead of an instance is delayed by the same unknown offset. Univariate
+// k-Shape on a single lead ignores the other leads' evidence; multivariate
+// k-Shape aligns all leads with one common shift (see core/multivariate.h,
+// an extension beyond the SIGMOD'15 paper).
+
+#include <cmath>
+#include <iostream>
+
+#include "common/random.h"
+#include "core/kshape.h"
+#include "core/multivariate.h"
+#include "data/generators.h"
+#include "eval/metrics.h"
+#include "harness/table.h"
+#include "tseries/normalization.h"
+
+int main() {
+  using namespace kshape;
+
+  const std::size_t kLength = 136;
+  const int kPerClass = 15;
+
+  // Two classes; each instance is a 3-lead recording: one clean underlying
+  // waveform (with a random onset offset shared by all leads) observed three
+  // times under heavy independent sensor noise. Any single lead is barely
+  // classifiable; pooling the leads through one common alignment recovers
+  // the shape.
+  common::Rng rng(20150531);
+  std::vector<core::MultivariateSeries> series;
+  std::vector<tseries::Series> lead_zero_only;
+  std::vector<int> labels;
+  const double kSensorNoise = 1.3;
+  for (int klass = 0; klass < 2; ++klass) {
+    for (int i = 0; i < kPerClass; ++i) {
+      const tseries::Series base =
+          data::MakeEcgLike(klass, kLength, &rng, 0.0);  // Clean waveform.
+      core::MultivariateSeries instance;
+      for (int lead = 0; lead < 3; ++lead) {
+        tseries::Series channel = base;
+        const double gain = rng.Uniform(0.6, 1.0);
+        for (double& v : channel) {
+          v = gain * v + rng.Gaussian(0.0, kSensorNoise);
+        }
+        instance.channels.push_back(std::move(channel));
+      }
+      core::ZNormalizeMultivariate(&instance);
+      lead_zero_only.push_back(instance.channels[0]);
+      series.push_back(std::move(instance));
+      labels.push_back(klass);
+    }
+  }
+
+  // Univariate k-Shape on lead 0 alone.
+  const core::KShape kshape;
+  common::Rng rng_uni(3);
+  const double uni_rand = eval::RandIndex(
+      labels, kshape.Cluster(lead_zero_only, 2, &rng_uni).assignments);
+
+  // Multivariate k-Shape on all three leads.
+  const core::MultivariateKShape mkshape;
+  common::Rng rng_mv(3);
+  const core::MultivariateClusteringResult mv_result =
+      mkshape.Cluster(series, 2, &rng_mv);
+  const double mv_rand = eval::RandIndex(labels, mv_result.assignments);
+
+  harness::TablePrinter table({"Method", "Rand index"});
+  table.AddRow({"k-Shape, lead 0 only", harness::FormatDouble(uni_rand)});
+  table.AddRow({"multivariate k-Shape, 3 leads",
+                harness::FormatDouble(mv_rand)});
+  table.Print(std::cout);
+  std::cout << "\nThe multivariate variant pools cross-correlation evidence "
+               "from all leads into\none common alignment per instance, so "
+               "noisy leads corroborate instead of\nvoting separately.\n";
+  return 0;
+}

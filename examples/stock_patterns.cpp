@@ -1,0 +1,139 @@
+// Domain example: grouping synthetic daily "price" histories by the shape of
+// their trajectory, regardless of price level, volatility scale, or when in
+// the window the pattern plays out — the scaling/translation/shift
+// invariances of §2.2 applied to a finance-flavored workload (cf. the
+// paper's motivation of clustering seasonal currency variations without
+// inflation bias).
+//
+// Four regimes are simulated on top of a common random-walk microstructure:
+//   0: rally         (sustained upward drift)
+//   1: selloff       (sustained downward drift)
+//   2: V-shaped      (drawdown then recovery; the turning point shifts)
+//   3: range-bound   (mean-reverting around the open)
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/kshape.h"
+#include "eval/metrics.h"
+#include "harness/table.h"
+#include "tseries/normalization.h"
+
+namespace {
+
+using kshape::tseries::Series;
+
+Series SimulateRegime(int regime, std::size_t days, kshape::common::Rng* rng) {
+  Series prices(days);
+  double log_price = std::log(rng->Uniform(5.0, 500.0));  // Any price level.
+  const double volatility = rng->Uniform(0.005, 0.02);    // Any vol scale.
+  const double drift = rng->Uniform(0.002, 0.004);
+  // The V-bottom lands anywhere in the middle half of the window.
+  const double turn = rng->Uniform(0.35, 0.65);
+  const double reversion = rng->Uniform(0.05, 0.15);
+  double gap = 0.0;  // Cumulative deviation for the mean-reverting regime.
+
+  for (std::size_t t = 0; t < days; ++t) {
+    const double u = static_cast<double>(t) / static_cast<double>(days);
+    double daily = volatility * rng->Gaussian();
+    switch (regime) {
+      case 0:
+        daily += drift;
+        break;
+      case 1:
+        daily -= drift;
+        break;
+      case 2:
+        daily += (u < turn ? -1.8 * drift : 1.8 * drift);
+        break;
+      case 3:
+        daily -= reversion * gap;
+        break;
+      default:
+        break;
+    }
+    gap += daily;
+    log_price += daily;
+    prices[t] = std::exp(log_price);
+  }
+  return prices;
+}
+
+std::string Sparkline(const Series& x) {
+  static const char* kLevels = " .:-=+*#";
+  double lo = x[0], hi = x[0];
+  for (double v : x) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (std::size_t t = 0; t < x.size(); t += 4) {
+    const double u = hi > lo ? (x[t] - lo) / (hi - lo) : 0.0;
+    out += kLevels[static_cast<int>(u * 7.999)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace kshape;
+
+  const char* kRegimeNames[] = {"rally", "selloff", "V-shaped",
+                                "range-bound"};
+  const std::size_t kDays = 250;  // One trading year.
+  const int kPerRegime = 12;
+
+  common::Rng rng(20260704);
+  std::vector<Series> series;
+  std::vector<int> gold;
+  for (int regime = 0; regime < 4; ++regime) {
+    for (int i = 0; i < kPerRegime; ++i) {
+      // z-normalize: removes the price level and the volatility scale, so
+      // only the trajectory shape remains.
+      series.push_back(tseries::ZNormalized(SimulateRegime(regime, kDays,
+                                                           &rng)));
+      gold.push_back(regime);
+    }
+  }
+
+  const core::KShape kshape;
+  common::Rng cluster_rng(11);
+  const cluster::ClusteringResult result =
+      kshape.Cluster(series, 4, &cluster_rng);
+
+  std::cout << "k-Shape on " << series.size()
+            << " synthetic one-year price histories (4 regimes, " << kDays
+            << " days each)\n";
+  std::cout << "Rand index vs simulated regimes: "
+            << harness::FormatDouble(eval::RandIndex(gold, result.assignments))
+            << ", cluster accuracy (Hungarian): "
+            << harness::FormatDouble(
+                   eval::HungarianAccuracy(gold, result.assignments))
+            << "\n\n";
+
+  // Show each cluster's centroid and its regime composition.
+  for (int j = 0; j < 4; ++j) {
+    std::vector<int> composition(4, 0);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (result.assignments[i] == j) ++composition[gold[i]];
+    }
+    std::cout << "Cluster " << j << " centroid: "
+              << Sparkline(result.centroids[j]) << "\n   members: ";
+    for (int regime = 0; regime < 4; ++regime) {
+      if (composition[regime] > 0) {
+        std::cout << composition[regime] << " " << kRegimeNames[regime]
+                  << "  ";
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nNote the V-shaped cluster: its members bottom out at "
+               "different dates, which\nis exactly the shift invariance SBD "
+               "provides (a lock-step measure would\nsplit them by turning "
+               "point).\n";
+  return 0;
+}

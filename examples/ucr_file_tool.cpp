@@ -1,0 +1,130 @@
+// Command-line clustering tool over UCR-format files, exercising the I/O and
+// algorithm-selection surface of the library:
+//
+//   ucr_file_tool <file> [k] [algorithm]
+//
+// <file>      UCR text layout: one series per line, label first, values
+//             comma/space/tab separated.
+// [k]         number of clusters (default: the number of distinct labels).
+// [algorithm] one of: kshape (default), kavg-ed, kavg-sbd, pam-ed, pam-sbd,
+//             pam-cdtw, hier-ed, spectral-sbd.
+//
+// With no arguments, the tool writes a demo CBF file next to the binary and
+// clusters it, so it is runnable out of the box.
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "cluster/averaging.h"
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "cluster/kmedoids.h"
+#include "cluster/spectral.h"
+#include "common/random.h"
+#include "core/kshape.h"
+#include "core/sbd.h"
+#include "data/generators.h"
+#include "distance/dtw.h"
+#include "distance/euclidean.h"
+#include "eval/metrics.h"
+#include "harness/table.h"
+#include "tseries/io.h"
+#include "tseries/normalization.h"
+
+int main(int argc, char** argv) {
+  using namespace kshape;
+
+  std::string path;
+  if (argc >= 2) {
+    path = argv[1];
+  } else {
+    // Bootstrap a demo file so the tool runs without arguments.
+    path = "cbf_demo.csv";
+    common::Rng rng(1);
+    const tseries::Dataset demo = data::MakeLabeledDataset(
+        "CBF", 3, 12,
+        [](int k, common::Rng* r) { return data::MakeCbf(k, 128, r); }, &rng);
+    const common::Status st = tseries::WriteUcrFile(demo, path);
+    if (!st.ok()) {
+      std::cerr << "failed to write demo file: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "(no input given; wrote and clustering demo file " << path
+              << ")\n";
+  }
+
+  auto loaded = tseries::ReadUcrFile(path, path);
+  if (!loaded.ok()) {
+    std::cerr << "error: " << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  tseries::Dataset dataset = std::move(loaded).value();
+  tseries::ZNormalizeDataset(&dataset);
+
+  const int k = argc >= 3 ? std::max(1, std::atoi(argv[2]))
+                          : dataset.NumClasses();
+  const std::string algorithm_name = argc >= 4 ? argv[3] : "kshape";
+
+  // Algorithm roster. Measures/averagers must outlive the algorithms.
+  const distance::EuclideanDistance ed;
+  const core::SbdDistance sbd;
+  const dtw::DtwMeasure cdtw5 = dtw::DtwMeasure::SakoeChiba(0.05, "cDTW5");
+  const cluster::ArithmeticMeanAveraging mean_avg;
+
+  std::unique_ptr<cluster::ClusteringAlgorithm> algorithm;
+  if (algorithm_name == "kshape") {
+    algorithm = std::make_unique<core::KShape>();
+  } else if (algorithm_name == "kavg-ed") {
+    algorithm = std::make_unique<cluster::KMeans>(&ed, &mean_avg, "k-AVG+ED");
+  } else if (algorithm_name == "kavg-sbd") {
+    algorithm =
+        std::make_unique<cluster::KMeans>(&sbd, &mean_avg, "k-AVG+SBD");
+  } else if (algorithm_name == "pam-ed") {
+    algorithm = std::make_unique<cluster::KMedoids>(&ed, "PAM+ED");
+  } else if (algorithm_name == "pam-sbd") {
+    algorithm = std::make_unique<cluster::KMedoids>(&sbd, "PAM+SBD");
+  } else if (algorithm_name == "pam-cdtw") {
+    algorithm = std::make_unique<cluster::KMedoids>(&cdtw5, "PAM+cDTW");
+  } else if (algorithm_name == "hier-ed") {
+    algorithm = std::make_unique<cluster::HierarchicalClustering>(
+        &ed, cluster::Linkage::kComplete, "H-C+ED");
+  } else if (algorithm_name == "spectral-sbd") {
+    algorithm = std::make_unique<cluster::SpectralClustering>(&sbd, "S+SBD");
+  } else {
+    std::cerr << "unknown algorithm: " << algorithm_name << "\n";
+    return 1;
+  }
+
+  std::cout << "Clustering " << dataset.size() << " series of length "
+            << dataset.length() << " from " << path << " into " << k
+            << " clusters with " << algorithm->Name() << "\n";
+
+  common::Rng rng(12345);
+  const cluster::ClusteringResult result =
+      algorithm->Cluster(dataset.series(), k, &rng);
+
+  harness::TablePrinter table({"Metric", "Value"});
+  table.AddRow({"Rand index",
+                harness::FormatDouble(
+                    eval::RandIndex(dataset.labels(), result.assignments))});
+  table.AddRow({"Adjusted Rand",
+                harness::FormatDouble(eval::AdjustedRandIndex(
+                    dataset.labels(), result.assignments))});
+  table.AddRow({"NMI",
+                harness::FormatDouble(eval::NormalizedMutualInformation(
+                    dataset.labels(), result.assignments))});
+  table.AddRow({"Accuracy (Hungarian)",
+                harness::FormatDouble(eval::HungarianAccuracy(
+                    dataset.labels(), result.assignments))});
+  table.AddRow({"Iterations", std::to_string(result.iterations)});
+  table.Print(std::cout);
+
+  // Cluster sizes.
+  std::vector<int> sizes(k, 0);
+  for (int a : result.assignments) ++sizes[a];
+  std::cout << "Cluster sizes:";
+  for (int s : sizes) std::cout << " " << s;
+  std::cout << "\n";
+  return 0;
+}

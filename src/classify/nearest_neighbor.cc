@@ -1,0 +1,199 @@
+#include "classify/nearest_neighbor.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/check.h"
+#include "distance/dtw.h"
+
+namespace kshape::classify {
+
+int OneNnClassify(const tseries::Dataset& train, const tseries::Series& query,
+                  const distance::DistanceMeasure& measure) {
+  KSHAPE_CHECK(!train.empty());
+  double best = std::numeric_limits<double>::infinity();
+  int label = train.label(0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const double d = measure.Distance(query, train.series(i));
+    if (d < best) {
+      best = d;
+      label = train.label(i);
+    }
+  }
+  return label;
+}
+
+double OneNnAccuracy(const tseries::Dataset& train,
+                     const tseries::Dataset& test,
+                     const distance::DistanceMeasure& measure) {
+  KSHAPE_CHECK(!train.empty() && !test.empty());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (OneNnClassify(train, test.series(i), measure) == test.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double OneNnAccuracyCdtwLb(const tseries::Dataset& train,
+                           const tseries::Dataset& test, int window) {
+  KSHAPE_CHECK(!train.empty() && !test.empty());
+  KSHAPE_CHECK(window >= 0);
+  std::size_t correct = 0;
+  for (std::size_t q = 0; q < test.size(); ++q) {
+    const tseries::Series& query = test.series(q);
+    tseries::Series lower;
+    tseries::Series upper;
+    dtw::LowerUpperEnvelope(query, window, &lower, &upper);
+
+    double best = std::numeric_limits<double>::infinity();
+    int label = train.label(0);
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const double bound = dtw::LbKeogh(train.series(i), lower, upper);
+      if (bound >= best) continue;  // Admissible prune.
+      const double d =
+          dtw::ConstrainedDtwDistance(query, train.series(i), window);
+      if (d < best) {
+        best = d;
+        label = train.label(i);
+      }
+    }
+    if (label == test.label(q)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double LeaveOneOutCdtwAccuracy(const tseries::Dataset& data, int window) {
+  KSHAPE_CHECK(data.size() >= 2);
+  std::size_t correct = 0;
+  for (std::size_t q = 0; q < data.size(); ++q) {
+    const tseries::Series& query = data.series(q);
+    tseries::Series lower;
+    tseries::Series upper;
+    dtw::LowerUpperEnvelope(query, window, &lower, &upper);
+
+    double best = std::numeric_limits<double>::infinity();
+    int label = 0;
+    bool have_label = false;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (i == q) continue;
+      const double bound = dtw::LbKeogh(data.series(i), lower, upper);
+      if (have_label && bound >= best) continue;
+      const double d =
+          dtw::ConstrainedDtwDistance(query, data.series(i), window);
+      if (!have_label || d < best) {
+        best = d;
+        label = data.label(i);
+        have_label = true;
+      }
+    }
+    if (label == data.label(q)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+int TuneCdtwWindowLoo(const tseries::Dataset& train,
+                      const std::vector<double>& window_fractions) {
+  KSHAPE_CHECK(!window_fractions.empty());
+  int best_window = dtw::WindowFromFraction(window_fractions[0],
+                                            train.length());
+  double best_accuracy = -1.0;
+  int previous_window = -1;
+  for (double fraction : window_fractions) {
+    const int window = dtw::WindowFromFraction(fraction, train.length());
+    if (window == previous_window) continue;  // Grid collapsed for short m.
+    previous_window = window;
+    const double accuracy = LeaveOneOutCdtwAccuracy(train, window);
+    if (accuracy > best_accuracy) {
+      best_accuracy = accuracy;
+      best_window = window;
+    }
+  }
+  return best_window;
+}
+
+int KnnClassify(const tseries::Dataset& train, const tseries::Series& query,
+                const distance::DistanceMeasure& measure, int k) {
+  KSHAPE_CHECK(!train.empty());
+  KSHAPE_CHECK(k >= 1);
+  const int effective_k = std::min<int>(k, static_cast<int>(train.size()));
+
+  // Collect the k smallest (distance, label) pairs.
+  std::vector<std::pair<double, int>> neighbors;
+  neighbors.reserve(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    neighbors.emplace_back(measure.Distance(query, train.series(i)),
+                           train.label(i));
+  }
+  std::partial_sort(neighbors.begin(), neighbors.begin() + effective_k,
+                    neighbors.end());
+
+  // Majority vote; ties go to the class with the closest member.
+  std::map<int, int> votes;
+  for (int i = 0; i < effective_k; ++i) ++votes[neighbors[i].second];
+  int best_label = neighbors[0].second;
+  int best_votes = 0;
+  for (int i = 0; i < effective_k; ++i) {
+    const int label = neighbors[i].second;
+    const int count = votes[label];
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+double KnnAccuracy(const tseries::Dataset& train, const tseries::Dataset& test,
+                   const distance::DistanceMeasure& measure, int k) {
+  KSHAPE_CHECK(!train.empty() && !test.empty());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (KnnClassify(train, test.series(i), measure, k) == test.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double OneNnAccuracyEdEarlyAbandon(const tseries::Dataset& train,
+                                   const tseries::Dataset& test) {
+  KSHAPE_CHECK(!train.empty() && !test.empty());
+  std::size_t correct = 0;
+  for (std::size_t q = 0; q < test.size(); ++q) {
+    const tseries::Series& query = test.series(q);
+    double best_sq = std::numeric_limits<double>::infinity();
+    int label = train.label(0);
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const tseries::Series& candidate = train.series(i);
+      double sum = 0.0;
+      bool abandoned = false;
+      for (std::size_t t = 0; t < query.size(); ++t) {
+        const double d = query[t] - candidate[t];
+        sum += d * d;
+        if (sum >= best_sq) {
+          abandoned = true;
+          break;
+        }
+      }
+      if (!abandoned && sum < best_sq) {
+        best_sq = sum;
+        label = train.label(i);
+      }
+    }
+    if (label == test.label(q)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+std::vector<double> DefaultWindowFractions() {
+  std::vector<double> fractions;
+  for (int pct = 0; pct <= 20; ++pct) {
+    fractions.push_back(static_cast<double>(pct) / 100.0);
+  }
+  return fractions;
+}
+
+}  // namespace kshape::classify

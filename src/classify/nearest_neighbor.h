@@ -1,0 +1,65 @@
+#ifndef KSHAPE_CLASSIFY_NEAREST_NEIGHBOR_H_
+#define KSHAPE_CLASSIFY_NEAREST_NEIGHBOR_H_
+
+#include <vector>
+
+#include "distance/measure.h"
+#include "tseries/time_series.h"
+
+namespace kshape::classify {
+
+/// Predicts the label of `query` as the label of its nearest training series
+/// under `measure` (ties broken by the first minimum).
+int OneNnClassify(const tseries::Dataset& train, const tseries::Series& query,
+                  const distance::DistanceMeasure& measure);
+
+/// 1-NN classification accuracy of `measure` on a train/test split — the
+/// deterministic, parameter-free evaluation protocol the paper uses for all
+/// distance-measure comparisons (§4, following Ding et al.).
+double OneNnAccuracy(const tseries::Dataset& train,
+                     const tseries::Dataset& test,
+                     const distance::DistanceMeasure& measure);
+
+/// 1-NN accuracy for cDTW with the given Sakoe-Chiba window, accelerated by
+/// LB_Keogh pruning: candidates whose lower bound already exceeds the best
+/// distance so far skip the O(m*w) dynamic program. Produces exactly the same
+/// predictions as the exhaustive search (the bound is admissible); this is
+/// the cDTW_LB row of Table 2.
+double OneNnAccuracyCdtwLb(const tseries::Dataset& train,
+                           const tseries::Dataset& test, int window);
+
+/// Leave-one-out 1-NN accuracy of cDTW with the given window on a single
+/// dataset (used for window tuning).
+double LeaveOneOutCdtwAccuracy(const tseries::Dataset& data, int window);
+
+/// Picks the cDTW warping window by maximizing leave-one-out 1-NN accuracy
+/// over the training set — the paper's cDTW_opt protocol (§4 "Parameter
+/// settings"). `window_fractions` are candidate band widths as fractions of
+/// the series length (e.g. 0.00, 0.01, ..., 0.20); ties prefer the smaller
+/// window. Returns the chosen window in cells.
+int TuneCdtwWindowLoo(const tseries::Dataset& train,
+                      const std::vector<double>& window_fractions);
+
+/// The candidate grid 0%, 1%, ..., 20% used by the cDTW_opt experiments.
+std::vector<double> DefaultWindowFractions();
+
+/// k-nearest-neighbor majority-vote classification (generalizes the paper's
+/// 1-NN protocol; k = 1 reproduces OneNnClassify exactly). Ties between
+/// classes are broken toward the class whose nearest member is closest.
+int KnnClassify(const tseries::Dataset& train, const tseries::Series& query,
+                const distance::DistanceMeasure& measure, int k);
+
+/// k-NN classification accuracy over a train/test split.
+double KnnAccuracy(const tseries::Dataset& train, const tseries::Dataset& test,
+                   const distance::DistanceMeasure& measure, int k);
+
+/// 1-NN under ED with early abandoning: the running squared sum is compared
+/// against the best candidate so far after every coordinate, so clearly-far
+/// candidates cost O(1) instead of O(m). Identical predictions to the
+/// exhaustive search.
+double OneNnAccuracyEdEarlyAbandon(const tseries::Dataset& train,
+                                   const tseries::Dataset& test);
+
+}  // namespace kshape::classify
+
+#endif  // KSHAPE_CLASSIFY_NEAREST_NEIGHBOR_H_

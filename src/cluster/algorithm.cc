@@ -1,0 +1,38 @@
+#include "cluster/algorithm.h"
+
+#include "common/check.h"
+
+namespace kshape::cluster {
+
+std::vector<std::vector<std::size_t>> GroupByCluster(
+    const std::vector<int>& assignments, int k) {
+  KSHAPE_CHECK(k >= 1);
+  std::vector<std::vector<std::size_t>> groups(k);
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    const int c = assignments[i];
+    KSHAPE_CHECK_MSG(c >= 0 && c < k, "assignment out of range");
+    groups[c].push_back(i);
+  }
+  return groups;
+}
+
+std::vector<int> RandomAssignments(std::size_t n, int k, common::Rng* rng) {
+  KSHAPE_CHECK(k >= 1);
+  KSHAPE_CHECK(rng != nullptr);
+  std::vector<int> assignments(n);
+  if (n >= static_cast<std::size_t>(k)) {
+    // Seed each cluster with one series, then assign the rest uniformly.
+    const std::vector<int> perm = rng->Permutation(static_cast<int>(n));
+    for (int c = 0; c < k; ++c) assignments[perm[c]] = c;
+    for (std::size_t i = k; i < n; ++i) {
+      assignments[perm[i]] = rng->UniformInt(k);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      assignments[i] = rng->UniformInt(k);
+    }
+  }
+  return assignments;
+}
+
+}  // namespace kshape::cluster

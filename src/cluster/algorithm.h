@@ -1,0 +1,60 @@
+#ifndef KSHAPE_CLUSTER_ALGORITHM_H_
+#define KSHAPE_CLUSTER_ALGORITHM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "tseries/time_series.h"
+
+namespace kshape::cluster {
+
+/// The output of a clustering run.
+struct ClusteringResult {
+  /// assignments[i] in [0, k) is the cluster of series i.
+  std::vector<int> assignments;
+
+  /// Cluster representatives, one per cluster. Centroid-based methods fill
+  /// these with computed sequences, medoid-based methods with the selected
+  /// medoids; hierarchical and spectral methods leave the vector empty.
+  std::vector<tseries::Series> centroids;
+
+  /// Number of refinement iterations executed (0 for non-iterative methods).
+  int iterations = 0;
+
+  /// True when the method reached a fixed point before its iteration cap.
+  bool converged = false;
+};
+
+/// Abstract partitional/hierarchical/spectral clustering algorithm.
+///
+/// Every method evaluated in Tables 3 and 4 of the paper implements this
+/// interface, so the experiment harness can run the full combination grid
+/// uniformly. `rng` drives random initialization; deterministic methods
+/// (hierarchical clustering) ignore it. Implementations must not mutate the
+/// input series.
+class ClusteringAlgorithm {
+ public:
+  virtual ~ClusteringAlgorithm() = default;
+
+  /// Partitions `series` (equal-length, z-normalized by the caller when the
+  /// measure requires it) into k clusters.
+  virtual ClusteringResult Cluster(const std::vector<tseries::Series>& series,
+                                   int k, common::Rng* rng) const = 0;
+
+  /// Display name, e.g. "k-AVG+ED", "PAM+cDTW", "k-Shape".
+  virtual std::string Name() const = 0;
+};
+
+/// Returns per-cluster member indices for an assignment vector.
+std::vector<std::vector<std::size_t>> GroupByCluster(
+    const std::vector<int>& assignments, int k);
+
+/// Random initial assignment of n series to k clusters, guaranteeing no
+/// cluster starts empty when n >= k (matches Algorithm 3's random IDX
+/// initialization).
+std::vector<int> RandomAssignments(std::size_t n, int k, common::Rng* rng);
+
+}  // namespace kshape::cluster
+
+#endif  // KSHAPE_CLUSTER_ALGORITHM_H_

@@ -1,0 +1,51 @@
+#ifndef KSHAPE_CLUSTER_AVERAGING_H_
+#define KSHAPE_CLUSTER_AVERAGING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "tseries/time_series.h"
+
+namespace kshape::cluster {
+
+/// Strategy for computing a cluster centroid from its members (the Steiner
+/// sequence of §2.1 of the paper, approximated differently per distance
+/// measure).
+///
+/// The generic k-means loop (KMeans) is parameterized by one of these plus a
+/// DistanceMeasure; the combinations reproduce the paper's k-means variants:
+/// arithmetic mean + ED = k-AVG+ED, arithmetic mean + SBD = k-AVG+SBD,
+/// arithmetic mean + DTW = k-AVG+DTW, DBA + DTW = k-DBA.
+class AveragingMethod {
+ public:
+  virtual ~AveragingMethod() = default;
+
+  /// Computes the centroid of the members of `pool` selected by
+  /// `member_indices`. `previous` is the centroid from the prior iteration
+  /// (used as the refinement starting point by iterative methods like DBA);
+  /// it is all-zero on the first iteration. Must return a series of the same
+  /// length; conventionally all-zero when `member_indices` is empty.
+  virtual tseries::Series Average(const std::vector<tseries::Series>& pool,
+                                  const std::vector<std::size_t>& member_indices,
+                                  const tseries::Series& previous,
+                                  common::Rng* rng) const = 0;
+
+  /// Display name, e.g. "AVG", "DBA".
+  virtual std::string Name() const = 0;
+};
+
+/// Coordinate-wise arithmetic mean (the k-means default, §2.5).
+class ArithmeticMeanAveraging : public AveragingMethod {
+ public:
+  tseries::Series Average(const std::vector<tseries::Series>& pool,
+                          const std::vector<std::size_t>& member_indices,
+                          const tseries::Series& previous,
+                          common::Rng* rng) const override;
+  std::string Name() const override { return "AVG"; }
+};
+
+}  // namespace kshape::cluster
+
+#endif  // KSHAPE_CLUSTER_AVERAGING_H_

@@ -1,0 +1,57 @@
+#include "cluster/dba.h"
+
+#include "common/check.h"
+#include "distance/dtw.h"
+#include "linalg/matrix.h"
+
+namespace kshape::cluster {
+
+tseries::Series DbaRefineOnce(const std::vector<tseries::Series>& pool,
+                              const std::vector<std::size_t>& member_indices,
+                              const tseries::Series& average, int window) {
+  const std::size_t m = average.size();
+  std::vector<double> sums(m, 0.0);
+  std::vector<int> counts(m, 0);
+  for (std::size_t idx : member_indices) {
+    KSHAPE_CHECK(idx < pool.size());
+    const tseries::Series& member = pool[idx];
+    const dtw::WarpingPath path =
+        dtw::DtwWarpingPath(average, member, window);
+    for (const auto& [ai, mi] : path.pairs) {
+      sums[ai] += member[mi];
+      counts[ai] += 1;
+    }
+  }
+  tseries::Series refined(m, 0.0);
+  for (std::size_t t = 0; t < m; ++t) {
+    // Every average coordinate lies on at least one warping path, but guard
+    // the division anyway and keep the previous value if unmapped.
+    refined[t] = counts[t] > 0 ? sums[t] / counts[t] : average[t];
+  }
+  return refined;
+}
+
+tseries::Series DbaAveraging::Average(
+    const std::vector<tseries::Series>& pool,
+    const std::vector<std::size_t>& member_indices,
+    const tseries::Series& previous, common::Rng* rng) const {
+  KSHAPE_CHECK(rng != nullptr);
+  const std::size_t m = previous.size();
+  if (member_indices.empty()) return tseries::Series(m, 0.0);
+
+  // DBA needs a concrete starting sequence: the previous centroid if one
+  // exists, otherwise a member picked at random (Petitjean et al. initialize
+  // from a sequence of the data).
+  tseries::Series average = previous;
+  if (linalg::Norm(average) == 0.0) {
+    const std::size_t pick =
+        member_indices[rng->UniformInt(static_cast<int>(member_indices.size()))];
+    average = pool[pick];
+  }
+  for (int pass = 0; pass < options_.refinements; ++pass) {
+    average = DbaRefineOnce(pool, member_indices, average, options_.window);
+  }
+  return average;
+}
+
+}  // namespace kshape::cluster

@@ -1,0 +1,50 @@
+#ifndef KSHAPE_CLUSTER_DBA_H_
+#define KSHAPE_CLUSTER_DBA_H_
+
+#include "cluster/averaging.h"
+
+namespace kshape::cluster {
+
+/// DTW Barycenter Averaging (Petitjean et al. 2011, §2.5 of the paper).
+///
+/// Iteratively refines an average sequence: each refinement pass computes the
+/// DTW warping path from the current average to every member and replaces
+/// each average coordinate with the barycenter of all member coordinates
+/// mapped onto it.
+struct DbaOptions {
+  /// Refinement passes per Average() call. The paper's k-DBA refines the
+  /// centroid once per k-means iteration (§4, "we use the centroids of the
+  /// previous run as reference sequences to refine the centroids of the
+  /// current run once").
+  int refinements = 1;
+
+  /// Sakoe-Chiba window for the warping paths; negative = unconstrained.
+  int window = -1;
+};
+
+/// One DBA refinement pass: returns the barycenter update of `average`
+/// against the selected members.
+tseries::Series DbaRefineOnce(const std::vector<tseries::Series>& pool,
+                              const std::vector<std::size_t>& member_indices,
+                              const tseries::Series& average, int window);
+
+/// AveragingMethod adapter; combined with DTW in the generic k-means this is
+/// the paper's k-DBA baseline. When the previous centroid is all-zero (first
+/// iteration), the refinement starts from a random member instead.
+class DbaAveraging : public AveragingMethod {
+ public:
+  explicit DbaAveraging(DbaOptions options = {}) : options_(options) {}
+
+  tseries::Series Average(const std::vector<tseries::Series>& pool,
+                          const std::vector<std::size_t>& member_indices,
+                          const tseries::Series& previous,
+                          common::Rng* rng) const override;
+  std::string Name() const override { return "DBA"; }
+
+ private:
+  DbaOptions options_;
+};
+
+}  // namespace kshape::cluster
+
+#endif  // KSHAPE_CLUSTER_DBA_H_

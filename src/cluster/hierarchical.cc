@@ -1,0 +1,166 @@
+#include "cluster/hierarchical.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "cluster/kmedoids.h"
+
+namespace kshape::cluster {
+
+const char* LinkageName(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return "single";
+    case Linkage::kAverage:
+      return "average";
+    case Linkage::kComplete:
+      return "complete";
+  }
+  return "?";
+}
+
+std::vector<DendrogramMerge> AgglomerativeDendrogram(
+    const linalg::Matrix& dissimilarity, Linkage linkage) {
+  const std::size_t n = dissimilarity.rows();
+  KSHAPE_CHECK(n >= 1 && dissimilarity.cols() == n);
+
+  // Working copy with Lance-Williams updates; `active[i]`, `sizes[i]` and
+  // `ids[i]` track the live clusters (ids follow the scipy convention).
+  linalg::Matrix d = dissimilarity;
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> sizes(n, 1);
+  std::vector<int> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+
+  std::vector<DendrogramMerge> merges;
+  merges.reserve(n - 1);
+  int next_id = static_cast<int>(n);
+
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    // Find the closest active pair.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0;
+    std::size_t bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (d(i, j) < best) {
+          best = d(i, j);
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    merges.push_back({ids[bi], ids[bj], best});
+
+    // Merge bj into bi; update distances by the linkage rule.
+    for (std::size_t w = 0; w < n; ++w) {
+      if (!active[w] || w == bi || w == bj) continue;
+      double merged;
+      switch (linkage) {
+        case Linkage::kSingle:
+          merged = std::min(d(bi, w), d(bj, w));
+          break;
+        case Linkage::kComplete:
+          merged = std::max(d(bi, w), d(bj, w));
+          break;
+        case Linkage::kAverage:
+          merged = (static_cast<double>(sizes[bi]) * d(bi, w) +
+                    static_cast<double>(sizes[bj]) * d(bj, w)) /
+                   static_cast<double>(sizes[bi] + sizes[bj]);
+          break;
+        default:
+          merged = 0.0;
+          KSHAPE_CHECK_MSG(false, "unknown linkage");
+      }
+      d(bi, w) = merged;
+      d(w, bi) = merged;
+    }
+    sizes[bi] += sizes[bj];
+    ids[bi] = next_id++;
+    active[bj] = false;
+  }
+  return merges;
+}
+
+namespace {
+
+// Minimal union-find for dendrogram cutting.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<int> CutDendrogram(const std::vector<DendrogramMerge>& merges,
+                               std::size_t n, int k) {
+  KSHAPE_CHECK(k >= 1 && static_cast<std::size_t>(k) <= n);
+  KSHAPE_CHECK(merges.size() == n - 1);
+
+  // Cluster ids >= n refer to earlier merges; map each merge id to one of
+  // its leaves so union-find can operate on leaves only.
+  std::vector<std::size_t> representative(2 * n - 1);
+  std::iota(representative.begin(), representative.begin() + n, 0);
+
+  UnionFind uf(n);
+  const std::size_t merges_to_apply = n - static_cast<std::size_t>(k);
+  for (std::size_t i = 0; i < merges.size(); ++i) {
+    const std::size_t left = representative[merges[i].left];
+    const std::size_t right = representative[merges[i].right];
+    representative[n + i] = left;
+    if (i < merges_to_apply) uf.Union(left, right);
+  }
+
+  // Relabel roots densely as 0..k-1.
+  std::vector<int> assignments(n, -1);
+  std::vector<int> root_label(n, -1);
+  int next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = uf.Find(i);
+    if (root_label[root] < 0) root_label[root] = next++;
+    assignments[i] = root_label[root];
+  }
+  KSHAPE_CHECK_MSG(next == k, "dendrogram cut produced wrong cluster count");
+  return assignments;
+}
+
+HierarchicalClustering::HierarchicalClustering(
+    const distance::DistanceMeasure* measure, Linkage linkage,
+    std::string name)
+    : measure_(measure), linkage_(linkage), name_(std::move(name)) {
+  KSHAPE_CHECK(measure_ != nullptr);
+}
+
+ClusteringResult HierarchicalClustering::Cluster(
+    const std::vector<tseries::Series>& series, int k,
+    common::Rng* rng) const {
+  (void)rng;  // Deterministic method.
+  KSHAPE_CHECK(!series.empty());
+  const linalg::Matrix d = PairwiseDistanceMatrix(series, *measure_);
+  const std::vector<DendrogramMerge> merges =
+      AgglomerativeDendrogram(d, linkage_);
+  ClusteringResult result;
+  result.assignments = CutDendrogram(merges, series.size(), k);
+  result.converged = true;
+  return result;
+}
+
+}  // namespace kshape::cluster

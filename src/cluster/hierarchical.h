@@ -1,0 +1,61 @@
+#ifndef KSHAPE_CLUSTER_HIERARCHICAL_H_
+#define KSHAPE_CLUSTER_HIERARCHICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/algorithm.h"
+#include "distance/measure.h"
+#include "linalg/matrix.h"
+
+namespace kshape::cluster {
+
+/// Linkage criteria for agglomerative clustering (§2.4 of the paper).
+enum class Linkage {
+  kSingle,    // d(A u B, C) = min(d(A,C), d(B,C))
+  kAverage,   // size-weighted mean (UPGMA)
+  kComplete,  // max
+};
+
+/// Returns "single" / "average" / "complete".
+const char* LinkageName(Linkage linkage);
+
+/// One merge step of the dendrogram: clusters `left` and `right` (ids in the
+/// scipy convention: 0..n-1 are leaves, n+i is the cluster made by merge i)
+/// joined at the given height.
+struct DendrogramMerge {
+  int left = 0;
+  int right = 0;
+  double height = 0.0;
+};
+
+/// Full agglomerative dendrogram over a dissimilarity matrix (n-1 merges).
+std::vector<DendrogramMerge> AgglomerativeDendrogram(
+    const linalg::Matrix& dissimilarity, Linkage linkage);
+
+/// Cuts a dendrogram at the minimum height producing exactly k clusters
+/// (equivalently: undoes the last k-1 merges), returning flat assignments.
+std::vector<int> CutDendrogram(const std::vector<DendrogramMerge>& merges,
+                               std::size_t n, int k);
+
+/// Agglomerative hierarchical clustering; deterministic (ignores the rng).
+/// The paper's H-S/H-A/H-C x {ED, cDTW, SBD} grid of Table 4.
+class HierarchicalClustering : public ClusteringAlgorithm {
+ public:
+  HierarchicalClustering(const distance::DistanceMeasure* measure,
+                         Linkage linkage, std::string name);
+
+  ClusteringResult Cluster(const std::vector<tseries::Series>& series, int k,
+                           common::Rng* rng) const override;
+
+  std::string Name() const override { return name_; }
+
+ private:
+  const distance::DistanceMeasure* measure_;
+  Linkage linkage_;
+  std::string name_;
+};
+
+}  // namespace kshape::cluster
+
+#endif  // KSHAPE_CLUSTER_HIERARCHICAL_H_

@@ -1,0 +1,90 @@
+#include "cluster/kmeans.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace kshape::cluster {
+
+KMeans::KMeans(const distance::DistanceMeasure* measure,
+               const AveragingMethod* averaging, std::string name,
+               KMeansOptions options)
+    : measure_(measure),
+      averaging_(averaging),
+      name_(std::move(name)),
+      options_(options) {
+  KSHAPE_CHECK(measure_ != nullptr);
+  KSHAPE_CHECK(averaging_ != nullptr);
+  KSHAPE_CHECK(options_.max_iterations >= 1);
+}
+
+ClusteringResult KMeans::Cluster(const std::vector<tseries::Series>& series,
+                                 int k, common::Rng* rng) const {
+  KSHAPE_CHECK(!series.empty());
+  KSHAPE_CHECK(k >= 1 && static_cast<std::size_t>(k) <= series.size());
+  KSHAPE_CHECK(rng != nullptr);
+  const std::size_t n = series.size();
+  const std::size_t m = series[0].size();
+
+  ClusteringResult result;
+  result.assignments = RandomAssignments(n, k, rng);
+  result.centroids.assign(k, tseries::Series(m, 0.0));
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const std::vector<int> previous = result.assignments;
+
+    // Refinement: recompute centroids from current memberships.
+    const auto groups = GroupByCluster(result.assignments, k);
+    for (int j = 0; j < k; ++j) {
+      result.centroids[j] =
+          averaging_->Average(series, groups[j], result.centroids[j], rng);
+    }
+
+    // Assignment: nearest centroid under the configured measure.
+    for (std::size_t i = 0; i < n; ++i) {
+      double min_dist = std::numeric_limits<double>::infinity();
+      int best = result.assignments[i];
+      for (int j = 0; j < k; ++j) {
+        const double d = measure_->Distance(result.centroids[j], series[i]);
+        if (d < min_dist) {
+          min_dist = d;
+          best = j;
+        }
+      }
+      result.assignments[i] = best;
+    }
+
+    // Re-seed empty clusters with the series farthest from its centroid.
+    std::vector<std::size_t> sizes(k, 0);
+    for (int a : result.assignments) ++sizes[a];
+    for (int j = 0; j < k; ++j) {
+      if (sizes[j] != 0) continue;
+      double worst_dist = -1.0;
+      std::size_t worst_idx = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (sizes[result.assignments[i]] <= 1) continue;
+        const double d =
+            measure_->Distance(result.centroids[result.assignments[i]],
+                               series[i]);
+        if (d > worst_dist) {
+          worst_dist = d;
+          worst_idx = i;
+        }
+      }
+      if (worst_dist >= 0.0) {
+        --sizes[result.assignments[worst_idx]];
+        result.assignments[worst_idx] = j;
+        ++sizes[j];
+      }
+    }
+
+    result.iterations = iter + 1;
+    if (result.assignments == previous) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace kshape::cluster

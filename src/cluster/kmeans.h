@@ -1,0 +1,47 @@
+#ifndef KSHAPE_CLUSTER_KMEANS_H_
+#define KSHAPE_CLUSTER_KMEANS_H_
+
+#include <string>
+
+#include "cluster/algorithm.h"
+#include "cluster/averaging.h"
+#include "distance/measure.h"
+
+namespace kshape::cluster {
+
+/// Options for the generic k-means loop.
+struct KMeansOptions {
+  /// Iteration cap (the paper uses 100 for all iterative methods).
+  int max_iterations = 100;
+};
+
+/// Generic k-means (MacQueen / Lloyd) parameterized by a distance measure and
+/// an averaging method (§2.1 of the paper).
+///
+/// Instantiations reproduce the paper's scalable baselines of Table 3:
+///   KMeans(ED, ArithmeticMean)   -> "k-AVG+ED"
+///   KMeans(SBD, ArithmeticMean)  -> "k-AVG+SBD"
+///   KMeans(DTW, ArithmeticMean)  -> "k-AVG+DTW"
+///   KMeans(DTW, DBA)             -> "k-DBA"
+/// The distance and averaging objects must outlive the KMeans instance.
+class KMeans : public ClusteringAlgorithm {
+ public:
+  KMeans(const distance::DistanceMeasure* measure,
+         const AveragingMethod* averaging, std::string name,
+         KMeansOptions options = {});
+
+  ClusteringResult Cluster(const std::vector<tseries::Series>& series, int k,
+                           common::Rng* rng) const override;
+
+  std::string Name() const override { return name_; }
+
+ private:
+  const distance::DistanceMeasure* measure_;
+  const AveragingMethod* averaging_;
+  std::string name_;
+  KMeansOptions options_;
+};
+
+}  // namespace kshape::cluster
+
+#endif  // KSHAPE_CLUSTER_KMEANS_H_

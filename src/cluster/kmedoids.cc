@@ -1,0 +1,204 @@
+#include "cluster/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace kshape::cluster {
+
+linalg::Matrix PairwiseDistanceMatrix(
+    const std::vector<tseries::Series>& series,
+    const distance::DistanceMeasure& measure) {
+  const std::size_t n = series.size();
+  linalg::Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dist = measure.Distance(series[i], series[j]);
+      d(i, j) = dist;
+      d(j, i) = dist;
+    }
+  }
+  return d;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Caches each point's nearest and second-nearest medoid distances; the SWAP
+// phase needs both to price an exchange in O(1) per point.
+struct NearestCache {
+  std::vector<int> nearest;        // medoid index (into medoids vector)
+  std::vector<double> d_nearest;   // distance to nearest medoid
+  std::vector<double> d_second;    // distance to second-nearest medoid
+};
+
+NearestCache BuildCache(const linalg::Matrix& d,
+                        const std::vector<std::size_t>& medoids) {
+  const std::size_t n = d.rows();
+  NearestCache cache;
+  cache.nearest.assign(n, 0);
+  cache.d_nearest.assign(n, kInf);
+  cache.d_second.assign(n, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t mi = 0; mi < medoids.size(); ++mi) {
+      const double dist = d(i, medoids[mi]);
+      if (dist < cache.d_nearest[i]) {
+        cache.d_second[i] = cache.d_nearest[i];
+        cache.d_nearest[i] = dist;
+        cache.nearest[i] = static_cast<int>(mi);
+      } else if (dist < cache.d_second[i]) {
+        cache.d_second[i] = dist;
+      }
+    }
+  }
+  return cache;
+}
+
+std::vector<std::size_t> GreedyBuild(const linalg::Matrix& d, int k) {
+  const std::size_t n = d.rows();
+  std::vector<std::size_t> medoids;
+  // First medoid: point minimizing the total distance to all others.
+  std::size_t best = 0;
+  double best_total = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) total += d(i, j);
+    if (total < best_total) {
+      best_total = total;
+      best = i;
+    }
+  }
+  medoids.push_back(best);
+
+  std::vector<double> d_nearest(n);
+  for (std::size_t i = 0; i < n; ++i) d_nearest[i] = d(i, best);
+
+  while (static_cast<int>(medoids.size()) < k) {
+    std::size_t pick = 0;
+    double best_gain = -kInf;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (std::find(medoids.begin(), medoids.end(), c) != medoids.end()) {
+        continue;
+      }
+      double gain = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        gain += std::max(0.0, d_nearest[i] - d(i, c));
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        pick = c;
+      }
+    }
+    medoids.push_back(pick);
+    for (std::size_t i = 0; i < n; ++i) {
+      d_nearest[i] = std::min(d_nearest[i], d(i, pick));
+    }
+  }
+  return medoids;
+}
+
+}  // namespace
+
+ClusteringResult PamOnMatrix(const linalg::Matrix& d, int k, common::Rng* rng,
+                             const PamOptions& options) {
+  const std::size_t n = d.rows();
+  KSHAPE_CHECK(n >= 1 && d.cols() == n);
+  KSHAPE_CHECK(k >= 1 && static_cast<std::size_t>(k) <= n);
+  KSHAPE_CHECK(rng != nullptr);
+
+  std::vector<std::size_t> medoids;
+  if (options.use_build_init) {
+    medoids = GreedyBuild(d, k);
+  } else {
+    const std::vector<int> perm = rng->Permutation(static_cast<int>(n));
+    for (int j = 0; j < k; ++j) {
+      medoids.push_back(static_cast<std::size_t>(perm[j]));
+    }
+  }
+
+  ClusteringResult result;
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    const NearestCache cache = BuildCache(d, medoids);
+
+    // Find the single best improving swap (remove medoids[r], add h).
+    double best_delta = -1e-12;  // Require strict improvement.
+    int best_r = -1;
+    std::size_t best_h = 0;
+    for (int r = 0; r < k; ++r) {
+      for (std::size_t h = 0; h < n; ++h) {
+        if (std::find(medoids.begin(), medoids.end(), h) != medoids.end()) {
+          continue;
+        }
+        double delta = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double current = cache.d_nearest[i];
+          const double with_h = d(i, h);
+          double after;
+          if (cache.nearest[i] == r) {
+            after = std::min(cache.d_second[i], with_h);
+          } else {
+            after = std::min(current, with_h);
+          }
+          delta += after - current;
+        }
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_r = r;
+          best_h = h;
+        }
+      }
+    }
+    if (best_r < 0) {
+      result.converged = true;
+      break;
+    }
+    medoids[best_r] = best_h;
+  }
+  result.iterations = iter;
+
+  const NearestCache final_cache = BuildCache(d, medoids);
+  result.assignments.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.assignments[i] = final_cache.nearest[i];
+  }
+  return result;
+}
+
+KMedoids::KMedoids(const distance::DistanceMeasure* measure, std::string name,
+                   PamOptions options)
+    : measure_(measure), name_(std::move(name)), options_(options) {
+  KSHAPE_CHECK(measure_ != nullptr);
+}
+
+ClusteringResult KMedoids::Cluster(const std::vector<tseries::Series>& series,
+                                   int k, common::Rng* rng) const {
+  const linalg::Matrix d = PairwiseDistanceMatrix(series, *measure_);
+  ClusteringResult result = PamOnMatrix(d, k, rng, options_);
+  // Medoid series double as centroids for downstream consumers.
+  const auto groups = GroupByCluster(result.assignments, k);
+  result.centroids.clear();
+  for (int j = 0; j < k; ++j) {
+    if (groups[j].empty()) {
+      result.centroids.push_back(tseries::Series(series[0].size(), 0.0));
+      continue;
+    }
+    // Recover the medoid as the member with the least total distance.
+    std::size_t best = groups[j][0];
+    double best_total = std::numeric_limits<double>::infinity();
+    for (std::size_t i : groups[j]) {
+      double total = 0.0;
+      for (std::size_t other : groups[j]) total += d(i, other);
+      if (total < best_total) {
+        best_total = total;
+        best = i;
+      }
+    }
+    result.centroids.push_back(series[best]);
+  }
+  return result;
+}
+
+}  // namespace kshape::cluster

@@ -1,0 +1,61 @@
+#ifndef KSHAPE_CLUSTER_KMEDOIDS_H_
+#define KSHAPE_CLUSTER_KMEDOIDS_H_
+
+#include <string>
+
+#include "cluster/algorithm.h"
+#include "distance/measure.h"
+#include "linalg/matrix.h"
+
+namespace kshape::cluster {
+
+/// Options for PAM.
+struct PamOptions {
+  /// Cap on SWAP passes (the paper caps all iterative methods at 100).
+  int max_iterations = 100;
+
+  /// When true, initialize with the deterministic greedy BUILD phase; when
+  /// false (default), start from k random medoids, matching the paper's
+  /// protocol of averaging partitional methods over runs with different
+  /// random initializations.
+  bool use_build_init = false;
+};
+
+/// Partitioning Around Medoids (Kaufman & Rousseeuw), the k-medoids
+/// implementation the paper evaluates as PAM+ED / PAM+cDTW / PAM+SBD.
+///
+/// Requires the full n x n dissimilarity matrix — this is precisely the
+/// scalability drawback the paper holds against it (§5.3): the matrix alone
+/// costs O(n^2) distance evaluations. The SWAP phase greedily applies the
+/// best improving (medoid, non-medoid) exchange until a local optimum.
+class KMedoids : public ClusteringAlgorithm {
+ public:
+  KMedoids(const distance::DistanceMeasure* measure, std::string name,
+           PamOptions options = {});
+
+  ClusteringResult Cluster(const std::vector<tseries::Series>& series, int k,
+                           common::Rng* rng) const override;
+
+  std::string Name() const override { return name_; }
+
+ private:
+  const distance::DistanceMeasure* measure_;
+  std::string name_;
+  PamOptions options_;
+};
+
+/// Computes the full symmetric pairwise dissimilarity matrix (shared with
+/// hierarchical and spectral clustering).
+linalg::Matrix PairwiseDistanceMatrix(
+    const std::vector<tseries::Series>& series,
+    const distance::DistanceMeasure& measure);
+
+/// Runs PAM directly on a precomputed dissimilarity matrix. Exposed so
+/// experiments can share one matrix across restarts (the matrix dominates
+/// runtime for expensive measures, as the paper emphasizes).
+ClusteringResult PamOnMatrix(const linalg::Matrix& dissimilarity, int k,
+                             common::Rng* rng, const PamOptions& options);
+
+}  // namespace kshape::cluster
+
+#endif  // KSHAPE_CLUSTER_KMEDOIDS_H_

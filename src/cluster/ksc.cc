@@ -1,0 +1,146 @@
+#include "cluster/ksc.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "tseries/normalization.h"
+
+namespace kshape::cluster {
+
+KscAlignment KscAlign(const tseries::Series& x, const tseries::Series& y) {
+  KSHAPE_CHECK_MSG(x.size() == y.size(), "KSC requires equal lengths");
+  const int m = static_cast<int>(x.size());
+  const double x_norm_sq = linalg::Dot(x, x);
+
+  KscAlignment best;
+  if (x_norm_sq == 0.0) {
+    best.distance = linalg::Dot(y, y) == 0.0 ? 0.0 : 1.0;
+    return best;
+  }
+
+  best.distance = std::numeric_limits<double>::infinity();
+  for (int q = -(m - 1); q <= m - 1; ++q) {
+    // Zero-filled shift of y by q: overlap of y[0..m-1-|q|] against x.
+    double xy = 0.0;
+    double yy = 0.0;
+    if (q >= 0) {
+      for (int t = 0; t + q < m; ++t) {
+        xy += x[t + q] * y[t];
+        yy += y[t] * y[t];
+      }
+    } else {
+      for (int t = -q; t < m; ++t) {
+        xy += x[t + q] * y[t];
+        yy += y[t] * y[t];
+      }
+    }
+    double alpha = 0.0;
+    double residual_sq = x_norm_sq;
+    if (yy > 0.0) {
+      alpha = xy / yy;
+      residual_sq = x_norm_sq - alpha * xy;  // ||x||^2 - (x.yq)^2/||yq||^2
+    }
+    const double dist = std::sqrt(std::max(0.0, residual_sq) / x_norm_sq);
+    if (dist < best.distance) {
+      best.distance = dist;
+      best.shift = q;
+      best.alpha = alpha;
+    }
+  }
+  return best;
+}
+
+double KscDistanceValue(const tseries::Series& x, const tseries::Series& y) {
+  return KscAlign(x, y).distance;
+}
+
+Ksc::Ksc(KscOptions options) : options_(options) {
+  KSHAPE_CHECK(options_.max_iterations >= 1);
+}
+
+namespace {
+
+// KSC centroid: the unit vector mu minimizing
+//   sum_i || b_i - (b_i . mu) mu ||^2 / ||b_i||^2
+// over the aligned members b_i, i.e. the smallest eigenvector of
+// M = sum_i (I - b_i b_i^T / (b_i^T b_i)). Equivalently the *dominant*
+// eigenvector of P = sum_i b_i b_i^T / (b_i^T b_i), which power iteration
+// finds in O(m^2) per step.
+tseries::Series KscCentroid(const std::vector<tseries::Series>& pool,
+                            const std::vector<std::size_t>& member_indices,
+                            const tseries::Series& previous,
+                            common::Rng* rng) {
+  const std::size_t m = previous.size();
+  if (member_indices.empty()) return tseries::Series(m, 0.0);
+
+  const bool align = linalg::Norm(previous) > 0.0;
+  linalg::Matrix p(m, m);
+  std::vector<double> mean(m, 0.0);
+  std::size_t used = 0;
+  for (std::size_t idx : member_indices) {
+    tseries::Series b =
+        align ? tseries::ShiftWithZeroFill(pool[idx],
+                                           KscAlign(previous, pool[idx]).shift)
+              : pool[idx];
+    const double norm_sq = linalg::Dot(b, b);
+    if (norm_sq == 0.0) continue;
+    p.AddOuterProduct(b, 1.0 / norm_sq);
+    linalg::Axpy(1.0 / std::sqrt(norm_sq), b, &mean);
+    ++used;
+  }
+  if (used == 0) return tseries::Series(m, 0.0);
+
+  std::vector<double> centroid = linalg::DominantEigenvector(p, rng);
+  if (linalg::Dot(centroid, mean) < 0.0) linalg::Scale(&centroid, -1.0);
+  return centroid;
+}
+
+}  // namespace
+
+ClusteringResult Ksc::Cluster(const std::vector<tseries::Series>& series,
+                              int k, common::Rng* rng) const {
+  KSHAPE_CHECK(!series.empty());
+  KSHAPE_CHECK(k >= 1 && static_cast<std::size_t>(k) <= series.size());
+  KSHAPE_CHECK(rng != nullptr);
+  const std::size_t n = series.size();
+  const std::size_t m = series[0].size();
+
+  ClusteringResult result;
+  result.assignments = RandomAssignments(n, k, rng);
+  result.centroids.assign(k, tseries::Series(m, 0.0));
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const std::vector<int> previous = result.assignments;
+
+    const auto groups = GroupByCluster(result.assignments, k);
+    for (int j = 0; j < k; ++j) {
+      result.centroids[j] =
+          KscCentroid(series, groups[j], result.centroids[j], rng);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      double min_dist = std::numeric_limits<double>::infinity();
+      int best = result.assignments[i];
+      for (int j = 0; j < k; ++j) {
+        const double d = KscDistanceValue(series[i], result.centroids[j]);
+        if (d < min_dist) {
+          min_dist = d;
+          best = j;
+        }
+      }
+      result.assignments[i] = best;
+    }
+
+    result.iterations = iter + 1;
+    if (result.assignments == previous) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace kshape::cluster

@@ -1,0 +1,130 @@
+#include "cluster/pairwise_averaging.h"
+
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "distance/dtw.h"
+
+namespace kshape::cluster {
+
+namespace {
+
+// Linearly resamples `values` to `target` points over the same support.
+tseries::Series ResampleLinear(const tseries::Series& values,
+                               std::size_t target) {
+  const std::size_t n = values.size();
+  KSHAPE_CHECK(n >= 1 && target >= 1);
+  if (n == target) return values;
+  tseries::Series out(target);
+  if (n == 1) {
+    std::fill(out.begin(), out.end(), values[0]);
+    return out;
+  }
+  for (std::size_t t = 0; t < target; ++t) {
+    const double pos = static_cast<double>(t) *
+                       static_cast<double>(n - 1) /
+                       static_cast<double>(target - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[t] = values[lo] * (1.0 - frac) + values[hi] * frac;
+  }
+  return out;
+}
+
+}  // namespace
+
+tseries::Series DtwPairAverage(const tseries::Series& x,
+                               const tseries::Series& y, double weight_x,
+                               double weight_y, int window) {
+  KSHAPE_CHECK(weight_x > 0.0 && weight_y > 0.0);
+  const dtw::WarpingPath path = dtw::DtwWarpingPath(x, y, window);
+  tseries::Series along_path;
+  along_path.reserve(path.pairs.size());
+  const double total = weight_x + weight_y;
+  for (const auto& [i, j] : path.pairs) {
+    along_path.push_back((weight_x * x[i] + weight_y * y[j]) / total);
+  }
+  return ResampleLinear(along_path, x.size());
+}
+
+tseries::Series NlaafAveraging::Average(
+    const std::vector<tseries::Series>& pool,
+    const std::vector<std::size_t>& member_indices,
+    const tseries::Series& previous, common::Rng* rng) const {
+  KSHAPE_CHECK(rng != nullptr);
+  const std::size_t m = previous.size();
+  if (member_indices.empty()) return tseries::Series(m, 0.0);
+
+  // Tournament rounds over a randomly shuffled order (the method's known
+  // order sensitivity is part of what it models).
+  std::vector<std::size_t> order = member_indices;
+  rng->Shuffle(&order);
+  std::vector<tseries::Series> round;
+  round.reserve(order.size());
+  for (std::size_t idx : order) {
+    KSHAPE_CHECK(idx < pool.size());
+    round.push_back(pool[idx]);
+  }
+  while (round.size() > 1) {
+    std::vector<tseries::Series> next;
+    next.reserve((round.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < round.size(); i += 2) {
+      next.push_back(DtwPairAverage(round[i], round[i + 1], 1.0, 1.0));
+    }
+    if (round.size() % 2 == 1) next.push_back(round.back());
+    round = std::move(next);
+  }
+  return round[0];
+}
+
+tseries::Series PsaAveraging::Average(
+    const std::vector<tseries::Series>& pool,
+    const std::vector<std::size_t>& member_indices,
+    const tseries::Series& previous, common::Rng* rng) const {
+  (void)rng;
+  const std::size_t m = previous.size();
+  if (member_indices.empty()) return tseries::Series(m, 0.0);
+
+  struct Node {
+    tseries::Series sequence;
+    double weight;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(member_indices.size());
+  for (std::size_t idx : member_indices) {
+    KSHAPE_CHECK(idx < pool.size());
+    nodes.push_back({pool[idx], 1.0});
+  }
+
+  // Greedy agglomeration: always merge the DTW-closest pair, weighting by
+  // how many sequences each side already represents.
+  while (nodes.size() > 1) {
+    std::size_t best_a = 0;
+    std::size_t best_b = 1;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < nodes.size(); ++a) {
+      for (std::size_t b = a + 1; b < nodes.size(); ++b) {
+        const double d =
+            dtw::DtwDistance(nodes[a].sequence, nodes[b].sequence);
+        if (d < best_distance) {
+          best_distance = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    Node merged;
+    merged.sequence =
+        DtwPairAverage(nodes[best_a].sequence, nodes[best_b].sequence,
+                       nodes[best_a].weight, nodes[best_b].weight);
+    merged.weight = nodes[best_a].weight + nodes[best_b].weight;
+    nodes[best_a] = std::move(merged);
+    nodes.erase(nodes.begin() + static_cast<long>(best_b));
+  }
+  return nodes[0].sequence;
+}
+
+}  // namespace kshape::cluster

@@ -1,0 +1,49 @@
+#ifndef KSHAPE_CLUSTER_PAIRWISE_AVERAGING_H_
+#define KSHAPE_CLUSTER_PAIRWISE_AVERAGING_H_
+
+#include "cluster/averaging.h"
+
+namespace kshape::cluster {
+
+/// The pre-DBA averaging techniques of §2.5 of the paper, implemented as
+/// AveragingMethod strategies so they can be plugged into the generic
+/// k-means loop exactly like DBA.
+
+/// Averages two sequences along their DTW warping path: each path pair
+/// (i, j) contributes the weighted midpoint (w_x x_i + w_y y_j)/(w_x + w_y),
+/// and the resulting path-length sequence is resampled back to length m by
+/// linear interpolation. The building block of NLAAF and PSA.
+tseries::Series DtwPairAverage(const tseries::Series& x,
+                               const tseries::Series& y, double weight_x,
+                               double weight_y, int window = -1);
+
+/// Nonlinear Alignment and Averaging Filters (Gupta et al. 1996): averages
+/// sequences pairwise in tournament rounds — pair up, average each pair,
+/// repeat on the halved set until one sequence remains. Sensitive to the
+/// pairing order, which is the drawback DBA was built to fix (§2.5).
+class NlaafAveraging : public AveragingMethod {
+ public:
+  tseries::Series Average(const std::vector<tseries::Series>& pool,
+                          const std::vector<std::size_t>& member_indices,
+                          const tseries::Series& previous,
+                          common::Rng* rng) const override;
+  std::string Name() const override { return "NLAAF"; }
+};
+
+/// Prioritized Shape Averaging (Niennattrakul & Ratanamahatana 2009):
+/// hierarchically merges the two most-similar (DTW-closest) sequences first,
+/// weighting each average by the number of sequences it already represents,
+/// until one remains. More robust to pairing order than NLAAF; still
+/// superseded by DBA (§2.5).
+class PsaAveraging : public AveragingMethod {
+ public:
+  tseries::Series Average(const std::vector<tseries::Series>& pool,
+                          const std::vector<std::size_t>& member_indices,
+                          const tseries::Series& previous,
+                          common::Rng* rng) const override;
+  std::string Name() const override { return "PSA"; }
+};
+
+}  // namespace kshape::cluster
+
+#endif  // KSHAPE_CLUSTER_PAIRWISE_AVERAGING_H_

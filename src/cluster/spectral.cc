@@ -1,0 +1,159 @@
+#include "cluster/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "cluster/kmedoids.h"
+#include "linalg/eigen.h"
+
+namespace kshape::cluster {
+
+namespace {
+
+double MedianNonzeroDistance(const linalg::Matrix& d) {
+  std::vector<double> values;
+  const std::size_t n = d.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (d(i, j) > 0.0) values.push_back(d(i, j));
+    }
+  }
+  if (values.empty()) return 1.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+}  // namespace
+
+std::vector<int> KMeansOnRows(const linalg::Matrix& points, int k,
+                              common::Rng* rng, int max_iterations) {
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  std::vector<int> assignments = RandomAssignments(n, k, rng);
+  linalg::Matrix centroids(k, dim);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    const std::vector<int> previous = assignments;
+
+    // Refinement.
+    std::vector<std::size_t> counts(k, 0);
+    centroids = linalg::Matrix(k, dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int c = assignments[i];
+      ++counts[c];
+      for (std::size_t t = 0; t < dim; ++t) centroids(c, t) += points(i, t);
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (std::size_t t = 0; t < dim; ++t) centroids(c, t) *= inv;
+    }
+
+    // Assignment.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = assignments[i];
+      for (int c = 0; c < k; ++c) {
+        if (counts[c] == 0) continue;
+        double dist = 0.0;
+        for (std::size_t t = 0; t < dim; ++t) {
+          const double diff = points(i, t) - centroids(c, t);
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      assignments[i] = best_c;
+    }
+    if (assignments == previous) break;
+  }
+  return assignments;
+}
+
+linalg::Matrix SpectralEmbedding(const linalg::Matrix& dissimilarity, int k,
+                                 double sigma) {
+  const std::size_t n = dissimilarity.rows();
+  KSHAPE_CHECK(k >= 1 && static_cast<std::size_t>(k) <= n);
+  if (sigma <= 0.0) sigma = MedianNonzeroDistance(dissimilarity);
+  KSHAPE_CHECK(sigma > 0.0);
+
+  // Gaussian affinity with zero diagonal (NJW step 1).
+  linalg::Matrix affinity(n, n);
+  const double inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d = dissimilarity(i, j);
+      affinity(i, j) = std::exp(-d * d * inv_two_sigma_sq);
+    }
+  }
+
+  // Normalized affinity L = D^{-1/2} A D^{-1/2} (NJW step 2).
+  std::vector<double> inv_sqrt_degree(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (std::size_t j = 0; j < n; ++j) degree += affinity(i, j);
+    inv_sqrt_degree[i] = degree > 0.0 ? 1.0 / std::sqrt(degree) : 0.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      affinity(i, j) *= inv_sqrt_degree[i] * inv_sqrt_degree[j];
+    }
+  }
+
+  // Top-k eigenvectors as columns (NJW step 3); eigenvalues are ascending.
+  const linalg::EigenDecomposition decomp = linalg::SymmetricEigen(affinity);
+  linalg::Matrix embedding(n, k);
+  for (int c = 0; c < k; ++c) {
+    const std::size_t col = n - 1 - static_cast<std::size_t>(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      embedding(i, c) = decomp.eigenvectors(i, col);
+    }
+  }
+
+  // Row normalization (NJW step 4).
+  for (std::size_t i = 0; i < n; ++i) {
+    double norm = 0.0;
+    for (int c = 0; c < k; ++c) norm += embedding(i, c) * embedding(i, c);
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (int c = 0; c < k; ++c) embedding(i, c) /= norm;
+    }
+  }
+  return embedding;
+}
+
+SpectralClustering::SpectralClustering(const distance::DistanceMeasure* measure,
+                                       std::string name,
+                                       SpectralOptions options)
+    : measure_(measure), name_(std::move(name)), options_(options) {
+  KSHAPE_CHECK(measure_ != nullptr);
+}
+
+ClusteringResult SpectralClustering::Cluster(
+    const std::vector<tseries::Series>& series, int k,
+    common::Rng* rng) const {
+  KSHAPE_CHECK(!series.empty());
+  KSHAPE_CHECK(rng != nullptr);
+  const linalg::Matrix d = PairwiseDistanceMatrix(series, *measure_);
+  return SpectralClusterOnMatrix(d, k, rng, options_);
+}
+
+ClusteringResult SpectralClusterOnMatrix(const linalg::Matrix& dissimilarity,
+                                         int k, common::Rng* rng,
+                                         const SpectralOptions& options) {
+  const linalg::Matrix embedding =
+      SpectralEmbedding(dissimilarity, k, options.sigma);
+  ClusteringResult result;
+  result.assignments =
+      KMeansOnRows(embedding, k, rng, options.kmeans_max_iterations);
+  result.converged = true;
+  return result;
+}
+
+}  // namespace kshape::cluster

@@ -1,0 +1,66 @@
+#ifndef KSHAPE_CLUSTER_SPECTRAL_H_
+#define KSHAPE_CLUSTER_SPECTRAL_H_
+
+#include <string>
+
+#include "cluster/algorithm.h"
+#include "distance/measure.h"
+#include "linalg/matrix.h"
+
+namespace kshape::cluster {
+
+/// Options for normalized spectral clustering.
+struct SpectralOptions {
+  /// Gaussian affinity bandwidth sigma. Non-positive (default) selects the
+  /// median of the nonzero pairwise distances, a standard self-tuning
+  /// heuristic (the paper does not specify a bandwidth).
+  double sigma = -1.0;
+
+  /// Iteration cap for the embedded k-means step.
+  int kmeans_max_iterations = 100;
+};
+
+/// Normalized spectral clustering (Ng, Jordan & Weiss 2002), the paper's
+/// S+ED / S+cDTW / S+SBD baselines.
+///
+/// Builds the Gaussian affinity A_ij = exp(-d_ij^2 / (2 sigma^2)), forms the
+/// normalized affinity D^{-1/2} A D^{-1/2}, embeds each series as the
+/// row-normalized top-k eigenvector coordinates, and k-means-clusters the
+/// embedding. Randomness enters only through the embedded k-means
+/// initialization, matching the paper's 100-run averaging protocol.
+class SpectralClustering : public ClusteringAlgorithm {
+ public:
+  SpectralClustering(const distance::DistanceMeasure* measure,
+                     std::string name, SpectralOptions options = {});
+
+  ClusteringResult Cluster(const std::vector<tseries::Series>& series, int k,
+                           common::Rng* rng) const override;
+
+  std::string Name() const override { return name_; }
+
+ private:
+  const distance::DistanceMeasure* measure_;
+  std::string name_;
+  SpectralOptions options_;
+};
+
+/// The spectral embedding alone (rows of the row-normalized top-k
+/// eigenvector matrix); exposed for tests and for experiments that share one
+/// dissimilarity matrix across restarts.
+linalg::Matrix SpectralEmbedding(const linalg::Matrix& dissimilarity, int k,
+                                 double sigma);
+
+/// Lloyd k-means on the rows of `points` (Euclidean), randomly initialized —
+/// the final step of NJW. Exposed so multi-run experiments can reuse one
+/// embedding: the embedding is deterministic, only this step is random.
+std::vector<int> KMeansOnRows(const linalg::Matrix& points, int k,
+                              common::Rng* rng, int max_iterations = 100);
+
+/// Full NJW pipeline on a precomputed dissimilarity matrix.
+ClusteringResult SpectralClusterOnMatrix(const linalg::Matrix& dissimilarity,
+                                         int k, common::Rng* rng,
+                                         const SpectralOptions& options = {});
+
+}  // namespace kshape::cluster
+
+#endif  // KSHAPE_CLUSTER_SPECTRAL_H_

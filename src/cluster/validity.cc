@@ -1,0 +1,170 @@
+#include "cluster/validity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "cluster/kmedoids.h"
+
+namespace kshape::cluster {
+
+double MeanSilhouette(const linalg::Matrix& dissimilarity,
+                      const std::vector<int>& assignments, int k) {
+  const std::size_t n = assignments.size();
+  KSHAPE_CHECK(dissimilarity.rows() == n && dissimilarity.cols() == n);
+  KSHAPE_CHECK(k >= 1);
+  const auto groups = GroupByCluster(assignments, k);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int own = assignments[i];
+    if (groups[own].size() <= 1) continue;  // Silhouette 0 by convention.
+
+    // a(i): mean distance to the other members of the own cluster.
+    double a = 0.0;
+    for (std::size_t j : groups[own]) {
+      if (j != i) a += dissimilarity(i, j);
+    }
+    a /= static_cast<double>(groups[own].size() - 1);
+
+    // b(i): smallest mean distance to any other populated cluster.
+    double b = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      if (c == own || groups[c].empty()) continue;
+      double mean = 0.0;
+      for (std::size_t j : groups[c]) mean += dissimilarity(i, j);
+      mean /= static_cast<double>(groups[c].size());
+      b = std::min(b, mean);
+    }
+    if (!std::isfinite(b)) continue;  // Only one populated cluster.
+
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+namespace {
+
+// Medoid of a group: the member minimizing the total within-group distance.
+std::size_t GroupMedoid(const linalg::Matrix& d,
+                        const std::vector<std::size_t>& group) {
+  std::size_t best = group[0];
+  double best_total = std::numeric_limits<double>::infinity();
+  for (std::size_t candidate : group) {
+    double total = 0.0;
+    for (std::size_t member : group) total += d(candidate, member);
+    if (total < best_total) {
+      best_total = total;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double DaviesBouldinIndex(const linalg::Matrix& dissimilarity,
+                          const std::vector<int>& assignments, int k) {
+  const std::size_t n = assignments.size();
+  KSHAPE_CHECK(dissimilarity.rows() == n && dissimilarity.cols() == n);
+  const auto groups = GroupByCluster(assignments, k);
+
+  std::vector<std::size_t> medoids;
+  std::vector<double> scatters;
+  for (int c = 0; c < k; ++c) {
+    if (groups[c].empty()) continue;
+    const std::size_t medoid = GroupMedoid(dissimilarity, groups[c]);
+    double scatter = 0.0;
+    for (std::size_t member : groups[c]) {
+      scatter += dissimilarity(medoid, member);
+    }
+    scatter /= static_cast<double>(groups[c].size());
+    medoids.push_back(medoid);
+    scatters.push_back(scatter);
+  }
+  KSHAPE_CHECK_MSG(medoids.size() >= 2,
+                   "Davies-Bouldin needs >= 2 populated clusters");
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < medoids.size(); ++i) {
+    double worst = 0.0;
+    for (std::size_t j = 0; j < medoids.size(); ++j) {
+      if (i == j) continue;
+      const double separation = dissimilarity(medoids[i], medoids[j]);
+      if (separation > 0.0) {
+        worst = std::max(worst, (scatters[i] + scatters[j]) / separation);
+      }
+    }
+    total += worst;
+  }
+  return total / static_cast<double>(medoids.size());
+}
+
+double WithinClusterSsd(const std::vector<tseries::Series>& series,
+                        const ClusteringResult& result,
+                        const distance::DistanceMeasure& measure) {
+  KSHAPE_CHECK(result.assignments.size() == series.size());
+  KSHAPE_CHECK(!result.centroids.empty());
+  double total = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const int c = result.assignments[i];
+    KSHAPE_CHECK(c >= 0 && c < static_cast<int>(result.centroids.size()));
+    const double d = measure.Distance(result.centroids[c], series[i]);
+    total += d * d;
+  }
+  return total;
+}
+
+KEstimate EstimateK(const std::vector<tseries::Series>& series,
+                    const ClusteringAlgorithm& algorithm,
+                    const distance::DistanceMeasure& measure, int k_min,
+                    int k_max, int runs, common::Rng* rng) {
+  KSHAPE_CHECK(k_min >= 2 && k_min <= k_max);
+  KSHAPE_CHECK(runs >= 1);
+  KSHAPE_CHECK(rng != nullptr);
+
+  const linalg::Matrix d = PairwiseDistanceMatrix(series, measure);
+  KEstimate estimate;
+  double best_score = -2.0;
+  for (int k = k_min; k <= k_max; ++k) {
+    double best_for_k = -2.0;
+    for (int run = 0; run < runs; ++run) {
+      common::Rng run_rng = rng->Fork();
+      const ClusteringResult result = algorithm.Cluster(series, k, &run_rng);
+      best_for_k =
+          std::max(best_for_k, MeanSilhouette(d, result.assignments, k));
+    }
+    estimate.silhouettes.push_back(best_for_k);
+    if (best_for_k > best_score) {
+      best_score = best_for_k;
+      estimate.best_k = k;
+    }
+  }
+  return estimate;
+}
+
+ClusteringResult BestOfRestarts(const std::vector<tseries::Series>& series,
+                                const ClusteringAlgorithm& algorithm,
+                                const distance::DistanceMeasure& measure,
+                                int k, int restarts, common::Rng* rng) {
+  KSHAPE_CHECK(restarts >= 1);
+  KSHAPE_CHECK(rng != nullptr);
+  ClusteringResult best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int run = 0; run < restarts; ++run) {
+    common::Rng run_rng = rng->Fork();
+    ClusteringResult result = algorithm.Cluster(series, k, &run_rng);
+    KSHAPE_CHECK_MSG(!result.centroids.empty(),
+                     "BestOfRestarts needs a centroid-producing algorithm");
+    const double cost = WithinClusterSsd(series, result, measure);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(result);
+    }
+  }
+  return best;
+}
+
+}  // namespace kshape::cluster

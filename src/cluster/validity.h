@@ -1,0 +1,69 @@
+#ifndef KSHAPE_CLUSTER_VALIDITY_H_
+#define KSHAPE_CLUSTER_VALIDITY_H_
+
+#include <vector>
+
+#include "cluster/algorithm.h"
+#include "distance/measure.h"
+#include "linalg/matrix.h"
+
+namespace kshape::cluster {
+
+/// Internal cluster-validity criteria — quality measures that use only the
+/// data, no gold labels. Footnote 2 of the paper: "although the exact
+/// estimation of k is difficult without a gold standard, we can do so by
+/// varying k and evaluating clustering quality with criteria that capture
+/// information intrinsic to the data alone." These are those criteria, plus
+/// the k-sweep that uses them.
+
+/// Mean silhouette coefficient of an assignment over a precomputed
+/// dissimilarity matrix: s(i) = (b(i) - a(i)) / max(a(i), b(i)) with a(i)
+/// the mean distance to own-cluster members and b(i) the smallest mean
+/// distance to another cluster. In [-1, 1]; larger is better. Singleton
+/// clusters score 0 for their point, the standard convention.
+double MeanSilhouette(const linalg::Matrix& dissimilarity,
+                      const std::vector<int>& assignments, int k);
+
+/// Davies-Bouldin index over a dissimilarity matrix, in the medoid form:
+/// each cluster's scatter is the mean distance to its medoid, and the index
+/// averages the worst (scatter_i + scatter_j) / d(medoid_i, medoid_j) ratio
+/// per cluster. Smaller is better. Requires k >= 2 populated clusters.
+double DaviesBouldinIndex(const linalg::Matrix& dissimilarity,
+                          const std::vector<int>& assignments, int k);
+
+/// The paper's clustering objective (Equation 1): the within-cluster sum of
+/// squared distances of each series to its centroid under `measure`.
+/// Clusters without a centroid (empty) contribute nothing.
+double WithinClusterSsd(const std::vector<tseries::Series>& series,
+                        const ClusteringResult& result,
+                        const distance::DistanceMeasure& measure);
+
+/// Result of a cluster-count sweep.
+struct KEstimate {
+  int best_k = 0;
+  /// silhouettes[i] is the mean silhouette at k = k_min + i.
+  std::vector<double> silhouettes;
+};
+
+/// Estimates the number of clusters by running `algorithm` for every k in
+/// [k_min, k_max] (with `runs` random restarts each, keeping each k's best
+/// assignment by silhouette) and picking the k with the highest mean
+/// silhouette over the `measure`-induced dissimilarity matrix.
+KEstimate EstimateK(const std::vector<tseries::Series>& series,
+                    const ClusteringAlgorithm& algorithm,
+                    const distance::DistanceMeasure& measure, int k_min,
+                    int k_max, int runs, common::Rng* rng);
+
+/// Runs a centroid-producing algorithm `restarts` times and returns the run
+/// minimizing the paper's Equation-1 objective (WithinClusterSsd under
+/// `measure`). This is the standard unsupervised way to consume a
+/// k-means-family method: restarts are cheap insurance against the local
+/// optima the iterative refinement converges to.
+ClusteringResult BestOfRestarts(const std::vector<tseries::Series>& series,
+                                const ClusteringAlgorithm& algorithm,
+                                const distance::DistanceMeasure& measure,
+                                int k, int restarts, common::Rng* rng);
+
+}  // namespace kshape::cluster
+
+#endif  // KSHAPE_CLUSTER_VALIDITY_H_

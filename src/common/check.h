@@ -1,0 +1,47 @@
+#ifndef KSHAPE_COMMON_CHECK_H_
+#define KSHAPE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+/// Invariant-checking macros for programmer errors.
+///
+/// These are active in all build types: clustering experiments run in Release
+/// and silent memory corruption would invalidate every measured number. The
+/// cost of the checks is negligible next to the O(m log m) / O(m^2) kernels.
+
+/// Aborts with a file:line message when `cond` is false.
+#define KSHAPE_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "KSHAPE_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Aborts with a file:line message and `msg` when `cond` is false.
+#define KSHAPE_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "KSHAPE_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, (msg));                       \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Aborts when a Status-returning expression is not OK.
+#define KSHAPE_CHECK_OK(expr)                                               \
+  do {                                                                      \
+    const ::kshape::common::Status _kshape_check_status = (expr);           \
+    if (!_kshape_check_status.ok()) {                                       \
+      std::fprintf(stderr, "KSHAPE_CHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__,                                      \
+                   _kshape_check_status.ToString().c_str());                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // KSHAPE_COMMON_CHECK_H_

@@ -1,0 +1,112 @@
+#ifndef KSHAPE_COMMON_STATUS_H_
+#define KSHAPE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace kshape::common {
+
+/// Error categories for fallible library operations.
+///
+/// Styled after the Status idiom used by Arrow and RocksDB: library code never
+/// throws across its public boundary; instead, operations that may fail return
+/// a `Status` (or a `StatusOr<T>` when they also produce a value).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kIoError = 6,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result for fallible operations.
+///
+/// A default-constructed `Status` is OK. Error statuses carry a code and a
+/// free-form message. `Status` is cheap to copy in the OK case (empty string)
+/// and is always movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors for the common error categories.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type `T` or an error `Status`.
+///
+/// Accessing `value()` on an error-holding `StatusOr` aborts the process (see
+/// KSHAPE_CHECK); callers must test `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit on purpose, mirroring absl::StatusOr).
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from an error status. Must not be OK.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is held).
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires `ok()`.
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace kshape::common
+
+#endif  // KSHAPE_COMMON_STATUS_H_

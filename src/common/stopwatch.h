@@ -1,0 +1,35 @@
+#ifndef KSHAPE_COMMON_STOPWATCH_H_
+#define KSHAPE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace kshape::common {
+
+/// Simple wall-clock stopwatch for experiment timing.
+///
+/// The paper reports CPU-time *ratios* between methods; on the single-threaded
+/// kernels in this library wall time of a dedicated process is an adequate
+/// proxy and steady_clock avoids NTP jumps.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kshape::common
+
+#endif  // KSHAPE_COMMON_STOPWATCH_H_

@@ -1,0 +1,152 @@
+#include "core/kshape.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "core/sbd.h"
+
+namespace kshape::core {
+
+namespace {
+
+// k-means++-style seeding under SBD: D^2 sampling of k seed series, then a
+// nearest-seed initial assignment.
+std::vector<int> PlusPlusAssignments(const std::vector<tseries::Series>& series,
+                                     int k, common::Rng* rng) {
+  const std::size_t n = series.size();
+  std::vector<std::size_t> seeds;
+  seeds.push_back(static_cast<std::size_t>(rng->UniformInt(
+      static_cast<int>(n))));
+
+  // d2[i] = squared SBD to the nearest chosen seed.
+  std::vector<double> d2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = Sbd(series[seeds[0]], series[i]).distance;
+    d2[i] = d * d;
+  }
+  std::vector<int> nearest(n, 0);
+
+  while (static_cast<int>(seeds.size()) < k) {
+    double total = 0.0;
+    for (double v : d2) total += v;
+    std::size_t pick = 0;
+    if (total <= 0.0) {
+      // All series coincide with a seed; any unused index works.
+      pick = static_cast<std::size_t>(rng->UniformInt(static_cast<int>(n)));
+    } else {
+      double threshold = rng->Uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        threshold -= d2[i];
+        if (threshold <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    seeds.push_back(pick);
+    const int seed_index = static_cast<int>(seeds.size()) - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = Sbd(series[pick], series[i]).distance;
+      if (d * d < d2[i]) {
+        d2[i] = d * d;
+        nearest[i] = seed_index;
+      }
+    }
+  }
+  return nearest;
+}
+
+}  // namespace
+
+KShape::KShape(KShapeOptions options) : options_(options) {
+  KSHAPE_CHECK(options_.max_iterations >= 1);
+  name_ = options_.assignment_distance == nullptr
+              ? "k-Shape"
+              : "k-Shape+" + options_.assignment_distance->Name();
+}
+
+cluster::ClusteringResult KShape::Cluster(
+    const std::vector<tseries::Series>& series, int k,
+    common::Rng* rng) const {
+  KSHAPE_CHECK(!series.empty());
+  KSHAPE_CHECK(k >= 1 && static_cast<std::size_t>(k) <= series.size());
+  KSHAPE_CHECK(rng != nullptr);
+  const std::size_t n = series.size();
+  const std::size_t m = series[0].size();
+
+  cluster::ClusteringResult result;
+  result.assignments = options_.init == KShapeInit::kPlusPlusSeeding
+                           ? PlusPlusAssignments(series, k, rng)
+                           : cluster::RandomAssignments(n, k, rng);
+  result.centroids.assign(k, tseries::Series(m, 0.0));
+
+  auto assignment_distance = [&](const tseries::Series& centroid,
+                                 const tseries::Series& x) {
+    if (options_.assignment_distance != nullptr) {
+      return options_.assignment_distance->Distance(centroid, x);
+    }
+    return Sbd(centroid, x).distance;
+  };
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const std::vector<int> previous = result.assignments;
+
+    // Refinement step: recompute each centroid by shape extraction, using
+    // the previous centroid as the alignment reference (Algorithm 3, 5-10).
+    const auto groups = cluster::GroupByCluster(result.assignments, k);
+    for (int j = 0; j < k; ++j) {
+      result.centroids[j] =
+          ExtractShapeIndexed(series, groups[j], result.centroids[j], rng,
+                              options_.shape_options);
+    }
+
+    // Assignment step: move each series to its closest centroid
+    // (Algorithm 3, lines 11-17).
+    for (std::size_t i = 0; i < n; ++i) {
+      double min_dist = std::numeric_limits<double>::infinity();
+      int best = result.assignments[i];
+      for (int j = 0; j < k; ++j) {
+        const double d = assignment_distance(result.centroids[j], series[i]);
+        if (d < min_dist) {
+          min_dist = d;
+          best = j;
+        }
+      }
+      result.assignments[i] = best;
+    }
+
+    // Re-seed clusters that lost all members with the series farthest from
+    // its current centroid, so every requested cluster stays populated.
+    auto sizes = std::vector<std::size_t>(k, 0);
+    for (int a : result.assignments) ++sizes[a];
+    for (int j = 0; j < k; ++j) {
+      if (sizes[j] != 0) continue;
+      double worst_dist = -1.0;
+      std::size_t worst_idx = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (sizes[result.assignments[i]] <= 1) continue;
+        const double d =
+            assignment_distance(result.centroids[result.assignments[i]],
+                                series[i]);
+        if (d > worst_dist) {
+          worst_dist = d;
+          worst_idx = i;
+        }
+      }
+      if (worst_dist >= 0.0) {
+        --sizes[result.assignments[worst_idx]];
+        result.assignments[worst_idx] = j;
+        ++sizes[j];
+      }
+    }
+
+    result.iterations = iter + 1;
+    if (result.assignments == previous) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace kshape::core

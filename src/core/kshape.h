@@ -1,0 +1,69 @@
+#ifndef KSHAPE_CORE_KSHAPE_H_
+#define KSHAPE_CORE_KSHAPE_H_
+
+#include <string>
+
+#include "cluster/algorithm.h"
+#include "core/shape_extraction.h"
+#include "distance/measure.h"
+
+namespace kshape::core {
+
+/// Initialization strategies for k-Shape.
+enum class KShapeInit {
+  /// Algorithm 3's initialization: every series assigned to a uniformly
+  /// random cluster. The paper's default.
+  kRandomAssignment,
+
+  /// k-means++-style seeding under SBD (an extension, not in the paper):
+  /// pick one series as the first seed, then repeatedly pick the next seed
+  /// with probability proportional to the squared SBD to the closest chosen
+  /// seed; initial assignment is nearest-seed. Breaks the symmetric-centroid
+  /// local optima that random assignment is prone to on small datasets —
+  /// see the ablation_initialization bench.
+  kPlusPlusSeeding,
+};
+
+/// Options for the k-Shape algorithm.
+struct KShapeOptions {
+  /// Iteration cap of Algorithm 3 ("usually a small number, such as 100").
+  int max_iterations = 100;
+
+  /// How the initial cluster memberships are chosen.
+  KShapeInit init = KShapeInit::kRandomAssignment;
+
+  /// Controls the eigenvector computation inside shape extraction.
+  ShapeExtractionOptions shape_options;
+
+  /// Distance used in the assignment step. Null means SBD (the paper's
+  /// k-Shape); pointing this at a DtwMeasure gives the k-Shape+DTW ablation
+  /// of Table 3. The pointee must outlive the KShape instance.
+  const distance::DistanceMeasure* assignment_distance = nullptr;
+};
+
+/// k-Shape, Algorithm 3 of the paper.
+///
+/// A centroid-based iterative-refinement clustering of z-normalized time
+/// series: the assignment step places each series with the SBD-closest
+/// centroid; the refinement step recomputes each centroid by shape
+/// extraction (Algorithm 2), using the previous centroid as the alignment
+/// reference. Runs until the assignment reaches a fixed point or
+/// `max_iterations` is hit. O(max{n k m log m, n m^2, k m^3}) per iteration
+/// — linear in the number of series (§3.3).
+class KShape : public cluster::ClusteringAlgorithm {
+ public:
+  explicit KShape(KShapeOptions options = {});
+
+  cluster::ClusteringResult Cluster(const std::vector<tseries::Series>& series,
+                                    int k, common::Rng* rng) const override;
+
+  std::string Name() const override { return name_; }
+
+ private:
+  KShapeOptions options_;
+  std::string name_;
+};
+
+}  // namespace kshape::core
+
+#endif  // KSHAPE_CORE_KSHAPE_H_

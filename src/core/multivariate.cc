@@ -1,0 +1,209 @@
+#include "core/multivariate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "cluster/algorithm.h"
+#include "fft/fft.h"
+#include "linalg/matrix.h"
+#include "tseries/normalization.h"
+
+namespace kshape::core {
+
+void ZNormalizeMultivariate(MultivariateSeries* series) {
+  for (tseries::Series& channel : series->channels) {
+    tseries::ZNormalizeInPlace(&channel);
+  }
+}
+
+namespace {
+
+void CheckCompatible(const MultivariateSeries& x,
+                     const MultivariateSeries& y) {
+  KSHAPE_CHECK_MSG(x.num_channels() == y.num_channels(),
+                   "channel count mismatch");
+  KSHAPE_CHECK(x.num_channels() >= 1);
+  KSHAPE_CHECK_MSG(x.length() == y.length(), "length mismatch");
+  for (const auto& channel : x.channels) {
+    KSHAPE_CHECK_MSG(channel.size() == x.length(), "ragged channels");
+  }
+  for (const auto& channel : y.channels) {
+    KSHAPE_CHECK_MSG(channel.size() == y.length(), "ragged channels");
+  }
+}
+
+MultivariateSeries ShiftAllChannels(const MultivariateSeries& x, int shift) {
+  MultivariateSeries out;
+  out.channels.reserve(x.num_channels());
+  for (const auto& channel : x.channels) {
+    out.channels.push_back(tseries::ShiftWithZeroFill(channel, shift));
+  }
+  return out;
+}
+
+bool IsZeroNorm(const MultivariateSeries& x) {
+  for (const auto& channel : x.channels) {
+    if (linalg::Norm(channel) > 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MultivariateSbdResult MultivariateSbd(const MultivariateSeries& x,
+                                      const MultivariateSeries& y) {
+  CheckCompatible(x, y);
+  const std::size_t m = x.length();
+
+  MultivariateSbdResult result;
+  double x_energy = 0.0;
+  double y_energy = 0.0;
+  for (std::size_t c = 0; c < x.num_channels(); ++c) {
+    x_energy += linalg::Dot(x.channels[c], x.channels[c]);
+    y_energy += linalg::Dot(y.channels[c], y.channels[c]);
+  }
+  const double den = std::sqrt(x_energy * y_energy);
+  if (den == 0.0) {
+    result.distance = 1.0;
+    result.aligned_y = y;
+    return result;
+  }
+
+  // Sum the per-channel cross-correlation sequences: one common shift.
+  std::vector<double> total(2 * m - 1, 0.0);
+  for (std::size_t c = 0; c < x.num_channels(); ++c) {
+    const std::vector<double> cc =
+        fft::CrossCorrelationFft(x.channels[c], y.channels[c]);
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += cc[i];
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < total.size(); ++i) {
+    if (total[i] > total[best]) best = i;
+  }
+  result.shift = static_cast<int>(best) - static_cast<int>(m - 1);
+  result.distance = 1.0 - total[best] / den;
+  result.aligned_y = ShiftAllChannels(y, result.shift);
+  return result;
+}
+
+MultivariateSeries ExtractMultivariateShape(
+    const std::vector<MultivariateSeries>& members,
+    const MultivariateSeries& reference, common::Rng* rng,
+    const ShapeExtractionOptions& options) {
+  KSHAPE_CHECK(rng != nullptr);
+  const std::size_t d = reference.num_channels();
+  const std::size_t m = reference.length();
+
+  MultivariateSeries centroid;
+  centroid.channels.assign(d, tseries::Series(m, 0.0));
+  if (members.empty()) return centroid;
+
+  const bool align = !IsZeroNorm(reference);
+
+  // Align each member once with the common shift, then run the univariate
+  // extraction per channel on the aligned copies.
+  std::vector<std::vector<tseries::Series>> per_channel(d);
+  for (const MultivariateSeries& member : members) {
+    CheckCompatible(reference, member);
+    const MultivariateSeries aligned =
+        align ? MultivariateSbd(reference, member).aligned_y : member;
+    for (std::size_t c = 0; c < d; ++c) {
+      per_channel[c].push_back(aligned.channels[c]);
+    }
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    // Members are pre-aligned; pass a zero reference so the univariate
+    // extraction does not re-shift individual channels.
+    centroid.channels[c] = ExtractShape(per_channel[c],
+                                        tseries::Series(m, 0.0), rng, options);
+  }
+  return centroid;
+}
+
+MultivariateKShape::MultivariateKShape(MultivariateKShapeOptions options)
+    : options_(options) {
+  KSHAPE_CHECK(options_.max_iterations >= 1);
+}
+
+MultivariateClusteringResult MultivariateKShape::Cluster(
+    const std::vector<MultivariateSeries>& series, int k,
+    common::Rng* rng) const {
+  KSHAPE_CHECK(!series.empty());
+  KSHAPE_CHECK(k >= 1 && static_cast<std::size_t>(k) <= series.size());
+  KSHAPE_CHECK(rng != nullptr);
+  const std::size_t n = series.size();
+  const std::size_t d = series[0].num_channels();
+  const std::size_t m = series[0].length();
+  for (const auto& s : series) CheckCompatible(series[0], s);
+
+  MultivariateClusteringResult result;
+  result.assignments = cluster::RandomAssignments(n, k, rng);
+  MultivariateSeries zero;
+  zero.channels.assign(d, tseries::Series(m, 0.0));
+  result.centroids.assign(k, zero);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const std::vector<int> previous = result.assignments;
+
+    // Refinement.
+    const auto groups = cluster::GroupByCluster(result.assignments, k);
+    for (int j = 0; j < k; ++j) {
+      std::vector<MultivariateSeries> members;
+      members.reserve(groups[j].size());
+      for (std::size_t idx : groups[j]) members.push_back(series[idx]);
+      result.centroids[j] = ExtractMultivariateShape(
+          members, result.centroids[j], rng, options_.shape_options);
+    }
+
+    // Assignment.
+    for (std::size_t i = 0; i < n; ++i) {
+      double min_dist = std::numeric_limits<double>::infinity();
+      int best = result.assignments[i];
+      for (int j = 0; j < k; ++j) {
+        const double dist =
+            MultivariateSbd(result.centroids[j], series[i]).distance;
+        if (dist < min_dist) {
+          min_dist = dist;
+          best = j;
+        }
+      }
+      result.assignments[i] = best;
+    }
+
+    // Re-seed empty clusters from the farthest member of populated ones.
+    std::vector<std::size_t> sizes(k, 0);
+    for (int a : result.assignments) ++sizes[a];
+    for (int j = 0; j < k; ++j) {
+      if (sizes[j] != 0) continue;
+      double worst_dist = -1.0;
+      std::size_t worst_idx = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (sizes[result.assignments[i]] <= 1) continue;
+        const double dist =
+            MultivariateSbd(result.centroids[result.assignments[i]],
+                            series[i]).distance;
+        if (dist > worst_dist) {
+          worst_dist = dist;
+          worst_idx = i;
+        }
+      }
+      if (worst_dist >= 0.0) {
+        --sizes[result.assignments[worst_idx]];
+        result.assignments[worst_idx] = j;
+        ++sizes[j];
+      }
+    }
+
+    result.iterations = iter + 1;
+    if (result.assignments == previous) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace kshape::core

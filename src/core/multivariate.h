@@ -1,0 +1,88 @@
+#ifndef KSHAPE_CORE_MULTIVARIATE_H_
+#define KSHAPE_CORE_MULTIVARIATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "core/shape_extraction.h"
+#include "tseries/time_series.h"
+
+namespace kshape::core {
+
+/// Multivariate extension of k-Shape (future-work direction of the paper,
+/// later developed in the k-Shape follow-up literature): a d-channel series
+/// is d equal-length univariate channels observed simultaneously, and all
+/// channels must shift TOGETHER — a heartbeat recorded by several leads is
+/// delayed by one offset, not one per lead.
+struct MultivariateSeries {
+  /// channels[c] is the c-th univariate channel; all share one length.
+  std::vector<tseries::Series> channels;
+
+  std::size_t num_channels() const { return channels.size(); }
+  std::size_t length() const {
+    return channels.empty() ? 0 : channels[0].size();
+  }
+};
+
+/// Z-normalizes every channel independently.
+void ZNormalizeMultivariate(MultivariateSeries* series);
+
+/// Result of the multivariate SBD.
+struct MultivariateSbdResult {
+  double distance = 0.0;       // 1 - max_w summed NCCc, in [0, 2].
+  int shift = 0;               // The single common shift applied to y.
+  MultivariateSeries aligned_y;
+};
+
+/// Multivariate shape-based distance: the cross-correlation sequences of the
+/// channels are summed per shift (one common lag for all channels) and
+/// normalized by the geometric mean of the total autocorrelations:
+///   mSBD(x, y) = 1 - max_w  sum_c CC_w(x_c, y_c)
+///                          / sqrt(sum_c R0(x_c,x_c) * sum_c R0(y_c,y_c)).
+/// Reduces exactly to Sbd() for d = 1. Requires matching channel counts and
+/// lengths; zero-norm inputs yield distance 1.
+MultivariateSbdResult MultivariateSbd(const MultivariateSeries& x,
+                                      const MultivariateSeries& y);
+
+/// Multivariate shape extraction: members are aligned to the reference with
+/// the common mSBD shift, then each channel's centroid is extracted with the
+/// univariate Algorithm 2. An all-zero reference skips alignment.
+MultivariateSeries ExtractMultivariateShape(
+    const std::vector<MultivariateSeries>& members,
+    const MultivariateSeries& reference, common::Rng* rng,
+    const ShapeExtractionOptions& options = {});
+
+/// Output of MultivariateKShape.
+struct MultivariateClusteringResult {
+  std::vector<int> assignments;
+  std::vector<MultivariateSeries> centroids;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Options for multivariate k-Shape.
+struct MultivariateKShapeOptions {
+  int max_iterations = 100;
+  ShapeExtractionOptions shape_options;
+};
+
+/// k-Shape over multivariate series: Algorithm 3 with mSBD assignments and
+/// per-channel shape extraction refinement.
+class MultivariateKShape {
+ public:
+  explicit MultivariateKShape(MultivariateKShapeOptions options = {});
+
+  /// Partitions `series` into k clusters. All series must agree in channel
+  /// count and length; channels should be z-normalized.
+  MultivariateClusteringResult Cluster(
+      const std::vector<MultivariateSeries>& series, int k,
+      common::Rng* rng) const;
+
+ private:
+  MultivariateKShapeOptions options_;
+};
+
+}  // namespace kshape::core
+
+#endif  // KSHAPE_CORE_MULTIVARIATE_H_

@@ -1,0 +1,143 @@
+#include "core/sbd.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "fft/fft.h"
+#include "linalg/matrix.h"
+#include "tseries/normalization.h"
+
+namespace kshape::core {
+
+const char* NccNormalizationName(NccNormalization norm) {
+  switch (norm) {
+    case NccNormalization::kBiased:
+      return "NCCb";
+    case NccNormalization::kUnbiased:
+      return "NCCu";
+    case NccNormalization::kCoefficient:
+      return "NCCc";
+  }
+  return "NCC?";
+}
+
+namespace {
+
+std::vector<double> RawCrossCorrelation(const tseries::Series& x,
+                                        const tseries::Series& y,
+                                        CrossCorrelationImpl impl) {
+  switch (impl) {
+    case CrossCorrelationImpl::kFft:
+      return fft::CrossCorrelationFft(x, y);
+    case CrossCorrelationImpl::kFftNoPow2:
+      return fft::CrossCorrelationFftNoPow2(x, y);
+    case CrossCorrelationImpl::kNaive:
+      return fft::CrossCorrelationNaive(x, y);
+  }
+  KSHAPE_CHECK_MSG(false, "unknown CrossCorrelationImpl");
+  return {};
+}
+
+}  // namespace
+
+std::vector<double> NccSequence(const tseries::Series& x,
+                                const tseries::Series& y,
+                                NccNormalization norm,
+                                CrossCorrelationImpl impl) {
+  KSHAPE_CHECK_MSG(x.size() == y.size(), "NCC requires equal lengths");
+  const int m = static_cast<int>(x.size());
+  std::vector<double> cc = RawCrossCorrelation(x, y, impl);
+
+  switch (norm) {
+    case NccNormalization::kBiased: {
+      const double inv_m = 1.0 / static_cast<double>(m);
+      for (double& v : cc) v *= inv_m;
+      break;
+    }
+    case NccNormalization::kUnbiased: {
+      for (int i = 0; i < 2 * m - 1; ++i) {
+        const int overlap = m - std::abs(i - (m - 1));
+        cc[i] /= static_cast<double>(overlap);
+      }
+      break;
+    }
+    case NccNormalization::kCoefficient: {
+      const double den = linalg::Norm(x) * linalg::Norm(y);
+      if (den == 0.0) {
+        std::fill(cc.begin(), cc.end(), 0.0);
+      } else {
+        const double inv = 1.0 / den;
+        for (double& v : cc) v *= inv;
+      }
+      break;
+    }
+  }
+  return cc;
+}
+
+NccPeak MaxNcc(const tseries::Series& x, const tseries::Series& y,
+               NccNormalization norm, CrossCorrelationImpl impl) {
+  const std::vector<double> ncc = NccSequence(x, y, norm, impl);
+  const int m = static_cast<int>(x.size());
+  NccPeak peak;
+  peak.value = ncc[0];
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(ncc.size()); ++i) {
+    if (ncc[i] > peak.value) {
+      peak.value = ncc[i];
+      best = i;
+    }
+  }
+  peak.shift = best - (m - 1);
+  return peak;
+}
+
+SbdResult Sbd(const tseries::Series& x, const tseries::Series& y,
+              CrossCorrelationImpl impl) {
+  KSHAPE_CHECK_MSG(x.size() == y.size(), "SBD requires equal lengths");
+  SbdResult result;
+  const double den = linalg::Norm(x) * linalg::Norm(y);
+  if (den == 0.0) {
+    // Degenerate (constant after z-normalization) input: NCCc is identically
+    // zero, so the distance is 1 and no shift is preferable to any other.
+    result.distance = 1.0;
+    result.shift = 0;
+    result.aligned_y = y;
+    return result;
+  }
+  const NccPeak peak =
+      MaxNcc(x, y, NccNormalization::kCoefficient, impl);
+  result.distance = 1.0 - peak.value;
+  result.shift = peak.shift;
+  result.aligned_y = tseries::ShiftWithZeroFill(y, peak.shift);
+  return result;
+}
+
+SbdDistance::SbdDistance(CrossCorrelationImpl impl) : impl_(impl) {
+  switch (impl) {
+    case CrossCorrelationImpl::kFft:
+      name_ = "SBD";
+      break;
+    case CrossCorrelationImpl::kFftNoPow2:
+      name_ = "SBD_NoPow2";
+      break;
+    case CrossCorrelationImpl::kNaive:
+      name_ = "SBD_NoFFT";
+      break;
+  }
+}
+
+double SbdDistance::Distance(const tseries::Series& x,
+                             const tseries::Series& y) const {
+  return Sbd(x, y, impl_).distance;
+}
+
+NccDistance::NccDistance(NccNormalization norm)
+    : norm_(norm), name_(NccNormalizationName(norm)) {}
+
+double NccDistance::Distance(const tseries::Series& x,
+                             const tseries::Series& y) const {
+  return 1.0 - MaxNcc(x, y, norm_).value;
+}
+
+}  // namespace kshape::core

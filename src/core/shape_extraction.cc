@@ -1,0 +1,114 @@
+#include "core/shape_extraction.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/sbd.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "tseries/normalization.h"
+
+namespace kshape::core {
+
+namespace {
+
+// Computes M = Q S Q for Q = I - (1/m) * ones in O(m^2) using
+// M_ij = S_ij - rowmean_i - colmean_j + grandmean, instead of two O(m^3)
+// matrix products.
+linalg::Matrix CenterGramMatrix(const linalg::Matrix& s) {
+  const std::size_t m = s.rows();
+  std::vector<double> row_mean(m, 0.0);
+  std::vector<double> col_mean(m, 0.0);
+  double grand = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double v = s(i, j);
+      row_mean[i] += v;
+      col_mean[j] += v;
+      grand += v;
+    }
+  }
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (double& v : row_mean) v *= inv_m;
+  for (double& v : col_mean) v *= inv_m;
+  grand *= inv_m * inv_m;
+
+  linalg::Matrix centered(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      centered(i, j) = s(i, j) - row_mean[i] - col_mean[j] + grand;
+    }
+  }
+  return centered;
+}
+
+tseries::Series ExtractShapeImpl(
+    const std::vector<const tseries::Series*>& members,
+    const tseries::Series& reference, common::Rng* rng,
+    const ShapeExtractionOptions& options) {
+  KSHAPE_CHECK(rng != nullptr);
+  const std::size_t m = reference.size();
+  if (members.empty()) {
+    return tseries::Series(m, 0.0);
+  }
+
+  const bool align = linalg::Norm(reference) > 0.0;
+
+  // Accumulate S = sum_i y_i y_i^T over the aligned, z-normalized members.
+  linalg::Matrix s(m, m);
+  std::vector<double> mean(m, 0.0);
+  for (const tseries::Series* member : members) {
+    KSHAPE_CHECK_MSG(member->size() == m, "member length mismatch");
+    tseries::Series aligned =
+        align ? Sbd(reference, *member).aligned_y : *member;
+    tseries::ZNormalizeInPlace(&aligned);
+    s.AddOuterProduct(aligned);
+    linalg::Axpy(1.0, aligned, &mean);
+  }
+
+  const linalg::Matrix centered = CenterGramMatrix(s);
+
+  std::vector<double> centroid;
+  if (options.use_power_iteration) {
+    centroid = linalg::DominantEigenvector(centered, rng);
+  } else {
+    const linalg::EigenDecomposition decomp = linalg::SymmetricEigen(centered);
+    centroid = decomp.eigenvectors.ColVector(m - 1);  // Largest eigenvalue.
+  }
+
+  // An eigenvector's sign is arbitrary; pick the orientation that correlates
+  // positively with the cluster mean so centroids look like the data.
+  if (linalg::Dot(centroid, mean) < 0.0) {
+    linalg::Scale(&centroid, -1.0);
+  }
+  tseries::ZNormalizeInPlace(&centroid);
+  return centroid;
+}
+
+}  // namespace
+
+tseries::Series ExtractShape(const std::vector<tseries::Series>& members,
+                             const tseries::Series& reference,
+                             common::Rng* rng,
+                             const ShapeExtractionOptions& options) {
+  std::vector<const tseries::Series*> ptrs;
+  ptrs.reserve(members.size());
+  for (const auto& member : members) ptrs.push_back(&member);
+  return ExtractShapeImpl(ptrs, reference, rng, options);
+}
+
+tseries::Series ExtractShapeIndexed(
+    const std::vector<tseries::Series>& pool,
+    const std::vector<std::size_t>& member_indices,
+    const tseries::Series& reference, common::Rng* rng,
+    const ShapeExtractionOptions& options) {
+  std::vector<const tseries::Series*> ptrs;
+  ptrs.reserve(member_indices.size());
+  for (std::size_t idx : member_indices) {
+    KSHAPE_CHECK(idx < pool.size());
+    ptrs.push_back(&pool[idx]);
+  }
+  return ExtractShapeImpl(ptrs, reference, rng, options);
+}
+
+}  // namespace kshape::core

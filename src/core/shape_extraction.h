@@ -1,0 +1,52 @@
+#ifndef KSHAPE_CORE_SHAPE_EXTRACTION_H_
+#define KSHAPE_CORE_SHAPE_EXTRACTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "tseries/time_series.h"
+
+namespace kshape::core {
+
+/// Options for ExtractShape.
+struct ShapeExtractionOptions {
+  /// When true, use O(n^2)-per-step power iteration for the dominant
+  /// eigenvector (with a deterministic full-decomposition fallback); when
+  /// false, always run the full symmetric eigendecomposition. The ablation
+  /// bench compares the two.
+  bool use_power_iteration = true;
+};
+
+/// Shape extraction, Algorithm 2 of the paper.
+///
+/// Computes the cluster centroid that maximizes the summed squared NCCc to
+/// the cluster members (Equation 13), reduced to a Rayleigh-quotient
+/// maximization (Equation 15): the dominant eigenvector of
+/// M = Q^T (X'^T X') Q with Q = I - (1/m) * ones.
+///
+/// `members` are the (z-normalized) series of the cluster; `reference` is the
+/// previous centroid toward which members are SBD-aligned before the
+/// eigenproblem. A zero-norm reference (the all-zero initial centroid of
+/// Algorithm 3) skips alignment, matching the reference implementation.
+/// The eigenvector's sign is chosen to correlate positively with the cluster
+/// mean, and the result is z-normalized.
+///
+/// Returns the all-zero series when `members` is empty. `rng` seeds the power
+/// iteration start vector.
+tseries::Series ExtractShape(const std::vector<tseries::Series>& members,
+                             const tseries::Series& reference,
+                             common::Rng* rng,
+                             const ShapeExtractionOptions& options = {});
+
+/// Convenience overload for extracting the shape of members selected from a
+/// larger pool by index (avoids copying series into a temporary vector).
+tseries::Series ExtractShapeIndexed(
+    const std::vector<tseries::Series>& pool,
+    const std::vector<std::size_t>& member_indices,
+    const tseries::Series& reference, common::Rng* rng,
+    const ShapeExtractionOptions& options = {});
+
+}  // namespace kshape::core
+
+#endif  // KSHAPE_CORE_SHAPE_EXTRACTION_H_

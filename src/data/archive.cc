@@ -1,0 +1,114 @@
+#include "data/archive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "data/generators.h"
+#include "tseries/normalization.h"
+
+namespace kshape::data {
+
+namespace {
+
+int Scaled(int count, double factor) {
+  return std::max(2, static_cast<int>(std::lround(count * factor)));
+}
+
+}  // namespace
+
+std::vector<tseries::SplitDataset> MakeSyntheticArchive(
+    const ArchiveOptions& options) {
+  KSHAPE_CHECK(options.size_factor > 0.0);
+  common::Rng master(options.seed);
+
+  struct Spec {
+    const char* name;
+    int num_classes;
+    int train_per_class;
+    int test_per_class;
+    std::size_t length;
+    GeneratorFn generator;
+  };
+
+  const double f = options.size_factor;
+  std::vector<Spec> specs;
+
+  specs.push_back({"CBF", 3, Scaled(10, f), Scaled(30, f), 128,
+                   [](int k, common::Rng* r) { return MakeCbf(k, 128, r); }});
+  specs.push_back({"CBF-Long", 3, Scaled(8, f), Scaled(16, f), 256,
+                   [](int k, common::Rng* r) { return MakeCbf(k, 256, r); }});
+  specs.push_back(
+      {"ECGLike", 2, Scaled(12, f), Scaled(30, f), 136,
+       [](int k, common::Rng* r) { return MakeEcgLike(k, 136, r, 0.20); }});
+  specs.push_back(
+      {"ECGLike-Noisy", 2, Scaled(12, f), Scaled(24, f), 136,
+       [](int k, common::Rng* r) { return MakeEcgLike(k, 136, r, 0.50); }});
+  specs.push_back({"TwoPatterns", 4, Scaled(10, f), Scaled(20, f), 128,
+                   [](int k, common::Rng* r) {
+                     return MakeTwoPatterns(k, 128, r);
+                   }});
+  specs.push_back({"SynthControl", 6, Scaled(8, f), Scaled(12, f), 60,
+                   [](int k, common::Rng* r) {
+                     return MakeSyntheticControl(k, 60, r);
+                   }});
+  specs.push_back(
+      {"ShiftedSines", 3, Scaled(10, f), Scaled(20, f), 128,
+       [](int k, common::Rng* r) { return MakeShiftedSine(k, 128, r, 0.10); }});
+  specs.push_back(
+      {"ShiftedSines-Noisy", 3, Scaled(10, f), Scaled(16, f), 128,
+       [](int k, common::Rng* r) { return MakeShiftedSine(k, 128, r, 0.40); }});
+  specs.push_back(
+      {"Harmonics", 3, Scaled(10, f), Scaled(18, f), 128,
+       [](int k, common::Rng* r) { return MakeHarmonic(k, 128, r, 0.10); }});
+  specs.push_back(
+      {"Bumps", 3, Scaled(10, f), Scaled(18, f), 150,
+       [](int k, common::Rng* r) { return MakeBump(k, 150, r, 0.10); }});
+  specs.push_back(
+      {"Bumps-Noisy", 3, Scaled(10, f), Scaled(14, f), 150,
+       [](int k, common::Rng* r) { return MakeBump(k, 150, r, 0.35); }});
+  specs.push_back({"TrendSeasonal", 4, Scaled(8, f), Scaled(14, f), 100,
+                   [](int k, common::Rng* r) {
+                     return MakeTrendSeasonal(k, 100, r);
+                   }});
+  specs.push_back(
+      {"Waves", 3, Scaled(10, f), Scaled(16, f), 128,
+       [](int k, common::Rng* r) { return MakeWave(k, 128, r, 0.10); }});
+  specs.push_back(
+      {"Waves-Noisy", 3, Scaled(10, f), Scaled(12, f), 128,
+       [](int k, common::Rng* r) { return MakeWave(k, 128, r, 0.45); }});
+  specs.push_back({"WarpedPatterns", 2, Scaled(12, f), Scaled(20, f), 128,
+                   [](int k, common::Rng* r) {
+                     return MakeWarpedPattern(k, 128, r, 0.10);
+                   }});
+  specs.push_back({"WarpedPatterns-Noisy", 2, Scaled(12, f), Scaled(16, f),
+                   128, [](int k, common::Rng* r) {
+                     return MakeWarpedPattern(k, 128, r, 0.30);
+                   }});
+  specs.push_back({"SynthControl-Long", 6, Scaled(6, f), Scaled(8, f), 120,
+                   [](int k, common::Rng* r) {
+                     return MakeSyntheticControl(k, 120, r);
+                   }});
+  // Short-length family: exercises the small-m corner (UCR has m down to 24).
+  specs.push_back(
+      {"ShortSines", 4, Scaled(10, f), Scaled(14, f), 64,
+       [](int k, common::Rng* r) { return MakeShiftedSine(k, 64, r, 0.15); }});
+
+  std::vector<tseries::SplitDataset> archive;
+  archive.reserve(specs.size());
+  for (const Spec& spec : specs) {
+    common::Rng rng = master.Fork();
+    tseries::SplitDataset split =
+        MakeSplitDataset(spec.name, spec.num_classes, spec.train_per_class,
+                         spec.test_per_class, spec.generator, &rng);
+    if (options.z_normalize) {
+      tseries::ZNormalizeDataset(&split.train);
+      tseries::ZNormalizeDataset(&split.test);
+    }
+    archive.push_back(std::move(split));
+  }
+  return archive;
+}
+
+}  // namespace kshape::data

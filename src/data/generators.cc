@@ -1,0 +1,361 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kshape::data {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void AddGaussianNoise(tseries::Series* x, double sigma, common::Rng* rng) {
+  if (sigma <= 0.0) return;
+  for (double& v : *x) v += rng->Gaussian(0.0, sigma);
+}
+
+// Samples a piecewise-linear template defined by (position, value) knots on
+// [0, 1]; linear interpolation between knots.
+double SampleTemplate(const std::vector<std::pair<double, double>>& knots,
+                      double u) {
+  KSHAPE_CHECK(knots.size() >= 2);
+  if (u <= knots.front().first) return knots.front().second;
+  for (std::size_t i = 1; i < knots.size(); ++i) {
+    if (u <= knots[i].first) {
+      const double u0 = knots[i - 1].first;
+      const double u1 = knots[i].first;
+      const double v0 = knots[i - 1].second;
+      const double v1 = knots[i].second;
+      const double w = (u - u0) / (u1 - u0);
+      return v0 + w * (v1 - v0);
+    }
+  }
+  return knots.back().second;
+}
+
+}  // namespace
+
+tseries::Series MakeCbf(int klass, std::size_t m, common::Rng* rng) {
+  KSHAPE_CHECK(klass >= 0 && klass < 3);
+  KSHAPE_CHECK(rng != nullptr);
+  const int mi = static_cast<int>(m);
+  // Saito's parameters are defined for m = 128; scale the interval bounds.
+  const double scale = static_cast<double>(mi) / 128.0;
+  const double a = rng->Uniform(16.0 * scale, 32.0 * scale);
+  const double b = a + rng->Uniform(32.0 * scale, 96.0 * scale);
+  const double eta = rng->Gaussian();
+
+  tseries::Series x(m, 0.0);
+  for (int t = 0; t < mi; ++t) {
+    const double td = static_cast<double>(t);
+    double value = 0.0;
+    if (td >= a && td <= b) {
+      const double amplitude = 6.0 + eta;
+      switch (klass) {
+        case 0:  // Cylinder: flat top.
+          value = amplitude;
+          break;
+        case 1:  // Bell: ramps up over [a, b].
+          value = amplitude * (td - a) / (b - a);
+          break;
+        case 2:  // Funnel: ramps down over [a, b].
+          value = amplitude * (b - td) / (b - a);
+          break;
+        default:
+          break;
+      }
+    }
+    x[t] = value + rng->Gaussian();
+  }
+  return x;
+}
+
+tseries::Series MakeEcgLike(int klass, std::size_t m, common::Rng* rng,
+                            double noise_sigma) {
+  KSHAPE_CHECK(klass >= 0 && klass < 2);
+  KSHAPE_CHECK(rng != nullptr);
+  // Class 0: sharp rise, drop, gradual increase (Figure 1, Class A).
+  // Class 1: gradual increase, drop, gradual increase (Class B).
+  // The pattern occupies 55% of the window and starts at a random offset in
+  // the remaining 45% — heartbeats begin whenever the recording starts, so
+  // instances are heavily out of phase (global misalignment) but a single
+  // linear drift realigns them, exactly the regime of Figure 1.
+  static const std::vector<std::pair<double, double>> kClassA = {
+      {0.00, 0.0}, {0.10, 3.0}, {0.25, -2.0}, {0.85, 0.8}, {1.00, 0.0}};
+  static const std::vector<std::pair<double, double>> kClassB = {
+      {0.00, 0.0}, {0.50, 2.0}, {0.62, -2.0}, {0.85, 0.8}, {1.00, 0.0}};
+  const auto& knots = klass == 0 ? kClassA : kClassB;
+
+  const int mi = static_cast<int>(m);
+  const int support = static_cast<int>(0.55 * mi);
+  const int offset = rng->UniformInt(mi - support + 1);
+  tseries::Series x(m, 0.0);
+  const double amplitude = rng->Uniform(0.8, 1.2);
+  for (int t = 0; t < support; ++t) {
+    const double v = static_cast<double>(t) / static_cast<double>(support);
+    x[offset + t] = amplitude * SampleTemplate(knots, v);
+  }
+  AddGaussianNoise(&x, noise_sigma, rng);
+  return x;
+}
+
+tseries::Series MakeTwoPatterns(int klass, std::size_t m, common::Rng* rng) {
+  KSHAPE_CHECK(klass >= 0 && klass < 4);
+  KSHAPE_CHECK(rng != nullptr);
+  const int mi = static_cast<int>(m);
+  const int pattern_len = std::max(4, mi / 8);
+  tseries::Series x(m);
+  for (double& v : x) v = rng->Gaussian(0.0, 0.3);
+
+  // Two disjoint pattern placements in the first and second half.
+  const int max_start1 = mi / 2 - pattern_len;
+  const int max_start2 = mi / 2 - pattern_len;
+  const int start1 = rng->UniformInt(std::max(1, max_start1));
+  const int start2 = mi / 2 + rng->UniformInt(std::max(1, max_start2));
+
+  auto place_step = [&](int start, bool up) {
+    // "Up" = low plateau then high plateau; "down" = the reverse.
+    for (int t = 0; t < pattern_len; ++t) {
+      const bool first_half = t < pattern_len / 2;
+      const double level = (first_half == up) ? -2.0 : 2.0;
+      x[start + t] = level + rng->Gaussian(0.0, 0.1);
+    }
+  };
+  place_step(start1, klass / 2 == 0);
+  place_step(start2, klass % 2 == 0);
+  return x;
+}
+
+tseries::Series MakeSyntheticControl(int klass, std::size_t m,
+                                     common::Rng* rng) {
+  KSHAPE_CHECK(klass >= 0 && klass < 6);
+  KSHAPE_CHECK(rng != nullptr);
+  const int mi = static_cast<int>(m);
+  tseries::Series x(m);
+  const double base = 30.0;
+  const double sigma = 2.0;
+  const double trend = rng->Uniform(0.2, 0.5);
+  const double cycle_amplitude = rng->Uniform(10.0, 15.0);
+  const double cycle_period = rng->Uniform(10.0, 15.0);
+  const double shift_magnitude = rng->Uniform(7.5, 20.0);
+  const int shift_time = mi / 3 + rng->UniformInt(std::max(1, mi / 3));
+
+  for (int t = 0; t < mi; ++t) {
+    double v = base + sigma * rng->Gaussian();
+    switch (klass) {
+      case 0:  // Normal.
+        break;
+      case 1:  // Cyclic.
+        v += cycle_amplitude * std::sin(2.0 * kPi * t / cycle_period);
+        break;
+      case 2:  // Increasing trend.
+        v += trend * t;
+        break;
+      case 3:  // Decreasing trend.
+        v -= trend * t;
+        break;
+      case 4:  // Upward shift.
+        if (t >= shift_time) v += shift_magnitude;
+        break;
+      case 5:  // Downward shift.
+        if (t >= shift_time) v -= shift_magnitude;
+        break;
+      default:
+        break;
+    }
+    x[t] = v;
+  }
+  return x;
+}
+
+tseries::Series MakeShiftedSine(int klass, std::size_t m, common::Rng* rng,
+                                double noise_sigma) {
+  KSHAPE_CHECK(klass >= 0);
+  KSHAPE_CHECK(rng != nullptr);
+  const int mi = static_cast<int>(m);
+  const double frequency = static_cast<double>(klass + 1);
+  const double phase = rng->Uniform(0.0, 2.0 * kPi);
+  const double amplitude = rng->Uniform(0.7, 1.3);
+  tseries::Series x(m);
+  for (int t = 0; t < mi; ++t) {
+    const double u = static_cast<double>(t) / static_cast<double>(mi);
+    x[t] = amplitude * std::sin(2.0 * kPi * frequency * u + phase);
+  }
+  AddGaussianNoise(&x, noise_sigma, rng);
+  return x;
+}
+
+tseries::Series MakeHarmonic(int klass, std::size_t m, common::Rng* rng,
+                             double noise_sigma) {
+  KSHAPE_CHECK(klass >= 0 && klass < 3);
+  KSHAPE_CHECK(rng != nullptr);
+  const int mi = static_cast<int>(m);
+  const double phase = rng->Uniform(0.0, 2.0 * kPi);
+  tseries::Series x(m);
+  for (int t = 0; t < mi; ++t) {
+    const double u = 2.0 * kPi * 2.0 * t / static_cast<double>(mi) + phase;
+    double v = std::sin(u);
+    if (klass == 1) {
+      v += 0.7 * std::sin(3.0 * u);
+    } else if (klass == 2) {
+      v = std::clamp(1.6 * v, -1.0, 1.0);  // Clipped sine.
+    }
+    x[t] = v;
+  }
+  AddGaussianNoise(&x, noise_sigma, rng);
+  return x;
+}
+
+tseries::Series MakeBump(int klass, std::size_t m, common::Rng* rng,
+                         double noise_sigma) {
+  KSHAPE_CHECK(klass >= 0 && klass < 3);
+  KSHAPE_CHECK(rng != nullptr);
+  const int mi = static_cast<int>(m);
+  const double center = rng->Uniform(0.25, 0.75) * mi;
+  const double width = rng->Uniform(0.05, 0.08) * mi;
+  tseries::Series x(m, 0.0);
+  for (int t = 0; t < mi; ++t) {
+    const double z = (t - center) / width;
+    double v = 0.0;
+    switch (klass) {
+      case 0:  // Single Gaussian bump.
+        v = std::exp(-0.5 * z * z);
+        break;
+      case 1: {  // Flat-topped plateau (saturated bump).
+        v = std::min(1.0, 1.6 * std::exp(-0.5 * z * z / 4.0));
+        break;
+      }
+      case 2: {  // Double bump.
+        const double z1 = (t - (center - 1.5 * width)) / width;
+        const double z2 = (t - (center + 1.5 * width)) / width;
+        v = std::exp(-0.5 * z1 * z1) + std::exp(-0.5 * z2 * z2);
+        break;
+      }
+      default:
+        break;
+    }
+    x[t] = v;
+  }
+  AddGaussianNoise(&x, noise_sigma, rng);
+  return x;
+}
+
+tseries::Series MakeTrendSeasonal(int klass, std::size_t m,
+                                  common::Rng* rng) {
+  KSHAPE_CHECK(klass >= 0 && klass < 4);
+  KSHAPE_CHECK(rng != nullptr);
+  const int mi = static_cast<int>(m);
+  const double slope = (klass / 2 == 0 ? 1.0 : -1.0) * rng->Uniform(1.5, 2.5);
+  const double cycles = klass % 2 == 0 ? 6.0 : 2.0;
+  const double phase = rng->Uniform(0.0, 2.0 * kPi);
+  tseries::Series x(m);
+  for (int t = 0; t < mi; ++t) {
+    const double u = static_cast<double>(t) / static_cast<double>(mi);
+    x[t] = slope * u + 0.6 * std::sin(2.0 * kPi * cycles * u + phase) +
+           rng->Gaussian(0.0, 0.15);
+  }
+  return x;
+}
+
+tseries::Series MakeWave(int klass, std::size_t m, common::Rng* rng,
+                         double noise_sigma) {
+  KSHAPE_CHECK(klass >= 0 && klass < 3);
+  KSHAPE_CHECK(rng != nullptr);
+  const int mi = static_cast<int>(m);
+  const double cycles = 3.0;
+  const double phase = rng->Uniform(0.0, 1.0);
+  tseries::Series x(m);
+  for (int t = 0; t < mi; ++t) {
+    // Position within the cycle, in [0, 1).
+    double u = cycles * t / static_cast<double>(mi) + phase;
+    u -= std::floor(u);
+    double v = 0.0;
+    switch (klass) {
+      case 0:  // Square.
+        v = u < 0.5 ? 1.0 : -1.0;
+        break;
+      case 1:  // Triangle.
+        v = u < 0.5 ? 4.0 * u - 1.0 : 3.0 - 4.0 * u;
+        break;
+      case 2:  // Sawtooth.
+        v = 2.0 * u - 1.0;
+        break;
+      default:
+        break;
+    }
+    x[t] = v;
+  }
+  AddGaussianNoise(&x, noise_sigma, rng);
+  return x;
+}
+
+tseries::Series MakeWarpedPattern(int klass, std::size_t m, common::Rng* rng,
+                                  double noise_sigma) {
+  KSHAPE_CHECK(klass >= 0 && klass < 2);
+  KSHAPE_CHECK(rng != nullptr);
+  const int mi = static_cast<int>(m);
+
+  // Base templates: two multi-bump profiles with distinct bump orderings.
+  auto base = [&](double u) {
+    const double b1 = std::exp(-0.5 * std::pow((u - 0.25) / 0.06, 2));
+    const double b2 = std::exp(-0.5 * std::pow((u - 0.55) / 0.10, 2));
+    const double b3 = std::exp(-0.5 * std::pow((u - 0.80) / 0.05, 2));
+    return klass == 0 ? (2.0 * b1 + 1.0 * b2 - 1.5 * b3)
+                      : (-1.5 * b1 + 2.0 * b2 + 1.0 * b3);
+  };
+
+  // Smooth monotone random warp: u' = u + a * sin(pi * u) keeps endpoints
+  // fixed and is monotone for |a| < 1/pi.
+  const double warp = rng->Uniform(-0.25, 0.25) / kPi;
+  tseries::Series x(m);
+  for (int t = 0; t < mi; ++t) {
+    const double u = static_cast<double>(t) / static_cast<double>(mi - 1);
+    const double warped = u + warp * std::sin(kPi * u);
+    x[t] = base(warped);
+  }
+  AddGaussianNoise(&x, noise_sigma, rng);
+  return x;
+}
+
+tseries::Series MakeRandomWalk(std::size_t m, common::Rng* rng) {
+  KSHAPE_CHECK(rng != nullptr);
+  tseries::Series x(m);
+  double value = 0.0;
+  for (std::size_t t = 0; t < m; ++t) {
+    value += rng->Gaussian();
+    x[t] = value;
+  }
+  return x;
+}
+
+tseries::Dataset MakeLabeledDataset(const std::string& name, int num_classes,
+                                    int per_class,
+                                    const GeneratorFn& generator,
+                                    common::Rng* rng) {
+  KSHAPE_CHECK(num_classes >= 1 && per_class >= 1);
+  KSHAPE_CHECK(rng != nullptr);
+  tseries::Dataset dataset(name);
+  for (int klass = 0; klass < num_classes; ++klass) {
+    for (int i = 0; i < per_class; ++i) {
+      dataset.Add(generator(klass, rng), klass);
+    }
+  }
+  return dataset;
+}
+
+tseries::SplitDataset MakeSplitDataset(const std::string& name,
+                                       int num_classes, int train_per_class,
+                                       int test_per_class,
+                                       const GeneratorFn& generator,
+                                       common::Rng* rng) {
+  tseries::SplitDataset split;
+  split.train = MakeLabeledDataset(name, num_classes, train_per_class,
+                                   generator, rng);
+  split.test = MakeLabeledDataset(name, num_classes, test_per_class,
+                                  generator, rng);
+  return split;
+}
+
+}  // namespace kshape::data

@@ -1,0 +1,182 @@
+#include "distance/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/check.h"
+#include "tseries/normalization.h"
+
+namespace kshape::dtw {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shared banded dynamic program over squared point costs. Returns the total
+// squared cost of the optimal path.
+double BandedDtwSquared(const tseries::Series& x, const tseries::Series& y,
+                        int window) {
+  const int m = static_cast<int>(x.size());
+  const int n = static_cast<int>(y.size());
+  KSHAPE_CHECK(m >= 1 && n >= 1);
+  // A band narrower than the length difference admits no path at all.
+  int w = window;
+  if (w < std::abs(m - n)) w = std::abs(m - n);
+
+  std::vector<double> prev(static_cast<std::size_t>(n) + 1, kInf);
+  std::vector<double> cur(static_cast<std::size_t>(n) + 1, kInf);
+  prev[0] = 0.0;
+
+  for (int i = 1; i <= m; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const int j_lo = std::max(1, i - w);
+    const int j_hi = std::min(n, i + w);
+    for (int j = j_lo; j <= j_hi; ++j) {
+      const double d = x[i - 1] - y[j - 1];
+      const double cost = d * d;
+      const double best =
+          std::min(prev[j - 1], std::min(prev[j], cur[j - 1]));
+      cur[j] = cost + best;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+}  // namespace
+
+double DtwDistance(const tseries::Series& x, const tseries::Series& y) {
+  const int full = static_cast<int>(std::max(x.size(), y.size()));
+  return std::sqrt(BandedDtwSquared(x, y, full));
+}
+
+double ConstrainedDtwDistance(const tseries::Series& x,
+                              const tseries::Series& y, int window) {
+  KSHAPE_CHECK_MSG(window >= 0, "window must be non-negative");
+  return std::sqrt(BandedDtwSquared(x, y, window));
+}
+
+int WindowFromFraction(double fraction, std::size_t length) {
+  KSHAPE_CHECK(fraction >= 0.0);
+  const int m = static_cast<int>(length);
+  const int w = static_cast<int>(std::ceil(fraction * m));
+  return std::clamp(w, 0, std::max(0, m - 1));
+}
+
+WarpingPath DtwWarpingPath(const tseries::Series& x, const tseries::Series& y,
+                           int window) {
+  const int m = static_cast<int>(x.size());
+  const int n = static_cast<int>(y.size());
+  KSHAPE_CHECK(m >= 1 && n >= 1);
+  int w = window < 0 ? std::max(m, n) : window;
+  if (w < std::abs(m - n)) w = std::abs(m - n);
+
+  // Full (m+1) x (n+1) table; the path itself needs global backtracking.
+  std::vector<std::vector<double>> dp(
+      m + 1, std::vector<double>(static_cast<std::size_t>(n) + 1, kInf));
+  dp[0][0] = 0.0;
+  for (int i = 1; i <= m; ++i) {
+    const int j_lo = std::max(1, i - w);
+    const int j_hi = std::min(n, i + w);
+    for (int j = j_lo; j <= j_hi; ++j) {
+      const double d = x[i - 1] - y[j - 1];
+      dp[i][j] = d * d + std::min(dp[i - 1][j - 1],
+                                  std::min(dp[i - 1][j], dp[i][j - 1]));
+    }
+  }
+
+  WarpingPath path;
+  path.distance = std::sqrt(dp[m][n]);
+  int i = m;
+  int j = n;
+  while (i > 0 && j > 0) {
+    path.pairs.emplace_back(i - 1, j - 1);
+    const double diag = dp[i - 1][j - 1];
+    const double up = dp[i - 1][j];
+    const double left = dp[i][j - 1];
+    if (diag <= up && diag <= left) {
+      --i;
+      --j;
+    } else if (up <= left) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(path.pairs.begin(), path.pairs.end());
+  return path;
+}
+
+void LowerUpperEnvelope(const tseries::Series& x, int window,
+                        tseries::Series* lower, tseries::Series* upper) {
+  const int m = static_cast<int>(x.size());
+  KSHAPE_CHECK(m >= 1);
+  const int w = std::clamp(window, 0, m - 1);
+  lower->resize(m);
+  upper->resize(m);
+
+  // Lemire streaming min/max: each index enters and leaves each deque once.
+  std::deque<int> max_deque;
+  std::deque<int> min_deque;
+  for (int i = 0; i < m + w; ++i) {
+    if (i < m) {
+      while (!max_deque.empty() && x[max_deque.back()] <= x[i]) {
+        max_deque.pop_back();
+      }
+      max_deque.push_back(i);
+      while (!min_deque.empty() && x[min_deque.back()] >= x[i]) {
+        min_deque.pop_back();
+      }
+      min_deque.push_back(i);
+    }
+    const int center = i - w;
+    if (center >= 0) {
+      while (max_deque.front() < center - w) max_deque.pop_front();
+      while (min_deque.front() < center - w) min_deque.pop_front();
+      (*upper)[center] = x[max_deque.front()];
+      (*lower)[center] = x[min_deque.front()];
+    }
+  }
+}
+
+double LbKeogh(const tseries::Series& candidate,
+               const tseries::Series& query_lower,
+               const tseries::Series& query_upper) {
+  KSHAPE_CHECK_MSG(candidate.size() == query_lower.size() &&
+                       candidate.size() == query_upper.size(),
+                   "LB_Keogh length mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    const double c = candidate[i];
+    if (c > query_upper[i]) {
+      const double d = c - query_upper[i];
+      sum += d * d;
+    } else if (c < query_lower[i]) {
+      const double d = query_lower[i] - c;
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+double DtwMeasure::Distance(const tseries::Series& x,
+                            const tseries::Series& y) const {
+  if (absolute_window_ >= 0) {
+    return ConstrainedDtwDistance(x, y, absolute_window_);
+  }
+  if (fraction_ < 0.0) return DtwDistance(x, y);
+  return ConstrainedDtwDistance(x, y, WindowFromFraction(fraction_, x.size()));
+}
+
+double DdtwMeasure::Distance(const tseries::Series& x,
+                             const tseries::Series& y) const {
+  const tseries::Series dx = tseries::DerivativeTransform(x);
+  const tseries::Series dy = tseries::DerivativeTransform(y);
+  if (fraction_ < 0.0) return DtwDistance(dx, dy);
+  return ConstrainedDtwDistance(dx, dy,
+                                WindowFromFraction(fraction_, dx.size()));
+}
+
+}  // namespace kshape::dtw

@@ -1,0 +1,110 @@
+#ifndef KSHAPE_DISTANCE_DTW_H_
+#define KSHAPE_DISTANCE_DTW_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "distance/measure.h"
+
+namespace kshape::dtw {
+
+/// Dynamic Time Warping distance (Equation 4 of the paper): the square root
+/// of the minimum sum of squared point differences over all warping paths.
+/// O(m^2) time, O(m) memory.
+double DtwDistance(const tseries::Series& x, const tseries::Series& y);
+
+/// DTW constrained to the Sakoe-Chiba band: cells (i, j) with |i - j| <=
+/// window are reachable. `window` is an absolute cell count; window >= m - 1
+/// reproduces the unconstrained distance, window == 0 degenerates to ED.
+/// O(m * window) time.
+double ConstrainedDtwDistance(const tseries::Series& x,
+                              const tseries::Series& y, int window);
+
+/// Converts the paper's "w% of the time-series length" warping-window
+/// convention to an absolute cell count (ceil, clamped to [0, m-1]).
+int WindowFromFraction(double fraction, std::size_t length);
+
+/// A full warping path: the matched index pairs in order, plus the DTW
+/// distance. Needed by DBA averaging (§2.5), which updates each centroid
+/// coordinate from the coordinates DTW associates with it.
+struct WarpingPath {
+  std::vector<std::pair<int, int>> pairs;  // (index in x, index in y)
+  double distance = 0.0;
+};
+
+/// Computes the optimal warping path under a Sakoe-Chiba window (window < 0
+/// means unconstrained). O(m^2) time and memory.
+WarpingPath DtwWarpingPath(const tseries::Series& x, const tseries::Series& y,
+                           int window = -1);
+
+/// Computes the running min/max envelope of `x` with half-width `window`
+/// using Lemire's streaming min-max algorithm: O(m) total. On exit,
+/// (*lower)[i] = min(x[i-window .. i+window]) and (*upper)[i] the max.
+void LowerUpperEnvelope(const tseries::Series& x, int window,
+                        tseries::Series* lower, tseries::Series* upper);
+
+/// LB_Keogh lower bound on cDTW(query, candidate) with the given window:
+/// the distance from `candidate` to the envelope of `query`. Never exceeds
+/// the true constrained DTW distance, so 1-NN search can skip candidates
+/// whose bound already exceeds the best distance found (§4 of the paper).
+double LbKeogh(const tseries::Series& candidate,
+               const tseries::Series& query_lower,
+               const tseries::Series& query_upper);
+
+/// DistanceMeasure wrapper for DTW / cDTW.
+class DtwMeasure : public distance::DistanceMeasure {
+ public:
+  /// Unconstrained DTW.
+  static DtwMeasure Unconstrained() { return DtwMeasure(-1.0, -1, "DTW"); }
+
+  /// cDTW with a Sakoe-Chiba band of the given fraction of the length
+  /// (e.g. 0.05 for the paper's cDTW5).
+  static DtwMeasure SakoeChiba(double fraction, std::string name) {
+    return DtwMeasure(fraction, -1, std::move(name));
+  }
+
+  /// cDTW with a fixed band width in cells, independent of the length (used
+  /// for the tuned cDTW_opt of the paper, whose window comes from
+  /// leave-one-out search). Requires cells >= 0.
+  static DtwMeasure FixedWindow(int cells, std::string name) {
+    return DtwMeasure(-1.0, cells, std::move(name));
+  }
+
+  double Distance(const tseries::Series& x,
+                  const tseries::Series& y) const override;
+  std::string Name() const override { return name_; }
+
+  /// The band fraction (negative when unconstrained or fixed-window).
+  double fraction() const { return fraction_; }
+
+ private:
+  DtwMeasure(double fraction, int absolute_window, std::string name)
+      : fraction_(fraction),
+        absolute_window_(absolute_window),
+        name_(std::move(name)) {}
+
+  double fraction_;
+  int absolute_window_;  // >= 0 overrides fraction_.
+  std::string name_;
+};
+
+/// Derivative DTW (Keogh & Pazzani 2001): DTW computed on the Keogh-Pazzani
+/// derivative estimates of the inputs instead of the raw values, so the
+/// alignment follows local slopes rather than levels. `fraction` constrains
+/// the band as in DtwMeasure (negative = unconstrained).
+class DdtwMeasure : public distance::DistanceMeasure {
+ public:
+  explicit DdtwMeasure(double fraction = -1.0) : fraction_(fraction) {}
+
+  double Distance(const tseries::Series& x,
+                  const tseries::Series& y) const override;
+  std::string Name() const override { return "DDTW"; }
+
+ private:
+  double fraction_;
+};
+
+}  // namespace kshape::dtw
+
+#endif  // KSHAPE_DISTANCE_DTW_H_

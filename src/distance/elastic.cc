@@ -1,0 +1,150 @@
+#include "distance/elastic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kshape::distance {
+
+double ErpDistance(const tseries::Series& x, const tseries::Series& y,
+                   double gap_value) {
+  const std::size_t m = x.size();
+  const std::size_t n = y.size();
+  KSHAPE_CHECK(m >= 1 && n >= 1);
+
+  std::vector<double> prev(n + 1, 0.0);
+  std::vector<double> cur(n + 1, 0.0);
+  // First row: delete the whole prefix of y against the gap value.
+  for (std::size_t j = 1; j <= n; ++j) {
+    prev[j] = prev[j - 1] + std::fabs(y[j - 1] - gap_value);
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    cur[0] = prev[0] + std::fabs(x[i - 1] - gap_value);
+    for (std::size_t j = 1; j <= n; ++j) {
+      const double match = prev[j - 1] + std::fabs(x[i - 1] - y[j - 1]);
+      const double delete_x = prev[j] + std::fabs(x[i - 1] - gap_value);
+      const double delete_y = cur[j - 1] + std::fabs(y[j - 1] - gap_value);
+      cur[j] = std::min(match, std::min(delete_x, delete_y));
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+double EdrDistance(const tseries::Series& x, const tseries::Series& y,
+                   double epsilon) {
+  const std::size_t m = x.size();
+  const std::size_t n = y.size();
+  KSHAPE_CHECK(m >= 1 && n >= 1);
+  KSHAPE_CHECK(epsilon >= 0.0);
+
+  std::vector<double> prev(n + 1, 0.0);
+  std::vector<double> cur(n + 1, 0.0);
+  for (std::size_t j = 0; j <= n; ++j) prev[j] = static_cast<double>(j);
+  for (std::size_t i = 1; i <= m; ++i) {
+    cur[0] = static_cast<double>(i);
+    for (std::size_t j = 1; j <= n; ++j) {
+      const double sub_cost =
+          std::fabs(x[i - 1] - y[j - 1]) <= epsilon ? 0.0 : 1.0;
+      cur[j] = std::min(prev[j - 1] + sub_cost,
+                        std::min(prev[j] + 1.0, cur[j - 1] + 1.0));
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+namespace {
+
+// MSM split/merge cost: c when the inserted value lies between its two
+// anchors, c plus the distance to the nearer anchor otherwise.
+double MsmCost(double inserted, double anchor_a, double anchor_b,
+               double cost) {
+  if ((anchor_a <= inserted && inserted <= anchor_b) ||
+      (anchor_b <= inserted && inserted <= anchor_a)) {
+    return cost;
+  }
+  return cost + std::min(std::fabs(inserted - anchor_a),
+                         std::fabs(inserted - anchor_b));
+}
+
+}  // namespace
+
+double MsmDistance(const tseries::Series& x, const tseries::Series& y,
+                   double cost) {
+  const std::size_t m = x.size();
+  const std::size_t n = y.size();
+  KSHAPE_CHECK(m >= 1 && n >= 1);
+  KSHAPE_CHECK(cost >= 0.0);
+
+  std::vector<double> prev(n, 0.0);
+  std::vector<double> cur(n, 0.0);
+
+  prev[0] = std::fabs(x[0] - y[0]);
+  for (std::size_t j = 1; j < n; ++j) {
+    prev[j] = prev[j - 1] + MsmCost(y[j], y[j - 1], x[0], cost);
+  }
+  for (std::size_t i = 1; i < m; ++i) {
+    cur[0] = prev[0] + MsmCost(x[i], x[i - 1], y[0], cost);
+    for (std::size_t j = 1; j < n; ++j) {
+      const double move = prev[j - 1] + std::fabs(x[i] - y[j]);
+      const double split_x = prev[j] + MsmCost(x[i], x[i - 1], y[j], cost);
+      const double split_y = cur[j - 1] + MsmCost(y[j], y[j - 1], x[i], cost);
+      cur[j] = std::min(move, std::min(split_x, split_y));
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n - 1];
+}
+
+double ComplexityEstimate(const tseries::Series& x) {
+  KSHAPE_CHECK(x.size() >= 1);
+  double sum = 0.0;
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    const double d = x[t] - x[t - 1];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double CidDistance(const tseries::Series& x, const tseries::Series& y) {
+  KSHAPE_CHECK_MSG(x.size() == y.size(), "CID requires equal lengths");
+  double ed = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    ed += d * d;
+  }
+  ed = std::sqrt(ed);
+  const double ce_x = ComplexityEstimate(x);
+  const double ce_y = ComplexityEstimate(y);
+  const double lo = std::min(ce_x, ce_y);
+  const double hi = std::max(ce_x, ce_y);
+  // Flat series have zero complexity; the correction factor defaults to 1
+  // when either complexity estimate vanishes.
+  const double factor = lo > 0.0 ? hi / lo : 1.0;
+  return ed * factor;
+}
+
+double MinkowskiDistance(const tseries::Series& x, const tseries::Series& y,
+                         double p) {
+  KSHAPE_CHECK_MSG(x.size() == y.size(), "Minkowski requires equal lengths");
+  KSHAPE_CHECK(p >= 1.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum += std::pow(std::fabs(x[i] - y[i]), p);
+  }
+  return std::pow(sum, 1.0 / p);
+}
+
+double ChebyshevDistance(const tseries::Series& x, const tseries::Series& y) {
+  KSHAPE_CHECK_MSG(x.size() == y.size(), "Chebyshev requires equal lengths");
+  double best = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    best = std::max(best, std::fabs(x[i] - y[i]));
+  }
+  return best;
+}
+
+}  // namespace kshape::distance

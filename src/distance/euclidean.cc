@@ -1,0 +1,25 @@
+#include "distance/euclidean.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kshape::distance {
+
+double SquaredEuclideanDistance(const tseries::Series& x,
+                                const tseries::Series& y) {
+  KSHAPE_CHECK_MSG(x.size() == y.size(), "ED requires equal lengths");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double EuclideanDistanceValue(const tseries::Series& x,
+                              const tseries::Series& y) {
+  return std::sqrt(SquaredEuclideanDistance(x, y));
+}
+
+}  // namespace kshape::distance

@@ -1,0 +1,32 @@
+#ifndef KSHAPE_DISTANCE_EUCLIDEAN_H_
+#define KSHAPE_DISTANCE_EUCLIDEAN_H_
+
+#include <string>
+
+#include "distance/measure.h"
+
+namespace kshape::distance {
+
+/// Euclidean distance between two equal-length series (Equation 3 of the
+/// paper). Free function for hot paths.
+double EuclideanDistanceValue(const tseries::Series& x,
+                              const tseries::Series& y);
+
+/// Squared Euclidean distance (avoids the sqrt when only comparisons are
+/// needed, e.g. inside k-means assignment).
+double SquaredEuclideanDistance(const tseries::Series& x,
+                                const tseries::Series& y);
+
+/// DistanceMeasure wrapper around ED.
+class EuclideanDistance : public DistanceMeasure {
+ public:
+  double Distance(const tseries::Series& x,
+                  const tseries::Series& y) const override {
+    return EuclideanDistanceValue(x, y);
+  }
+  std::string Name() const override { return "ED"; }
+};
+
+}  // namespace kshape::distance
+
+#endif  // KSHAPE_DISTANCE_EUCLIDEAN_H_

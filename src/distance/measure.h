@@ -1,0 +1,34 @@
+#ifndef KSHAPE_DISTANCE_MEASURE_H_
+#define KSHAPE_DISTANCE_MEASURE_H_
+
+#include <string>
+
+#include "tseries/time_series.h"
+
+namespace kshape::distance {
+
+/// Abstract distance measure between two equal-length time series.
+///
+/// All clustering algorithms, the 1-NN classifier, and the experiment
+/// harnesses are written against this interface, so any measure (ED, DTW,
+/// cDTW, SBD, NCC variants, KSC's scale/shift distance) plugs into any
+/// algorithm — exactly the combination grid of Tables 1-4 in the paper.
+///
+/// Implementations must be stateless with respect to Distance() calls (safe
+/// to call repeatedly in any order) and must return a non-negative value
+/// where smaller means more similar.
+class DistanceMeasure {
+ public:
+  virtual ~DistanceMeasure() = default;
+
+  /// Dissimilarity between x and y. Requires x.size() == y.size().
+  virtual double Distance(const tseries::Series& x,
+                          const tseries::Series& y) const = 0;
+
+  /// Short display name, e.g. "ED", "cDTW5", "SBD".
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace kshape::distance
+
+#endif  // KSHAPE_DISTANCE_MEASURE_H_

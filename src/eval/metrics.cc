@@ -1,0 +1,238 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/check.h"
+
+namespace kshape::eval {
+
+namespace {
+
+// Maps arbitrary integer ids to dense 0..k-1 indices in first-seen order.
+std::vector<int> Densify(const std::vector<int>& ids, int* count) {
+  std::map<int, int> mapping;
+  std::vector<int> dense(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto [it, inserted] =
+        mapping.emplace(ids[i], static_cast<int>(mapping.size()));
+    (void)inserted;
+    dense[i] = it->second;
+  }
+  *count = static_cast<int>(mapping.size());
+  return dense;
+}
+
+double Choose2(double x) { return x * (x - 1.0) / 2.0; }
+
+}  // namespace
+
+linalg::Matrix ContingencyTable(const std::vector<int>& labels,
+                                const std::vector<int>& clusters) {
+  KSHAPE_CHECK_MSG(labels.size() == clusters.size(), "size mismatch");
+  KSHAPE_CHECK(!labels.empty());
+  int num_labels = 0;
+  int num_clusters = 0;
+  const std::vector<int> l = Densify(labels, &num_labels);
+  const std::vector<int> c = Densify(clusters, &num_clusters);
+  linalg::Matrix table(num_labels, num_clusters);
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    table(l[i], c[i]) += 1.0;
+  }
+  return table;
+}
+
+double RandIndex(const std::vector<int>& labels,
+                 const std::vector<int>& clusters) {
+  const linalg::Matrix table = ContingencyTable(labels, clusters);
+  const double n = static_cast<double>(labels.size());
+  if (n < 2) return 1.0;
+
+  double sum_cells = 0.0;  // sum over cells of C(n_ij, 2) = TP
+  double sum_rows = 0.0;   // sum over label marginals of C(., 2) = TP + FN
+  double sum_cols = 0.0;   // sum over cluster marginals of C(., 2) = TP + FP
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    double row_total = 0.0;
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      sum_cells += Choose2(table(i, j));
+      row_total += table(i, j);
+    }
+    sum_rows += Choose2(row_total);
+  }
+  for (std::size_t j = 0; j < table.cols(); ++j) {
+    double col_total = 0.0;
+    for (std::size_t i = 0; i < table.rows(); ++i) col_total += table(i, j);
+    sum_cols += Choose2(col_total);
+  }
+  const double total_pairs = Choose2(n);
+  const double tp = sum_cells;
+  const double fp = sum_cols - sum_cells;
+  const double fn = sum_rows - sum_cells;
+  const double tn = total_pairs - tp - fp - fn;
+  return (tp + tn) / total_pairs;
+}
+
+double AdjustedRandIndex(const std::vector<int>& labels,
+                         const std::vector<int>& clusters) {
+  const linalg::Matrix table = ContingencyTable(labels, clusters);
+  const double n = static_cast<double>(labels.size());
+  if (n < 2) return 1.0;
+
+  double sum_cells = 0.0;
+  double sum_rows = 0.0;
+  double sum_cols = 0.0;
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    double row_total = 0.0;
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      sum_cells += Choose2(table(i, j));
+      row_total += table(i, j);
+    }
+    sum_rows += Choose2(row_total);
+  }
+  for (std::size_t j = 0; j < table.cols(); ++j) {
+    double col_total = 0.0;
+    for (std::size_t i = 0; i < table.rows(); ++i) col_total += table(i, j);
+    sum_cols += Choose2(col_total);
+  }
+  const double expected = sum_rows * sum_cols / Choose2(n);
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // Degenerate: both trivial.
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+double NormalizedMutualInformation(const std::vector<int>& labels,
+                                   const std::vector<int>& clusters) {
+  const linalg::Matrix table = ContingencyTable(labels, clusters);
+  const double n = static_cast<double>(labels.size());
+
+  std::vector<double> row_totals(table.rows(), 0.0);
+  std::vector<double> col_totals(table.cols(), 0.0);
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      row_totals[i] += table(i, j);
+      col_totals[j] += table(i, j);
+    }
+  }
+
+  double mi = 0.0;
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      const double nij = table(i, j);
+      if (nij == 0.0) continue;
+      mi += (nij / n) * std::log(nij * n / (row_totals[i] * col_totals[j]));
+    }
+  }
+  double h_labels = 0.0;
+  for (double r : row_totals) {
+    if (r > 0.0) h_labels -= (r / n) * std::log(r / n);
+  }
+  double h_clusters = 0.0;
+  for (double c : col_totals) {
+    if (c > 0.0) h_clusters -= (c / n) * std::log(c / n);
+  }
+  if (h_labels == 0.0 && h_clusters == 0.0) return 1.0;
+  if (h_labels == 0.0 || h_clusters == 0.0) return 0.0;
+  return mi / std::sqrt(h_labels * h_clusters);
+}
+
+double Purity(const std::vector<int>& labels,
+              const std::vector<int>& clusters) {
+  const linalg::Matrix table = ContingencyTable(labels, clusters);
+  double correct = 0.0;
+  for (std::size_t j = 0; j < table.cols(); ++j) {
+    double best = 0.0;
+    for (std::size_t i = 0; i < table.rows(); ++i) {
+      best = std::max(best, table(i, j));
+    }
+    correct += best;
+  }
+  return correct / static_cast<double>(labels.size());
+}
+
+std::vector<int> SolveMinCostAssignment(const linalg::Matrix& cost) {
+  const int n = static_cast<int>(cost.rows());
+  const int m = static_cast<int>(cost.cols());
+  KSHAPE_CHECK_MSG(n <= m, "assignment requires rows <= cols");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Shortest-augmenting-path Hungarian with potentials (1-indexed arrays).
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(m + 1, 0.0);
+  std::vector<int> p(m + 1, 0);    // p[j]: row matched to column j.
+  std::vector<int> way(m + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> row_to_col(n, -1);
+  for (int j = 1; j <= m; ++j) {
+    if (p[j] > 0) row_to_col[p[j] - 1] = j - 1;
+  }
+  return row_to_col;
+}
+
+double HungarianAccuracy(const std::vector<int>& labels,
+                         const std::vector<int>& clusters) {
+  linalg::Matrix table = ContingencyTable(labels, clusters);
+  // The Hungarian solver needs rows <= cols; the matching is symmetric.
+  if (table.rows() > table.cols()) table = table.Transposed();
+
+  double max_count = 0.0;
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      max_count = std::max(max_count, table(i, j));
+    }
+  }
+  linalg::Matrix cost(table.rows(), table.cols());
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      cost(i, j) = max_count - table(i, j);
+    }
+  }
+  const std::vector<int> match = SolveMinCostAssignment(cost);
+  double correct = 0.0;
+  for (std::size_t i = 0; i < match.size(); ++i) {
+    correct += table(i, match[i]);
+  }
+  return correct / static_cast<double>(labels.size());
+}
+
+}  // namespace kshape::eval

@@ -1,0 +1,49 @@
+#ifndef KSHAPE_EVAL_METRICS_H_
+#define KSHAPE_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace kshape::eval {
+
+/// Contingency table between gold labels and predicted clusters:
+/// entry (i, j) counts points with the i-th distinct label placed in the
+/// j-th distinct cluster.
+linalg::Matrix ContingencyTable(const std::vector<int>& labels,
+                                const std::vector<int>& clusters);
+
+/// Rand Index (Rand 1971), the clustering-accuracy metric of §4 of the
+/// paper: (TP + TN) / (TP + TN + FP + FN) over all pairs of points. In
+/// [0, 1]; 1 iff the partitions agree on every pair.
+double RandIndex(const std::vector<int>& labels,
+                 const std::vector<int>& clusters);
+
+/// Adjusted Rand Index (Hubert & Arabie): Rand index corrected for chance;
+/// ~0 for random partitions, 1 for perfect agreement.
+double AdjustedRandIndex(const std::vector<int>& labels,
+                         const std::vector<int>& clusters);
+
+/// Normalized Mutual Information with sqrt(H(L) H(C)) normalization, in
+/// [0, 1]. Defined as 1 when both partitions are single-cluster (zero
+/// entropy on both sides) and 0 when exactly one side has zero entropy.
+double NormalizedMutualInformation(const std::vector<int>& labels,
+                                   const std::vector<int>& clusters);
+
+/// Purity: fraction of points in the majority class of their cluster.
+double Purity(const std::vector<int>& labels,
+              const std::vector<int>& clusters);
+
+/// Clustering accuracy under the best one-to-one matching of clusters to
+/// classes (solved exactly with the Hungarian algorithm).
+double HungarianAccuracy(const std::vector<int>& labels,
+                         const std::vector<int>& clusters);
+
+/// Exact minimum-cost assignment (Hungarian / Jonker-style shortest
+/// augmenting paths, O(n^2 m)). `cost` may be rectangular with
+/// rows <= cols; returns for each row the column assigned to it.
+std::vector<int> SolveMinCostAssignment(const linalg::Matrix& cost);
+
+}  // namespace kshape::eval
+
+#endif  // KSHAPE_EVAL_METRICS_H_

@@ -1,0 +1,282 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace kshape::fft {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  KSHAPE_CHECK(n >= 1);
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool IsPowerOfTwo(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+Radix2Plan::Radix2Plan(std::size_t n) : n_(n) {
+  KSHAPE_CHECK_MSG(IsPowerOfTwo(n), "Radix2Plan requires a power-of-two size");
+  log2n_ = 0;
+  while ((std::size_t{1} << log2n_) < n_) ++log2n_;
+
+  bit_reverse_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t rev = 0;
+    std::size_t v = i;
+    for (std::size_t b = 0; b < log2n_; ++b) {
+      rev = (rev << 1) | (v & 1);
+      v >>= 1;
+    }
+    bit_reverse_[i] = rev;
+  }
+
+  twiddles_.resize(n_ / 2);
+  for (std::size_t k = 0; k < n_ / 2; ++k) {
+    const double angle = -2.0 * kPi * static_cast<double>(k) /
+                         static_cast<double>(n_);
+    twiddles_[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+}
+
+void Radix2Plan::TransformImpl(Complex* data, bool inverse) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t step = n_ / len;
+    for (std::size_t base = 0; base < n_; base += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        Complex w = twiddles_[j * step];
+        if (inverse) w = std::conj(w);
+        const Complex u = data[base + j];
+        const Complex v = data[base + j + half] * w;
+        data[base + j] = u + v;
+        data[base + j + half] = u - v;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (std::size_t i = 0; i < n_; ++i) data[i] *= scale;
+  }
+}
+
+void Radix2Plan::Forward(Complex* data) const { TransformImpl(data, false); }
+
+void Radix2Plan::Inverse(Complex* data) const { TransformImpl(data, true); }
+
+const Radix2Plan& GetPlan(std::size_t n) {
+  // Function-local static pointer so the cache is never destroyed (the plans
+  // are immutable and reclaiming them at exit would gain nothing).
+  static auto* cache = new std::map<std::size_t, std::unique_ptr<Radix2Plan>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, std::make_unique<Radix2Plan>(n)).first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a linear
+// convolution, evaluated with power-of-two FFTs.
+void BluesteinForward(std::vector<Complex>* data) {
+  const std::size_t n = data->size();
+  const std::size_t m = NextPowerOfTwo(2 * n - 1);
+  const Radix2Plan& plan = GetPlan(m);
+
+  // chirp[j] = exp(-i*pi*j^2/n); compute j^2 mod 2n in integers to keep the
+  // reduced angle exact for large j.
+  std::vector<Complex> chirp(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const unsigned long long jj =
+        (static_cast<unsigned long long>(j) * j) % (2ULL * n);
+    const double angle = -kPi * static_cast<double>(jj) /
+                         static_cast<double>(n);
+    chirp[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  std::vector<Complex> a(m, Complex(0, 0));
+  for (std::size_t j = 0; j < n; ++j) a[j] = (*data)[j] * chirp[j];
+
+  std::vector<Complex> b(m, Complex(0, 0));
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t j = 1; j < n; ++j) {
+    b[j] = std::conj(chirp[j]);
+    b[m - j] = std::conj(chirp[j]);
+  }
+
+  plan.Forward(a.data());
+  plan.Forward(b.data());
+  for (std::size_t j = 0; j < m; ++j) a[j] *= b[j];
+  plan.Inverse(a.data());
+
+  for (std::size_t j = 0; j < n; ++j) (*data)[j] = a[j] * chirp[j];
+}
+
+}  // namespace
+
+void Forward(std::vector<Complex>* data) {
+  KSHAPE_CHECK(!data->empty());
+  const std::size_t n = data->size();
+  if (n == 1) return;
+  if (IsPowerOfTwo(n)) {
+    GetPlan(n).Forward(data->data());
+  } else {
+    BluesteinForward(data);
+  }
+}
+
+void Inverse(std::vector<Complex>* data) {
+  KSHAPE_CHECK(!data->empty());
+  const std::size_t n = data->size();
+  // IDFT(x) = conj(DFT(conj(x))) / n, valid for any length.
+  for (auto& v : *data) v = std::conj(v);
+  Forward(data);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (auto& v : *data) v = std::conj(v) * scale;
+}
+
+std::vector<Complex> RealForward(const std::vector<double>& x, std::size_t n) {
+  KSHAPE_CHECK(n >= 1);
+  std::vector<Complex> data(n, Complex(0, 0));
+  const std::size_t copy = std::min(n, x.size());
+  for (std::size_t i = 0; i < copy; ++i) data[i] = Complex(x[i], 0.0);
+  Forward(&data);
+  return data;
+}
+
+namespace {
+
+// Shared implementation of the full cross-correlation sequence: transforms
+// z = x + i*y once at length fft_len, unpacks the two spectra, multiplies
+// X[k] * conj(Y[k]), and inverse-transforms. SBD calls this once per distance
+// evaluation — the hottest path in the library — so the transform buffers are
+// cached per size instead of being reallocated on every call. Single-threaded
+// by design, like the rest of the library.
+std::vector<double> CrossCorrelationImpl(const std::vector<double>& x,
+                                         const std::vector<double>& y,
+                                         std::size_t fft_len) {
+  const std::size_t m = x.size();
+  KSHAPE_CHECK_MSG(y.size() == m, "cross-correlation requires equal lengths");
+  KSHAPE_CHECK(m >= 1);
+  KSHAPE_CHECK(fft_len >= 2 * m - 1);
+
+  struct Workspace {
+    std::vector<Complex> z;
+    std::vector<Complex> c;
+  };
+  static auto* workspaces = new std::map<std::size_t, Workspace>();
+  Workspace& ws = (*workspaces)[fft_len];
+  ws.z.assign(fft_len, Complex(0, 0));
+  ws.c.resize(fft_len);
+  std::vector<Complex>& z = ws.z;
+  std::vector<Complex>& c = ws.c;
+
+  for (std::size_t i = 0; i < m; ++i) z[i] = Complex(x[i], y[i]);
+  Forward(&z);
+
+  // Unpack spectra of the two real inputs and form C[k] = X[k]*conj(Y[k]).
+  // X[k] = (Z[k] + conj(Z[L-k])) / 2, Y[k] = (Z[k] - conj(Z[L-k])) / (2i).
+  const std::size_t len = fft_len;
+  for (std::size_t k = 0; k < len; ++k) {
+    const Complex zk = z[k];
+    const Complex zmk = std::conj(z[(len - k) % len]);
+    const Complex xk = 0.5 * (zk + zmk);
+    const Complex yk = Complex(0, -0.5) * (zk - zmk);
+    c[k] = xk * std::conj(yk);
+  }
+  Inverse(&c);
+
+  // cc[i] = R_{i-(m-1)}(x, y); negative lags live at the top of the circular
+  // buffer.
+  std::vector<double> cc(2 * m - 1);
+  for (std::size_t i = 0; i < 2 * m - 1; ++i) {
+    const long long lag = static_cast<long long>(i) -
+                          static_cast<long long>(m - 1);
+    const std::size_t idx =
+        lag >= 0 ? static_cast<std::size_t>(lag)
+                 : len - static_cast<std::size_t>(-lag);
+    cc[i] = c[idx].real();
+  }
+  return cc;
+}
+
+}  // namespace
+
+std::vector<double> CrossCorrelationFft(const std::vector<double>& x,
+                                        const std::vector<double>& y) {
+  const std::size_t m = x.size();
+  KSHAPE_CHECK(m >= 1);
+  return CrossCorrelationImpl(x, y, NextPowerOfTwo(2 * m - 1));
+}
+
+std::vector<double> CrossCorrelationFftNoPow2(const std::vector<double>& x,
+                                              const std::vector<double>& y) {
+  const std::size_t m = x.size();
+  KSHAPE_CHECK(m >= 1);
+  return CrossCorrelationImpl(x, y, 2 * m - 1);
+}
+
+std::vector<double> CrossCorrelationNaive(const std::vector<double>& x,
+                                          const std::vector<double>& y) {
+  const std::size_t m = x.size();
+  KSHAPE_CHECK_MSG(y.size() == m, "cross-correlation requires equal lengths");
+  KSHAPE_CHECK(m >= 1);
+  std::vector<double> cc(2 * m - 1, 0.0);
+  for (std::size_t i = 0; i < 2 * m - 1; ++i) {
+    const long long k = static_cast<long long>(i) -
+                        static_cast<long long>(m - 1);
+    double sum = 0.0;
+    if (k >= 0) {
+      for (std::size_t l = 0; l + static_cast<std::size_t>(k) < m; ++l) {
+        sum += x[l + static_cast<std::size_t>(k)] * y[l];
+      }
+    } else {
+      const std::size_t s = static_cast<std::size_t>(-k);
+      for (std::size_t l = 0; l + s < m; ++l) {
+        sum += x[l] * y[l + s];
+      }
+    }
+    cc[i] = sum;
+  }
+  return cc;
+}
+
+std::vector<double> Convolve(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  KSHAPE_CHECK(!a.empty() && !b.empty());
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t fft_len = NextPowerOfTwo(out_len);
+
+  std::vector<Complex> z(fft_len, Complex(0, 0));
+  for (std::size_t i = 0; i < a.size(); ++i) z[i] += Complex(a[i], 0.0);
+  for (std::size_t i = 0; i < b.size(); ++i) z[i] += Complex(0.0, b[i]);
+  Forward(&z);
+
+  std::vector<Complex> c(fft_len);
+  for (std::size_t k = 0; k < fft_len; ++k) {
+    const Complex zk = z[k];
+    const Complex zmk = std::conj(z[(fft_len - k) % fft_len]);
+    const Complex ak = 0.5 * (zk + zmk);
+    const Complex bk = Complex(0, -0.5) * (zk - zmk);
+    c[k] = ak * bk;
+  }
+  Inverse(&c);
+
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = c[i].real();
+  return out;
+}
+
+}  // namespace kshape::fft

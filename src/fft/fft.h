@@ -1,0 +1,96 @@
+#ifndef KSHAPE_FFT_FFT_H_
+#define KSHAPE_FFT_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace kshape::fft {
+
+using Complex = std::complex<double>;
+
+/// Returns the smallest power of two >= n. Requires n >= 1.
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// Returns true iff n is a power of two (n >= 1).
+bool IsPowerOfTwo(std::size_t n);
+
+/// A precomputed transform plan for a power-of-two size.
+///
+/// Mirrors the FFTW "plan" idiom: constructing a plan performs the O(n) setup
+/// (bit-reversal permutation table and twiddle factors) once, after which
+/// transforms of that size run with no allocation. Plans are immutable and
+/// safe to share.
+class Radix2Plan {
+ public:
+  /// Builds a plan for `n`-point transforms. Requires n to be a power of two.
+  explicit Radix2Plan(std::size_t n);
+
+  /// In-place forward DFT of `data` (length n()).
+  void Forward(Complex* data) const;
+
+  /// In-place inverse DFT of `data` (length n()), including the 1/n scaling.
+  void Inverse(Complex* data) const;
+
+  /// The transform size.
+  std::size_t n() const { return n_; }
+
+ private:
+  void TransformImpl(Complex* data, bool inverse) const;
+
+  std::size_t n_;
+  std::size_t log2n_;
+  std::vector<std::size_t> bit_reverse_;
+  // Twiddles for the forward direction; the inverse uses their conjugates.
+  std::vector<Complex> twiddles_;
+};
+
+/// Returns a cached plan for the power-of-two size `n`.
+///
+/// The cache is process-wide and intentionally never destroyed (trivially
+/// reclaimed at exit), so repeated SBD computations at one series length do
+/// not re-derive twiddles. Not thread-safe; the library is single-threaded.
+const Radix2Plan& GetPlan(std::size_t n);
+
+/// In-place forward DFT of arbitrary length (radix-2 when possible, Bluestein
+/// chirp-z otherwise).
+void Forward(std::vector<Complex>* data);
+
+/// In-place inverse DFT of arbitrary length, including the 1/n scaling.
+void Inverse(std::vector<Complex>* data);
+
+/// Computes the `n`-point forward DFT of the real sequence `x` (zero-padded
+/// or truncated to length n). Requires n to be a power of two.
+std::vector<Complex> RealForward(const std::vector<double>& x, std::size_t n);
+
+/// Full cross-correlation sequence of Equation 6 of the paper.
+///
+/// Given x and y of equal length m, returns cc of length 2m-1 with
+/// cc[i] = R_{i-(m-1)}(x, y) = sum_l x[l + (i-(m-1))] * y[l],
+/// i.e. index m-1 is the zero-shift correlation and larger indices slide x to
+/// the left (equivalently, align y by delaying it). Computed with one complex
+/// FFT of the packed sequence x + i*y plus one inverse FFT at the next power
+/// of two >= 2m-1: O(m log m).
+std::vector<double> CrossCorrelationFft(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+/// Same as CrossCorrelationFft but transforms at exactly length 2m-1 using
+/// Bluestein's algorithm when that length is not a power of two. This is the
+/// "SBD_NoPow2" ablation of Table 2 in the paper.
+std::vector<double> CrossCorrelationFftNoPow2(const std::vector<double>& x,
+                                              const std::vector<double>& y);
+
+/// Reference O(m^2) direct evaluation of the same cross-correlation sequence.
+/// This is the "SBD_NoFFT" ablation of Table 2 in the paper and the oracle
+/// used by the FFT tests.
+std::vector<double> CrossCorrelationNaive(const std::vector<double>& x,
+                                          const std::vector<double>& y);
+
+/// Linear convolution of a and b (length |a|+|b|-1) via FFT.
+std::vector<double> Convolve(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+}  // namespace kshape::fft
+
+#endif  // KSHAPE_FFT_FFT_H_

@@ -1,0 +1,123 @@
+#include "harness/experiments.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "eval/metrics.h"
+#include "harness/table.h"
+#include "linalg/matrix.h"
+#include "stats/tests.h"
+
+namespace kshape::harness {
+
+namespace {
+
+double MeanOf(const std::vector<double>& values) {
+  KSHAPE_CHECK(!values.empty());
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+}  // namespace
+
+void PrintComparisonTable(const MethodScores& baseline,
+                          const std::vector<MethodScores>& methods,
+                          const std::string& score_label, double alpha,
+                          std::ostream& os) {
+  TablePrinter table({"Method", ">", "=", "<", "Better", "Worse",
+                      score_label, "Runtime"});
+  table.AddRow({baseline.name + " (baseline)", "-", "-", "-", "-", "-",
+                FormatDouble(MeanOf(baseline.scores)), "1x"});
+  for (const MethodScores& method : methods) {
+    KSHAPE_CHECK_MSG(method.scores.size() == baseline.scores.size(),
+                     "method/baseline dataset count mismatch");
+    const stats::WinTieLoss wtl =
+        stats::CompareScores(method.scores, baseline.scores);
+    const stats::WilcoxonResult wilcoxon =
+        stats::WilcoxonSignedRank(method.scores, baseline.scores);
+    const bool significant = wilcoxon.p_value < alpha;
+    const bool method_better = wilcoxon.z > 0.0;
+    const double ratio = baseline.total_seconds > 0.0
+                             ? method.total_seconds / baseline.total_seconds
+                             : 0.0;
+    table.AddRow({method.name, std::to_string(wtl.wins),
+                  std::to_string(wtl.ties), std::to_string(wtl.losses),
+                  significant && method_better ? "yes" : "no",
+                  significant && !method_better ? "yes" : "no",
+                  FormatDouble(MeanOf(method.scores)), FormatRatio(ratio)});
+  }
+  table.Print(os);
+  os << "(Wilcoxon signed-rank, two-sided, alpha = " << alpha
+     << "; 'Better'/'Worse' relative to " << baseline.name << ")\n";
+}
+
+void PrintScatterPairs(const MethodScores& x_axis, const MethodScores& y_axis,
+                       const std::vector<std::string>& dataset_names,
+                       std::ostream& os) {
+  KSHAPE_CHECK(x_axis.scores.size() == y_axis.scores.size());
+  KSHAPE_CHECK(x_axis.scores.size() == dataset_names.size());
+  TablePrinter table({"Dataset", x_axis.name, y_axis.name, "Above diagonal"});
+  int above = 0;
+  for (std::size_t i = 0; i < dataset_names.size(); ++i) {
+    const bool y_wins = y_axis.scores[i] > x_axis.scores[i];
+    above += y_wins ? 1 : 0;
+    table.AddRow({dataset_names[i], FormatDouble(x_axis.scores[i]),
+                  FormatDouble(y_axis.scores[i]), y_wins ? "*" : ""});
+  }
+  table.Print(os);
+  os << y_axis.name << " better on " << above << "/" << dataset_names.size()
+     << " datasets\n";
+}
+
+void PrintAverageRanks(const std::vector<MethodScores>& methods,
+                       std::ostream& os) {
+  KSHAPE_CHECK(methods.size() >= 2);
+  const std::size_t num_datasets = methods[0].scores.size();
+  linalg::Matrix scores(num_datasets, methods.size());
+  for (std::size_t j = 0; j < methods.size(); ++j) {
+    KSHAPE_CHECK(methods[j].scores.size() == num_datasets);
+    for (std::size_t i = 0; i < num_datasets; ++i) {
+      scores(i, j) = methods[j].scores[i];
+    }
+  }
+  const stats::FriedmanResult friedman = stats::FriedmanTest(scores);
+  const double cd = stats::NemenyiCriticalDifference(
+      static_cast<int>(methods.size()), static_cast<int>(num_datasets), 0.05);
+
+  TablePrinter table({"Method", "Average rank"});
+  // Present best (lowest) rank first.
+  std::vector<std::size_t> order(methods.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return friedman.average_ranks[a] < friedman.average_ranks[b];
+  });
+  for (std::size_t j : order) {
+    table.AddRow({methods[j].name,
+                  FormatDouble(friedman.average_ranks[j], 2)});
+  }
+  table.Print(os);
+  os << "Friedman chi^2 = " << FormatDouble(friedman.chi_square, 2)
+     << ", p = " << FormatDouble(friedman.p_value, 4)
+     << "; Nemenyi CD (alpha = 0.05) = " << FormatDouble(cd, 2) << "\n"
+     << "(methods whose average ranks differ by less than the CD are not"
+        " significantly different)\n";
+}
+
+double AverageRandIndex(const cluster::ClusteringAlgorithm& algorithm,
+                        const std::vector<tseries::Series>& series,
+                        const std::vector<int>& labels, int k, int runs,
+                        uint64_t seed) {
+  KSHAPE_CHECK(runs >= 1);
+  common::Rng seeder(seed);
+  double total = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    common::Rng rng = seeder.Fork();
+    const cluster::ClusteringResult result =
+        algorithm.Cluster(series, k, &rng);
+    total += eval::RandIndex(labels, result.assignments);
+  }
+  return total / static_cast<double>(runs);
+}
+
+}  // namespace kshape::harness

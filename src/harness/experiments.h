@@ -1,0 +1,53 @@
+#ifndef KSHAPE_HARNESS_EXPERIMENTS_H_
+#define KSHAPE_HARNESS_EXPERIMENTS_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/algorithm.h"
+#include "tseries/time_series.h"
+
+namespace kshape::harness {
+
+/// Per-dataset scores and total runtime of one method across an archive.
+struct MethodScores {
+  std::string name;
+  std::vector<double> scores;   // One entry per dataset, larger = better.
+  double total_seconds = 0.0;   // Wall time spent producing the scores.
+};
+
+/// Prints the paper's comparison-table layout (Tables 2-4): for each method,
+/// the number of datasets where it is better/equal/worse than the baseline,
+/// Wilcoxon two-sided significance ("Better"/"Worse" at 1 - alpha confidence),
+/// the mean score, and the runtime factor relative to the baseline.
+/// `score_label` names the score column (e.g. "Accuracy", "Rand Index").
+void PrintComparisonTable(const MethodScores& baseline,
+                          const std::vector<MethodScores>& methods,
+                          const std::string& score_label, double alpha,
+                          std::ostream& os);
+
+/// Prints per-dataset (baseline, method) score pairs — the data behind the
+/// scatter plots of Figures 5 and 7.
+void PrintScatterPairs(const MethodScores& x_axis, const MethodScores& y_axis,
+                       const std::vector<std::string>& dataset_names,
+                       std::ostream& os);
+
+/// Prints average ranks with the Friedman test and the Nemenyi critical
+/// difference (Figures 6, 8, 9): methods whose rank gap is below the CD are
+/// statistically indistinguishable.
+void PrintAverageRanks(const std::vector<MethodScores>& methods,
+                       std::ostream& os);
+
+/// Runs a (possibly stochastic) clustering algorithm `runs` times with
+/// deterministic per-run seeds derived from `seed` and returns the average
+/// Rand index against the gold labels — the paper's protocol for partitional
+/// (10 runs) and spectral (100 runs) methods.
+double AverageRandIndex(const cluster::ClusteringAlgorithm& algorithm,
+                        const std::vector<tseries::Series>& series,
+                        const std::vector<int>& labels, int k, int runs,
+                        uint64_t seed);
+
+}  // namespace kshape::harness
+
+#endif  // KSHAPE_HARNESS_EXPERIMENTS_H_

@@ -1,0 +1,39 @@
+#ifndef KSHAPE_HARNESS_TABLE_H_
+#define KSHAPE_HARNESS_TABLE_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace kshape::harness {
+
+/// Formats a double with the given precision.
+std::string FormatDouble(double value, int precision = 3);
+
+/// Formats a runtime ratio in the paper's style, e.g. "4.4x" or "1558x".
+std::string FormatRatio(double ratio);
+
+/// Simple aligned-column text table for reproducing the paper's tables on
+/// stdout.
+class TablePrinter {
+ public:
+  /// Sets the header row.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Prints the table with a separator under the header.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a titled section delimiter, making bench output self-describing.
+void PrintSection(std::ostream& os, const std::string& title);
+
+}  // namespace kshape::harness
+
+#endif  // KSHAPE_HARNESS_TABLE_H_

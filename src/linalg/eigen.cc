@@ -1,0 +1,332 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kshape::linalg {
+
+namespace {
+
+// Sorts (eigenvalue, eigenvector-column) pairs ascending by eigenvalue.
+void SortAscending(EigenDecomposition* decomp) {
+  const std::size_t n = decomp->eigenvalues.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return decomp->eigenvalues[a] < decomp->eigenvalues[b];
+  });
+  std::vector<double> sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = decomp->eigenvalues[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted_vectors(i, j) = decomp->eigenvectors(i, order[j]);
+    }
+  }
+  decomp->eigenvalues = std::move(sorted_values);
+  decomp->eigenvectors = std::move(sorted_vectors);
+}
+
+}  // namespace
+
+EigenDecomposition JacobiEigen(const Matrix& a, int max_sweeps, double tol) {
+  KSHAPE_CHECK_MSG(a.IsSymmetric(1e-8), "JacobiEigen requires symmetry");
+  const std::size_t n = a.rows();
+  Matrix m = a;
+  Matrix v = Matrix::Identity(n);
+  const double frob = m.FrobeniusNorm();
+  const double threshold = tol * (frob > 0 ? frob : 1.0);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    }
+    if (std::sqrt(2.0 * off) <= threshold) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) <= threshold / static_cast<double>(n * n)) continue;
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * apq);
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Rotate rows/columns p and q of m.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        // Accumulate the rotation into the eigenvector matrix.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition decomp;
+  decomp.eigenvalues.resize(n);
+  for (std::size_t i = 0; i < n; ++i) decomp.eigenvalues[i] = m(i, i);
+  decomp.eigenvectors = std::move(v);
+  SortAscending(&decomp);
+  return decomp;
+}
+
+namespace {
+
+// Householder reduction of a symmetric matrix to tridiagonal form with
+// accumulated transformations. Public-domain EISPACK tred2 as translated in
+// JAMA. On exit `v` holds the orthogonal transform, `d` the diagonal and `e`
+// the subdiagonal (e[0] unused).
+void Tred2(Matrix* v_ptr, std::vector<double>* d_ptr,
+           std::vector<double>* e_ptr) {
+  Matrix& v = *v_ptr;
+  std::vector<double>& d = *d_ptr;
+  std::vector<double>& e = *e_ptr;
+  const int n = static_cast<int>(v.rows());
+
+  for (int j = 0; j < n; ++j) d[j] = v(n - 1, j);
+
+  for (int i = n - 1; i > 0; --i) {
+    double scale = 0.0;
+    double h = 0.0;
+    for (int k = 0; k < i; ++k) scale += std::fabs(d[k]);
+    if (scale == 0.0) {
+      e[i] = d[i - 1];
+      for (int j = 0; j < i; ++j) {
+        d[j] = v(i - 1, j);
+        v(i, j) = 0.0;
+        v(j, i) = 0.0;
+      }
+    } else {
+      for (int k = 0; k < i; ++k) {
+        d[k] /= scale;
+        h += d[k] * d[k];
+      }
+      double f = d[i - 1];
+      double g = std::sqrt(h);
+      if (f > 0) g = -g;
+      e[i] = scale * g;
+      h -= f * g;
+      d[i - 1] = f - g;
+      for (int j = 0; j < i; ++j) e[j] = 0.0;
+
+      for (int j = 0; j < i; ++j) {
+        f = d[j];
+        v(j, i) = f;
+        g = e[j] + v(j, j) * f;
+        for (int k = j + 1; k <= i - 1; ++k) {
+          g += v(k, j) * d[k];
+          e[k] += v(k, j) * f;
+        }
+        e[j] = g;
+      }
+      f = 0.0;
+      for (int j = 0; j < i; ++j) {
+        e[j] /= h;
+        f += e[j] * d[j];
+      }
+      const double hh = f / (h + h);
+      for (int j = 0; j < i; ++j) e[j] -= hh * d[j];
+      for (int j = 0; j < i; ++j) {
+        f = d[j];
+        g = e[j];
+        for (int k = j; k <= i - 1; ++k) {
+          v(k, j) -= (f * e[k] + g * d[k]);
+        }
+        d[j] = v(i - 1, j);
+        v(i, j) = 0.0;
+      }
+    }
+    d[i] = h;
+  }
+
+  for (int i = 0; i < n - 1; ++i) {
+    v(n - 1, i) = v(i, i);
+    v(i, i) = 1.0;
+    const double h = d[i + 1];
+    if (h != 0.0) {
+      for (int k = 0; k <= i; ++k) d[k] = v(k, i + 1) / h;
+      for (int j = 0; j <= i; ++j) {
+        double g = 0.0;
+        for (int k = 0; k <= i; ++k) g += v(k, i + 1) * v(k, j);
+        for (int k = 0; k <= i; ++k) v(k, j) -= g * d[k];
+      }
+    }
+    for (int k = 0; k <= i; ++k) v(k, i + 1) = 0.0;
+  }
+  for (int j = 0; j < n; ++j) {
+    d[j] = v(n - 1, j);
+    v(n - 1, j) = 0.0;
+  }
+  v(n - 1, n - 1) = 1.0;
+  e[0] = 0.0;
+}
+
+// Implicit-shift QL iteration on the tridiagonal form produced by Tred2,
+// updating the accumulated transform in `v`. Public-domain EISPACK tql2.
+void Tql2(Matrix* v_ptr, std::vector<double>* d_ptr,
+          std::vector<double>* e_ptr) {
+  Matrix& v = *v_ptr;
+  std::vector<double>& d = *d_ptr;
+  std::vector<double>& e = *e_ptr;
+  const int n = static_cast<int>(v.rows());
+
+  for (int i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  double f = 0.0;
+  double tst1 = 0.0;
+  const double eps = std::pow(2.0, -52.0);
+  for (int l = 0; l < n; ++l) {
+    tst1 = std::max(tst1, std::fabs(d[l]) + std::fabs(e[l]));
+    int m = l;
+    while (m < n) {
+      if (std::fabs(e[m]) <= eps * tst1) break;
+      ++m;
+    }
+    if (m > l) {
+      int iter = 0;
+      do {
+        ++iter;
+        KSHAPE_CHECK_MSG(iter <= 80, "tql2 failed to converge");
+        double g = d[l];
+        double p = (d[l + 1] - g) / (2.0 * e[l]);
+        double r = std::hypot(p, 1.0);
+        if (p < 0) r = -r;
+        d[l] = e[l] / (p + r);
+        d[l + 1] = e[l] * (p + r);
+        const double dl1 = d[l + 1];
+        double h = g - d[l];
+        for (int i = l + 2; i < n; ++i) d[i] -= h;
+        f += h;
+
+        p = d[m];
+        double c = 1.0;
+        double c2 = c;
+        double c3 = c;
+        const double el1 = e[l + 1];
+        double s = 0.0;
+        double s2 = 0.0;
+        for (int i = m - 1; i >= l; --i) {
+          c3 = c2;
+          c2 = c;
+          s2 = s;
+          g = c * e[i];
+          h = c * p;
+          r = std::hypot(p, e[i]);
+          e[i + 1] = s * r;
+          s = e[i] / r;
+          c = p / r;
+          p = c * d[i] - s * g;
+          d[i + 1] = h + s * (c * g + s * d[i]);
+          for (int k = 0; k < n; ++k) {
+            h = v(k, i + 1);
+            v(k, i + 1) = s * v(k, i) + c * h;
+            v(k, i) = c * v(k, i) - s * h;
+          }
+        }
+        p = -s * s2 * c3 * el1 * e[l] / dl1;
+        e[l] = s * p;
+        d[l] = c * p;
+      } while (std::fabs(e[l]) > eps * tst1);
+    }
+    d[l] += f;
+    e[l] = 0.0;
+  }
+}
+
+}  // namespace
+
+EigenDecomposition SymmetricEigen(const Matrix& a) {
+  KSHAPE_CHECK_MSG(a.IsSymmetric(1e-8), "SymmetricEigen requires symmetry");
+  const std::size_t n = a.rows();
+  KSHAPE_CHECK(n >= 1);
+
+  EigenDecomposition decomp;
+  decomp.eigenvectors = a;
+  decomp.eigenvalues.assign(n, 0.0);
+  std::vector<double> e(n, 0.0);
+
+  if (n == 1) {
+    decomp.eigenvalues[0] = a(0, 0);
+    decomp.eigenvectors = Matrix::Identity(1);
+    return decomp;
+  }
+
+  Tred2(&decomp.eigenvectors, &decomp.eigenvalues, &e);
+  Tql2(&decomp.eigenvectors, &decomp.eigenvalues, &e);
+  SortAscending(&decomp);
+  return decomp;
+}
+
+std::vector<double> DominantEigenvector(const Matrix& a, common::Rng* rng,
+                                        int max_iters, double tol,
+                                        double* eigenvalue) {
+  KSHAPE_CHECK(a.rows() == a.cols());
+  KSHAPE_CHECK(rng != nullptr);
+  const std::size_t n = a.rows();
+
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng->Gaussian();
+  NormalizeInPlace(&v);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    std::vector<double> w = a.MultiplyVector(v);
+    if (NormalizeInPlace(&w) == 0.0) {
+      // a annihilated v: the matrix is (numerically) zero on this subspace;
+      // any unit vector is a valid answer for a zero matrix.
+      if (eigenvalue != nullptr) *eigenvalue = 0.0;
+      return v;
+    }
+    double diff_minus = 0.0;
+    double diff_plus = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      diff_minus += (w[i] - v[i]) * (w[i] - v[i]);
+      diff_plus += (w[i] + v[i]) * (w[i] + v[i]);
+    }
+    v = std::move(w);
+    if (std::min(std::sqrt(diff_minus), std::sqrt(diff_plus)) < tol) {
+      if (eigenvalue != nullptr) *eigenvalue = RayleighQuotient(a, v);
+      return v;
+    }
+  }
+
+  // Power iteration stalls when the top two eigenvalues (in magnitude) are
+  // nearly tied; fall back to the deterministic full decomposition.
+  EigenDecomposition decomp = SymmetricEigen(a);
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < n; ++j) {
+    if (std::fabs(decomp.eigenvalues[j]) >
+        std::fabs(decomp.eigenvalues[best])) {
+      best = j;
+    }
+  }
+  if (eigenvalue != nullptr) *eigenvalue = decomp.eigenvalues[best];
+  return decomp.eigenvectors.ColVector(best);
+}
+
+double RayleighQuotient(const Matrix& a, const std::vector<double>& v) {
+  const double denom = Dot(v, v);
+  KSHAPE_CHECK_MSG(denom > 0.0, "Rayleigh quotient of the zero vector");
+  return Dot(v, a.MultiplyVector(v)) / denom;
+}
+
+}  // namespace kshape::linalg

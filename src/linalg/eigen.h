@@ -1,0 +1,55 @@
+#ifndef KSHAPE_LINALG_EIGEN_H_
+#define KSHAPE_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "linalg/matrix.h"
+
+namespace kshape::linalg {
+
+/// Result of a full symmetric eigendecomposition.
+///
+/// Eigenvalues are sorted ascending; column j of `eigenvectors` is the unit
+/// eigenvector for `eigenvalues[j]`.
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;
+};
+
+/// Full eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Robust and simple; O(n^3) per sweep with a larger constant than
+/// SymmetricEigen. Used as the reference implementation in tests and for
+/// small matrices. Requires a symmetric input.
+EigenDecomposition JacobiEigen(const Matrix& a, int max_sweeps = 64,
+                               double tol = 1e-12);
+
+/// Full eigendecomposition of a symmetric matrix via Householder
+/// tridiagonalization followed by the implicit-shift QL algorithm
+/// (tred2/tql2). This is the production path used by spectral clustering and
+/// KSC centroid computation. Requires a symmetric input.
+EigenDecomposition SymmetricEigen(const Matrix& a);
+
+/// Dominant eigenpair of a symmetric positive semi-definite matrix by power
+/// iteration.
+///
+/// Shape extraction (Algorithm 2 of the paper) needs only the eigenvector of
+/// the largest eigenvalue of the PSD matrix M = Q^T S Q; power iteration gets
+/// it in O(n^2) per step instead of the O(n^3) full decomposition. `rng`
+/// supplies the random start vector; convergence is declared when successive
+/// iterates differ by less than `tol` in norm. Returns the eigenvector and
+/// stores the Rayleigh quotient in `*eigenvalue` when non-null. Falls back to
+/// SymmetricEigen if not converged within `max_iters` (e.g. when the top two
+/// eigenvalues are nearly equal).
+std::vector<double> DominantEigenvector(const Matrix& a, common::Rng* rng,
+                                        int max_iters = 200,
+                                        double tol = 1e-10,
+                                        double* eigenvalue = nullptr);
+
+/// Rayleigh quotient v^T A v / v^T v. Requires v not all-zero.
+double RayleighQuotient(const Matrix& a, const std::vector<double>& v);
+
+}  // namespace kshape::linalg
+
+#endif  // KSHAPE_LINALG_EIGEN_H_

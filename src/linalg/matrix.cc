@@ -1,0 +1,127 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kshape::linalg {
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  KSHAPE_CHECK(!rows.empty());
+  const std::size_t cols = rows[0].size();
+  Matrix m(rows.size(), cols);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    KSHAPE_CHECK_MSG(rows[i].size() == cols, "ragged rows");
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+std::vector<double> Matrix::RowVector(std::size_t i) const {
+  KSHAPE_CHECK(i < rows_);
+  return std::vector<double>(Row(i), Row(i) + cols_);
+}
+
+std::vector<double> Matrix::ColVector(std::size_t j) const {
+  KSHAPE_CHECK(j < cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  KSHAPE_CHECK_MSG(cols_ == other.rows_, "matmul dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop contiguous in both inputs.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a_row = Row(i);
+    double* out_row = out.Row(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a_ik = a_row[k];
+      if (a_ik == 0.0) continue;
+      const double* b_row = other.Row(k);
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
+  KSHAPE_CHECK_MSG(cols_ == v.size(), "matvec dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) sum += row[j] * v[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+void Matrix::AddOuterProduct(const std::vector<double>& v, double scale) {
+  KSHAPE_CHECK_MSG(rows_ == cols_ && rows_ == v.size(),
+                   "outer product dimension mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double vi = scale * v[i];
+    double* row = Row(i);
+    for (std::size_t j = 0; j < cols_; ++j) row[j] += vi * v[j];
+  }
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = i + 1; j < cols_; ++j) {
+      if (std::fabs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  KSHAPE_CHECK_MSG(a.size() == b.size(), "dot dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+void Scale(std::vector<double>* v, double s) {
+  for (double& x : *v) x *= s;
+}
+
+void Axpy(double a, const std::vector<double>& x, std::vector<double>* y) {
+  KSHAPE_CHECK_MSG(x.size() == y->size(), "axpy dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += a * x[i];
+}
+
+double NormalizeInPlace(std::vector<double>* v) {
+  const double n = Norm(*v);
+  if (n > 0.0) Scale(v, 1.0 / n);
+  return n;
+}
+
+}  // namespace kshape::linalg

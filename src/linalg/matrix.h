@@ -1,0 +1,93 @@
+#ifndef KSHAPE_LINALG_MATRIX_H_
+#define KSHAPE_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace kshape::linalg {
+
+/// Dense row-major matrix of doubles.
+///
+/// Deliberately minimal: the library needs Gram matrices, projections,
+/// eigendecompositions and matrix-vector products, not a full BLAS. All
+/// indices are checked via KSHAPE_CHECK in the .cc for the non-inline entry
+/// points; operator() is unchecked for speed in inner loops.
+class Matrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Creates a rows x cols matrix initialized to zero.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Returns the n x n identity matrix.
+  static Matrix Identity(std::size_t n);
+
+  /// Builds a matrix whose rows are the given equal-length vectors.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Unchecked element access.
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  /// Pointer to the start of row i.
+  double* Row(std::size_t i) { return data_.data() + i * cols_; }
+  const double* Row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  /// Copies row i into a vector.
+  std::vector<double> RowVector(std::size_t i) const;
+
+  /// Copies column j into a vector.
+  std::vector<double> ColVector(std::size_t j) const;
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Returns this * other. Requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Returns this * v. Requires cols() == v.size().
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  /// Adds scale * v v^T to this matrix. Requires square with n == v.size().
+  void AddOuterProduct(const std::vector<double>& v, double scale = 1.0);
+
+  /// Returns true iff the matrix is square and symmetric to within tol.
+  bool IsSymmetric(double tol = 1e-9) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product. Requires equal sizes.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm(const std::vector<double>& v);
+
+/// Scales v in place by s.
+void Scale(std::vector<double>* v, double s);
+
+/// y += a * x. Requires equal sizes.
+void Axpy(double a, const std::vector<double>& x, std::vector<double>* y);
+
+/// Normalizes v to unit Euclidean norm in place; leaves an all-zero vector
+/// unchanged. Returns the original norm.
+double NormalizeInPlace(std::vector<double>* v);
+
+}  // namespace kshape::linalg
+
+#endif  // KSHAPE_LINALG_MATRIX_H_

@@ -1,0 +1,81 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kshape::stats {
+
+double NormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double TwoSidedNormalPValue(double z) {
+  const double p = 2.0 * (1.0 - NormalCdf(std::fabs(z)));
+  return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+}
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+
+// Series expansion for P(a, x), best for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Lentz continued fraction for Q(a, x), best for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  KSHAPE_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  KSHAPE_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareSurvival(double x, double df) {
+  KSHAPE_CHECK(df > 0.0);
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(df / 2.0, x / 2.0);
+}
+
+}  // namespace kshape::stats

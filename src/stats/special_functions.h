@@ -1,0 +1,25 @@
+#ifndef KSHAPE_STATS_SPECIAL_FUNCTIONS_H_
+#define KSHAPE_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace kshape::stats {
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double z);
+
+/// Two-sided p-value for a standard-normal statistic: 2 * (1 - Phi(|z|)).
+double TwoSidedNormalPValue(double z);
+
+/// Regularized lower incomplete gamma P(a, x) (series / continued fraction,
+/// Numerical Recipes style). Requires a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Survival function of the chi-square distribution with `df` degrees of
+/// freedom: P(X > x) = Q(df/2, x/2).
+double ChiSquareSurvival(double x, double df);
+
+}  // namespace kshape::stats
+
+#endif  // KSHAPE_STATS_SPECIAL_FUNCTIONS_H_

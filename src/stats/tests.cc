@@ -1,0 +1,164 @@
+#include "stats/tests.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/special_functions.h"
+
+namespace kshape::stats {
+
+namespace {
+
+// Mid-rank ranking of |values| ascending; returns ranks aligned with input.
+std::vector<double> MidRanksAscending(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double mid = (static_cast<double>(i) + static_cast<double>(j)) / 2.0
+                       + 1.0;
+    for (std::size_t t = i; t <= j; ++t) ranks[order[t]] = mid;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  KSHAPE_CHECK_MSG(a.size() == b.size(), "paired test requires equal sizes");
+  std::vector<double> abs_diffs;
+  std::vector<int> signs;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d == 0.0) continue;  // Standard practice: drop zero differences.
+    abs_diffs.push_back(std::fabs(d));
+    signs.push_back(d > 0.0 ? 1 : -1);
+  }
+  WilcoxonResult result;
+  result.n_effective = static_cast<int>(abs_diffs.size());
+  if (result.n_effective == 0) return result;
+
+  const std::vector<double> ranks = MidRanksAscending(abs_diffs);
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (signs[i] > 0) result.w_plus += ranks[i];
+  }
+
+  const double n = static_cast<double>(result.n_effective);
+  const double mean = n * (n + 1.0) / 4.0;
+
+  // Variance with tie correction: sum over tie groups of (t^3 - t) / 48.
+  double tie_correction = 0.0;
+  {
+    std::vector<double> sorted = abs_diffs;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+      std::size_t j = i;
+      while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+      const double t = static_cast<double>(j - i + 1);
+      tie_correction += (t * t * t - t) / 48.0;
+      i = j + 1;
+    }
+  }
+  const double variance =
+      n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_correction;
+  if (variance <= 0.0) {
+    result.z = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+
+  // Continuity-corrected normal approximation.
+  const double numerator = result.w_plus - mean;
+  const double corrected =
+      numerator > 0.5 ? numerator - 0.5 : (numerator < -0.5 ? numerator + 0.5
+                                                            : 0.0);
+  result.z = corrected / std::sqrt(variance);
+  result.p_value = TwoSidedNormalPValue(result.z);
+  return result;
+}
+
+std::vector<double> RankDescending(const std::vector<double>& scores) {
+  std::vector<double> negated(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) negated[i] = -scores[i];
+  return MidRanksAscending(negated);
+}
+
+FriedmanResult FriedmanTest(const linalg::Matrix& scores) {
+  const std::size_t n = scores.rows();  // datasets
+  const std::size_t k = scores.cols();  // methods
+  KSHAPE_CHECK_MSG(n >= 2 && k >= 2, "Friedman needs >= 2 rows and columns");
+
+  FriedmanResult result;
+  result.average_ranks.assign(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<double> ranks = RankDescending(scores.RowVector(i));
+    for (std::size_t j = 0; j < k; ++j) result.average_ranks[j] += ranks[j];
+  }
+  for (double& r : result.average_ranks) r /= static_cast<double>(n);
+
+  const double kd = static_cast<double>(k);
+  const double nd = static_cast<double>(n);
+  double sum_sq = 0.0;
+  for (double r : result.average_ranks) sum_sq += r * r;
+  result.chi_square = 12.0 * nd / (kd * (kd + 1.0)) *
+                      (sum_sq - kd * (kd + 1.0) * (kd + 1.0) / 4.0);
+  if (result.chi_square < 0.0) result.chi_square = 0.0;
+  result.p_value = ChiSquareSurvival(result.chi_square, kd - 1.0);
+  return result;
+}
+
+double NemenyiCriticalDifference(int k_methods, int n_datasets, double alpha) {
+  KSHAPE_CHECK_MSG(k_methods >= 2 && k_methods <= 20,
+                   "Nemenyi table covers k in [2, 20]");
+  KSHAPE_CHECK(n_datasets >= 2);
+  // Critical values q_alpha of the studentized range statistic divided by
+  // sqrt(2) (Demsar 2006, Table 5), for k = 2..20.
+  static constexpr double kQ005[] = {
+      1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164,
+      3.219, 3.268, 3.313, 3.354, 3.391, 3.426, 3.458, 3.489, 3.517,
+      3.544};
+  static constexpr double kQ001[] = {
+      2.576, 2.913, 3.113, 3.255, 3.364, 3.452, 3.526, 3.590, 3.646,
+      3.696, 3.741, 3.781, 3.818, 3.853, 3.884, 3.914, 3.941, 3.967,
+      3.992};
+  double q = 0.0;
+  if (alpha == 0.05) {
+    q = kQ005[k_methods - 2];
+  } else if (alpha == 0.01) {
+    q = kQ001[k_methods - 2];
+  } else {
+    KSHAPE_CHECK_MSG(false, "Nemenyi table has alpha = 0.05 and 0.01 only");
+  }
+  const double kd = static_cast<double>(k_methods);
+  const double nd = static_cast<double>(n_datasets);
+  return q * std::sqrt(kd * (kd + 1.0) / (6.0 * nd));
+}
+
+WinTieLoss CompareScores(const std::vector<double>& a,
+                         const std::vector<double>& b, double tol) {
+  KSHAPE_CHECK_MSG(a.size() == b.size(), "size mismatch");
+  WinTieLoss result;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i] + tol) {
+      ++result.wins;
+    } else if (a[i] < b[i] - tol) {
+      ++result.losses;
+    } else {
+      ++result.ties;
+    }
+  }
+  return result;
+}
+
+}  // namespace kshape::stats

@@ -1,0 +1,66 @@
+#ifndef KSHAPE_STATS_TESTS_H_
+#define KSHAPE_STATS_TESTS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace kshape::stats {
+
+/// Result of a Wilcoxon signed-rank test.
+struct WilcoxonResult {
+  /// Sum of ranks of the positive differences (W+).
+  double w_plus = 0.0;
+  /// Normal-approximation z statistic with tie correction.
+  double z = 0.0;
+  /// Two-sided p-value (normal approximation, continuity-corrected).
+  double p_value = 1.0;
+  /// Non-zero differences used.
+  int n_effective = 0;
+};
+
+/// Paired two-sided Wilcoxon signed-rank test of a vs b (§4 of the paper:
+/// used for every pairwise comparison of methods over datasets, at a 99%
+/// confidence level). Zero differences are dropped; ties share mid-ranks.
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+/// Result of a Friedman test over methods x datasets scores.
+struct FriedmanResult {
+  /// Average rank of each method (rank 1 = best); ties share mid-ranks.
+  std::vector<double> average_ranks;
+  /// Friedman chi-square statistic with k-1 degrees of freedom.
+  double chi_square = 0.0;
+  /// P-value from the chi-square approximation.
+  double p_value = 1.0;
+};
+
+/// Friedman test on a datasets x methods score matrix where LARGER scores
+/// are better (accuracy, Rand index); used before the Nemenyi post-hoc test
+/// as in Figures 6, 8 and 9 of the paper.
+FriedmanResult FriedmanTest(const linalg::Matrix& scores);
+
+/// Nemenyi critical difference for comparing k methods over n datasets at
+/// significance level alpha (0.05 or 0.01): two methods differ significantly
+/// iff their average ranks differ by at least CD = q_alpha sqrt(k(k+1)/(6n)).
+double NemenyiCriticalDifference(int k_methods, int n_datasets,
+                                 double alpha = 0.05);
+
+/// Mid-rank ranking of one score row: rank 1 for the largest score; ties
+/// share the average of the tied ranks. Exposed for tests and harnesses.
+std::vector<double> RankDescending(const std::vector<double>& scores);
+
+/// Win/tie/loss tally of method `a` against baseline `b` over datasets, with
+/// scores compared at the given tolerance (the ">", "=", "<" columns of
+/// Tables 2-4).
+struct WinTieLoss {
+  int wins = 0;
+  int ties = 0;
+  int losses = 0;
+};
+WinTieLoss CompareScores(const std::vector<double>& a,
+                         const std::vector<double>& b, double tol = 1e-9);
+
+}  // namespace kshape::stats
+
+#endif  // KSHAPE_STATS_TESTS_H_

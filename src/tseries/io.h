@@ -1,0 +1,28 @@
+#ifndef KSHAPE_TSERIES_IO_H_
+#define KSHAPE_TSERIES_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tseries/time_series.h"
+
+namespace kshape::tseries {
+
+/// Reads a dataset in the UCR archive text layout: one series per line, the
+/// first field is the integer class label, remaining fields are the values.
+/// Fields may be separated by commas, spaces or tabs. All rows must have the
+/// same number of values.
+common::StatusOr<Dataset> ReadUcrFile(const std::string& path,
+                                      const std::string& dataset_name);
+
+/// Parses UCR-layout text from a string (same format as ReadUcrFile); useful
+/// for tests and embedded data.
+common::StatusOr<Dataset> ParseUcrText(const std::string& text,
+                                       const std::string& dataset_name);
+
+/// Writes a dataset in the UCR text layout (comma-separated).
+common::Status WriteUcrFile(const Dataset& dataset, const std::string& path);
+
+}  // namespace kshape::tseries
+
+#endif  // KSHAPE_TSERIES_IO_H_

@@ -1,0 +1,116 @@
+#include "tseries/normalization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kshape::tseries {
+
+double Mean(const Series& x) {
+  KSHAPE_CHECK(!x.empty());
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  return sum / static_cast<double>(x.size());
+}
+
+double StdDev(const Series& x) {
+  const double mu = Mean(x);
+  double sum = 0.0;
+  for (double v : x) sum += (v - mu) * (v - mu);
+  return std::sqrt(sum / static_cast<double>(x.size()));
+}
+
+void ZNormalizeInPlace(Series* x) {
+  const double mu = Mean(*x);
+  const double sigma = StdDev(*x);
+  if (sigma == 0.0) {
+    std::fill(x->begin(), x->end(), 0.0);
+    return;
+  }
+  for (double& v : *x) v = (v - mu) / sigma;
+}
+
+Series ZNormalized(const Series& x) {
+  Series out = x;
+  ZNormalizeInPlace(&out);
+  return out;
+}
+
+void ZNormalizeDataset(Dataset* dataset) {
+  for (std::size_t i = 0; i < dataset->size(); ++i) {
+    ZNormalizeInPlace(dataset->mutable_series(i));
+  }
+}
+
+void MinMaxNormalizeInPlace(Series* x) {
+  KSHAPE_CHECK(!x->empty());
+  const auto [lo_it, hi_it] = std::minmax_element(x->begin(), x->end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  if (hi == lo) {
+    std::fill(x->begin(), x->end(), 0.0);
+    return;
+  }
+  for (double& v : *x) v = (v - lo) / (hi - lo);
+}
+
+Series MinMaxNormalized(const Series& x) {
+  Series out = x;
+  MinMaxNormalizeInPlace(&out);
+  return out;
+}
+
+double OptimalScalingCoefficient(const Series& x, const Series& y) {
+  KSHAPE_CHECK_MSG(x.size() == y.size(), "length mismatch");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += x[i] * y[i];
+    den += y[i] * y[i];
+  }
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+Series OptimallyScaled(const Series& x, const Series& y) {
+  const double c = OptimalScalingCoefficient(x, y);
+  Series out = y;
+  for (double& v : out) v *= c;
+  return out;
+}
+
+void RandomlyRescaleDataset(Dataset* dataset, common::Rng* rng, double lo,
+                            double hi) {
+  KSHAPE_CHECK(rng != nullptr);
+  for (std::size_t i = 0; i < dataset->size(); ++i) {
+    const double factor = rng->Uniform(lo, hi);
+    for (double& v : *dataset->mutable_series(i)) v *= factor;
+  }
+}
+
+Series ShiftWithZeroFill(const Series& x, int shift) {
+  const int m = static_cast<int>(x.size());
+  KSHAPE_CHECK_MSG(shift > -m && shift < m, "shift out of range");
+  Series out(x.size(), 0.0);
+  if (shift >= 0) {
+    for (int i = 0; i + shift < m; ++i) out[i + shift] = x[i];
+  } else {
+    for (int i = -shift; i < m; ++i) out[i + shift] = x[i];
+  }
+  return out;
+}
+
+Series DerivativeTransform(const Series& x) {
+  const std::size_t m = x.size();
+  KSHAPE_CHECK_MSG(m >= 2, "derivative needs length >= 2");
+  Series d(m);
+  for (std::size_t i = 1; i + 1 < m; ++i) {
+    d[i] = ((x[i] - x[i - 1]) + (x[i + 1] - x[i - 1]) / 2.0) / 2.0;
+  }
+  d[0] = d.size() > 2 ? d[1] : x[1] - x[0];
+  d[m - 1] = m > 2 ? d[m - 2] : x[1] - x[0];
+  return d;
+}
+
+}  // namespace kshape::tseries

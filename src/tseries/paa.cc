@@ -1,0 +1,56 @@
+#include "tseries/paa.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace kshape::tseries {
+
+Series Paa(const Series& x, std::size_t segments) {
+  const std::size_t m = x.size();
+  KSHAPE_CHECK(segments >= 1 && segments <= m);
+  if (segments == m) return x;
+
+  // Generalized PAA: segment s covers the real interval
+  // [s * m / segments, (s + 1) * m / segments); samples straddling a
+  // boundary contribute fractionally to both sides.
+  Series sketch(segments, 0.0);
+  const double frame = static_cast<double>(m) / static_cast<double>(segments);
+  for (std::size_t s = 0; s < segments; ++s) {
+    const double start = static_cast<double>(s) * frame;
+    const double end = start + frame;
+    double sum = 0.0;
+    for (std::size_t t = static_cast<std::size_t>(start);
+         t < m && static_cast<double>(t) < end; ++t) {
+      const double lo = std::max(start, static_cast<double>(t));
+      const double hi = std::min(end, static_cast<double>(t) + 1.0);
+      if (hi > lo) sum += x[t] * (hi - lo);
+    }
+    sketch[s] = sum / frame;
+  }
+  return sketch;
+}
+
+Series PaaReconstruct(const Series& sketch, std::size_t length) {
+  const std::size_t segments = sketch.size();
+  KSHAPE_CHECK(segments >= 1 && segments <= length);
+  Series out(length);
+  const double frame =
+      static_cast<double>(length) / static_cast<double>(segments);
+  for (std::size_t t = 0; t < length; ++t) {
+    std::size_t s = static_cast<std::size_t>(static_cast<double>(t) / frame);
+    if (s >= segments) s = segments - 1;
+    out[t] = sketch[s];
+  }
+  return out;
+}
+
+Dataset PaaDataset(const Dataset& dataset, std::size_t segments) {
+  Dataset out(dataset.name() + "-PAA" + std::to_string(segments));
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    out.Add(Paa(dataset.series(i), segments), dataset.label(i));
+  }
+  return out;
+}
+
+}  // namespace kshape::tseries

@@ -1,0 +1,29 @@
+#ifndef KSHAPE_TSERIES_PAA_H_
+#define KSHAPE_TSERIES_PAA_H_
+
+#include <cstddef>
+
+#include "tseries/time_series.h"
+
+namespace kshape::tseries {
+
+/// Piecewise Aggregate Approximation (Keogh et al.): reduces a series of
+/// length m to `segments` values, each the mean of an equal-width frame.
+/// §3.3 of the paper suggests exactly this for the rare m >> n regime, where
+/// k-Shape's O(m^2)/O(m^3) refinement terms dominate: reduce the length
+/// first, cluster the sketches. Handles m not divisible by `segments` by
+/// weighting boundary samples fractionally (the standard generalized PAA).
+/// Requires 1 <= segments <= x.size().
+Series Paa(const Series& x, std::size_t segments);
+
+/// Reconstructs a length-`length` series from a PAA sketch by holding each
+/// segment value constant over its frame (the usual PAA inverse; useful for
+/// visual checks and error measurement).
+Series PaaReconstruct(const Series& sketch, std::size_t length);
+
+/// Applies Paa to every series of a dataset, preserving labels and name.
+Dataset PaaDataset(const Dataset& dataset, std::size_t segments);
+
+}  // namespace kshape::tseries
+
+#endif  // KSHAPE_TSERIES_PAA_H_

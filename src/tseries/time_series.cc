@@ -1,0 +1,54 @@
+#include "tseries/time_series.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace kshape::tseries {
+
+void Dataset::Add(Series series, int label) {
+  KSHAPE_CHECK_MSG(!series.empty(), "empty series");
+  if (series_.empty()) {
+    length_ = series.size();
+  } else {
+    KSHAPE_CHECK_MSG(series.size() == length_,
+                     "all series in a dataset must share one length");
+  }
+  series_.push_back(std::move(series));
+  labels_.push_back(label);
+}
+
+int Dataset::NumClasses() const {
+  return static_cast<int>(DistinctLabels().size());
+}
+
+std::vector<int> Dataset::DistinctLabels() const {
+  std::set<int> distinct(labels_.begin(), labels_.end());
+  return std::vector<int>(distinct.begin(), distinct.end());
+}
+
+Dataset Dataset::Subset(const std::vector<std::size_t>& indices,
+                        std::string name) const {
+  Dataset out(std::move(name));
+  for (std::size_t idx : indices) {
+    KSHAPE_CHECK(idx < series_.size());
+    out.Add(series_[idx], labels_[idx]);
+  }
+  return out;
+}
+
+void Dataset::Append(const Dataset& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    Add(other.series(i), other.label(i));
+  }
+}
+
+Dataset SplitDataset::Fused() const {
+  Dataset fused(train.name());
+  fused.Append(train);
+  fused.Append(test);
+  return fused;
+}
+
+}  // namespace kshape::tseries

@@ -1,0 +1,90 @@
+#ifndef KSHAPE_TSERIES_TIME_SERIES_H_
+#define KSHAPE_TSERIES_TIME_SERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kshape::tseries {
+
+/// A univariate time series of equally spaced observations.
+///
+/// Represented as a bare vector: every hot kernel in the library (FFT
+/// cross-correlation, DTW dynamic programs) works on contiguous doubles, and a
+/// wrapper class would only add friction at those boundaries.
+using Series = std::vector<double>;
+
+/// A collection of equal-length, class-labeled time series.
+///
+/// Mirrors a dataset of the UCR archive: `labels()[i]` is the (gold) class of
+/// `series()[i]`, interpreted in clustering experiments as the cluster the
+/// sequence belongs to. The class invariant is that all series share one
+/// length and sizes agree, enforced on every mutation.
+class Dataset {
+ public:
+  /// Creates an empty dataset with the given name.
+  explicit Dataset(std::string name = "") : name_(std::move(name)) {}
+
+  /// Appends a labeled series. The first Add fixes the series length; later
+  /// calls must match it.
+  void Add(Series series, int label);
+
+  /// Dataset name (e.g. "CBF").
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Number of series.
+  std::size_t size() const { return series_.size(); }
+  bool empty() const { return series_.empty(); }
+
+  /// Length m shared by all series (0 when empty).
+  std::size_t length() const { return length_; }
+
+  const std::vector<Series>& series() const { return series_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  const Series& series(std::size_t i) const { return series_[i]; }
+  int label(std::size_t i) const { return labels_[i]; }
+
+  /// Mutable access to series i (length must be preserved by the caller;
+  /// intended for in-place normalization).
+  Series* mutable_series(std::size_t i) { return &series_[i]; }
+
+  /// Number of distinct labels.
+  int NumClasses() const;
+
+  /// The distinct labels in sorted order.
+  std::vector<int> DistinctLabels() const;
+
+  /// Returns a new dataset holding the rows with the given indices.
+  Dataset Subset(const std::vector<std::size_t>& indices,
+                 std::string name) const;
+
+  /// Concatenates `other` onto this dataset (used to fuse train + test for
+  /// the clustering experiments, as in §4 of the paper). Lengths must match.
+  void Append(const Dataset& other);
+
+ private:
+  std::string name_;
+  std::size_t length_ = 0;
+  std::vector<Series> series_;
+  std::vector<int> labels_;
+};
+
+/// A dataset split into train and test parts, following the UCR layout used
+/// for the 1-NN distance-measure evaluation (§4 of the paper).
+struct SplitDataset {
+  Dataset train;
+  Dataset test;
+
+  /// The train and test parts fused into one dataset (used for clustering).
+  Dataset Fused() const;
+
+  const std::string& name() const { return train.name(); }
+};
+
+}  // namespace kshape::tseries
+
+#endif  // KSHAPE_TSERIES_TIME_SERIES_H_

@@ -1,0 +1,170 @@
+#include "classify/nearest_neighbor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/sbd.h"
+#include "data/generators.h"
+#include "distance/dtw.h"
+#include "distance/euclidean.h"
+#include "tseries/normalization.h"
+
+namespace kshape::classify {
+namespace {
+
+using tseries::Dataset;
+using tseries::Series;
+
+Dataset MakeSineDataset(int per_class, std::size_t m, double noise,
+                        common::Rng* rng) {
+  Dataset d("sines");
+  for (int k = 0; k < 2; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      d.Add(tseries::ZNormalized(
+                data::MakeShiftedSine(k, m, rng, noise)),
+            k);
+    }
+  }
+  return d;
+}
+
+TEST(OneNnTest, ClassifiesByNearestTrainingSeries) {
+  Dataset train("t");
+  train.Add({0.0, 0.0, 0.0}, 0);
+  train.Add({5.0, 5.0, 5.0}, 1);
+  const distance::EuclideanDistance ed;
+  EXPECT_EQ(OneNnClassify(train, {0.2, -0.1, 0.1}, ed), 0);
+  EXPECT_EQ(OneNnClassify(train, {4.5, 5.5, 5.0}, ed), 1);
+}
+
+TEST(OneNnTest, PerfectAccuracyOnSeparableData) {
+  common::Rng rng(1);
+  const Dataset train = MakeSineDataset(10, 64, 0.05, &rng);
+  const Dataset test = MakeSineDataset(10, 64, 0.05, &rng);
+  const core::SbdDistance sbd;
+  EXPECT_DOUBLE_EQ(OneNnAccuracy(train, test, sbd), 1.0);
+}
+
+TEST(OneNnTest, SbdBeatsEdOnPhaseShiftedData) {
+  // Random-phase sines are hard for ED (no alignment) and easy for SBD.
+  common::Rng rng(2);
+  const Dataset train = MakeSineDataset(12, 96, 0.15, &rng);
+  const Dataset test = MakeSineDataset(12, 96, 0.15, &rng);
+  const distance::EuclideanDistance ed;
+  const core::SbdDistance sbd;
+  const double ed_acc = OneNnAccuracy(train, test, ed);
+  const double sbd_acc = OneNnAccuracy(train, test, sbd);
+  EXPECT_GE(sbd_acc, ed_acc);
+  EXPECT_GT(sbd_acc, 0.9);
+}
+
+TEST(LbPruningTest, SamePredictionsAsExhaustiveSearch) {
+  common::Rng rng(3);
+  const Dataset train = MakeSineDataset(8, 48, 0.3, &rng);
+  const Dataset test = MakeSineDataset(8, 48, 0.3, &rng);
+  for (int window : {0, 2, 5, 10}) {
+    // Exhaustive via the DistanceMeasure wrapper at the same window. The
+    // half-cell offset keeps ceil() from rounding across the integer under
+    // floating-point error.
+    const double fraction =
+        window == 0 ? 0.0 : (static_cast<double>(window) - 0.5) / 48.0;
+    const dtw::DtwMeasure cdtw =
+        dtw::DtwMeasure::SakoeChiba(fraction, "cDTW");
+    // WindowFromFraction(ceil) reproduces `window` exactly for these values.
+    ASSERT_EQ(dtw::WindowFromFraction(fraction, 48), window);
+    const double exhaustive = OneNnAccuracy(train, test, cdtw);
+    const double pruned = OneNnAccuracyCdtwLb(train, test, window);
+    EXPECT_DOUBLE_EQ(pruned, exhaustive) << "window " << window;
+  }
+}
+
+TEST(LooTuningTest, ReturnsWindowFromGrid) {
+  common::Rng rng(4);
+  const Dataset train = MakeSineDataset(8, 40, 0.2, &rng);
+  const int window = TuneCdtwWindowLoo(train, DefaultWindowFractions());
+  EXPECT_GE(window, 0);
+  EXPECT_LE(window, static_cast<int>(std::ceil(0.20 * 40)));
+}
+
+TEST(LooTuningTest, PrefersNonZeroWindowOnWarpedData) {
+  // Locally warped patterns need warping; window 0 (ED) should lose the
+  // leave-one-out contest in aggregate.
+  common::Rng rng(5);
+  Dataset train("warped");
+  for (int k = 0; k < 2; ++k) {
+    for (int i = 0; i < 10; ++i) {
+      train.Add(tseries::ZNormalized(
+                    data::MakeWarpedPattern(k, 64, &rng, 0.05)),
+                k);
+    }
+  }
+  const double acc_zero = LeaveOneOutCdtwAccuracy(train, 0);
+  const double acc_five = LeaveOneOutCdtwAccuracy(train, 3);
+  EXPECT_GE(acc_five, acc_zero);
+}
+
+TEST(LooTuningTest, LeaveOneOutExcludesSelf) {
+  // Two singleton classes: with self excluded, LOO accuracy must be 0.
+  Dataset d("two");
+  d.Add({0.0, 0.0, 0.0, 0.0}, 0);
+  d.Add({5.0, 5.0, 5.0, 5.0}, 1);
+  EXPECT_DOUBLE_EQ(LeaveOneOutCdtwAccuracy(d, 1), 0.0);
+}
+
+TEST(KnnTest, KOneMatchesOneNn) {
+  common::Rng rng(6);
+  const Dataset train = MakeSineDataset(8, 48, 0.3, &rng);
+  const Dataset test = MakeSineDataset(8, 48, 0.3, &rng);
+  const core::SbdDistance sbd;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    EXPECT_EQ(KnnClassify(train, test.series(i), sbd, 1),
+              OneNnClassify(train, test.series(i), sbd));
+  }
+  EXPECT_DOUBLE_EQ(KnnAccuracy(train, test, sbd, 1),
+                   OneNnAccuracy(train, test, sbd));
+}
+
+TEST(KnnTest, MajorityVoteOverridesSingleNoisyNeighbor) {
+  // Query equidistant-ish: nearest single neighbor is mislabeled, but two of
+  // the three nearest carry the right label.
+  Dataset train("t");
+  train.Add({0.0, 0.0, 0.0, 0.1}, 1);  // Mislabeled point near the query.
+  train.Add({0.2, 0.0, 0.0, 0.0}, 0);
+  train.Add({0.0, 0.2, 0.0, 0.0}, 0);
+  train.Add({9.0, 9.0, 9.0, 9.0}, 1);
+  const distance::EuclideanDistance ed;
+  const Series query = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_EQ(KnnClassify(train, query, ed, 1), 1);
+  EXPECT_EQ(KnnClassify(train, query, ed, 3), 0);
+}
+
+TEST(KnnTest, KLargerThanTrainIsClamped) {
+  Dataset train("t");
+  train.Add({0.0, 0.0}, 0);
+  train.Add({5.0, 5.0}, 1);
+  const distance::EuclideanDistance ed;
+  // k = 10 with 2 training points must not crash; tie of 1 vote each goes
+  // to the class of the closest member.
+  EXPECT_EQ(KnnClassify(train, {0.1, 0.1}, ed, 10), 0);
+}
+
+TEST(EarlyAbandonTest, MatchesExhaustiveEdSearch) {
+  common::Rng rng(7);
+  const Dataset train = MakeSineDataset(10, 64, 0.3, &rng);
+  const Dataset test = MakeSineDataset(10, 64, 0.3, &rng);
+  const distance::EuclideanDistance ed;
+  EXPECT_DOUBLE_EQ(OneNnAccuracyEdEarlyAbandon(train, test),
+                   OneNnAccuracy(train, test, ed));
+}
+
+TEST(DefaultWindowFractionsTest, GridCoversZeroToTwentyPercent) {
+  const std::vector<double> grid = DefaultWindowFractions();
+  ASSERT_EQ(grid.size(), 21u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.20);
+}
+
+}  // namespace
+}  // namespace kshape::classify

@@ -1,0 +1,268 @@
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "distance/dtw.h"
+#include "tseries/normalization.h"
+#include "distance/euclidean.h"
+
+namespace kshape {
+namespace {
+
+using tseries::Series;
+
+Series RandomSeries(std::size_t m, common::Rng* rng) {
+  Series x(m);
+  for (double& v : x) v = rng->Gaussian();
+  return x;
+}
+
+TEST(EuclideanTest, KnownValue) {
+  const Series x = {0.0, 3.0};
+  const Series y = {4.0, 0.0};
+  EXPECT_DOUBLE_EQ(distance::EuclideanDistanceValue(x, y), 5.0);
+  EXPECT_DOUBLE_EQ(distance::SquaredEuclideanDistance(x, y), 25.0);
+}
+
+TEST(EuclideanTest, IdentityAndSymmetry) {
+  common::Rng rng(1);
+  const Series x = RandomSeries(32, &rng);
+  const Series y = RandomSeries(32, &rng);
+  EXPECT_DOUBLE_EQ(distance::EuclideanDistanceValue(x, x), 0.0);
+  EXPECT_DOUBLE_EQ(distance::EuclideanDistanceValue(x, y),
+                   distance::EuclideanDistanceValue(y, x));
+}
+
+TEST(EuclideanTest, TriangleInequality) {
+  common::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Series a = RandomSeries(16, &rng);
+    const Series b = RandomSeries(16, &rng);
+    const Series c = RandomSeries(16, &rng);
+    EXPECT_LE(distance::EuclideanDistanceValue(a, c),
+              distance::EuclideanDistanceValue(a, b) +
+                  distance::EuclideanDistanceValue(b, c) + 1e-12);
+  }
+}
+
+TEST(EuclideanTest, MeasureWrapperNameAndValue) {
+  const distance::EuclideanDistance ed;
+  EXPECT_EQ(ed.Name(), "ED");
+  EXPECT_DOUBLE_EQ(ed.Distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(DtwTest, EqualSeriesHaveZeroDistance) {
+  common::Rng rng(3);
+  const Series x = RandomSeries(40, &rng);
+  EXPECT_DOUBLE_EQ(dtw::DtwDistance(x, x), 0.0);
+}
+
+TEST(DtwTest, NeverExceedsEuclidean) {
+  // The diagonal path is always available, so DTW <= ED.
+  common::Rng rng(4);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Series x = RandomSeries(30, &rng);
+    const Series y = RandomSeries(30, &rng);
+    EXPECT_LE(dtw::DtwDistance(x, y),
+              distance::EuclideanDistanceValue(x, y) + 1e-12);
+  }
+}
+
+TEST(DtwTest, IsSymmetric) {
+  common::Rng rng(5);
+  const Series x = RandomSeries(25, &rng);
+  const Series y = RandomSeries(25, &rng);
+  EXPECT_NEAR(dtw::DtwDistance(x, y), dtw::DtwDistance(y, x), 1e-10);
+}
+
+TEST(DtwTest, AbsorbsTimeShiftBetterThanEd) {
+  // A shifted bump: DTW should be much smaller than ED.
+  const std::size_t m = 60;
+  Series x(m, 0.0);
+  Series y(m, 0.0);
+  for (std::size_t t = 20; t < 30; ++t) x[t] = 1.0;
+  for (std::size_t t = 26; t < 36; ++t) y[t] = 1.0;
+  EXPECT_LT(dtw::DtwDistance(x, y),
+            0.3 * distance::EuclideanDistanceValue(x, y));
+}
+
+TEST(DtwTest, HandlesUnequalLengths) {
+  const Series x = {0.0, 1.0, 2.0, 1.0, 0.0};
+  const Series y = {0.0, 1.0, 1.5, 2.0, 1.0, 0.5, 0.0};
+  const double d = dtw::DtwDistance(x, y);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+TEST(ConstrainedDtwTest, WindowZeroEqualsEuclidean) {
+  common::Rng rng(6);
+  const Series x = RandomSeries(20, &rng);
+  const Series y = RandomSeries(20, &rng);
+  EXPECT_NEAR(dtw::ConstrainedDtwDistance(x, y, 0),
+              distance::EuclideanDistanceValue(x, y), 1e-10);
+}
+
+TEST(ConstrainedDtwTest, FullWindowEqualsUnconstrained) {
+  common::Rng rng(7);
+  const Series x = RandomSeries(24, &rng);
+  const Series y = RandomSeries(24, &rng);
+  EXPECT_NEAR(dtw::ConstrainedDtwDistance(x, y, 23), dtw::DtwDistance(x, y),
+              1e-10);
+}
+
+TEST(ConstrainedDtwTest, DistanceIsNonIncreasingInWindow) {
+  common::Rng rng(8);
+  const Series x = RandomSeries(32, &rng);
+  const Series y = RandomSeries(32, &rng);
+  double previous = dtw::ConstrainedDtwDistance(x, y, 0);
+  for (int w = 1; w < 32; ++w) {
+    const double current = dtw::ConstrainedDtwDistance(x, y, w);
+    EXPECT_LE(current, previous + 1e-12) << "window " << w;
+    previous = current;
+  }
+}
+
+TEST(ConstrainedDtwTest, WindowFromFraction) {
+  EXPECT_EQ(dtw::WindowFromFraction(0.05, 100), 5);
+  EXPECT_EQ(dtw::WindowFromFraction(0.10, 100), 10);
+  EXPECT_EQ(dtw::WindowFromFraction(0.0, 100), 0);
+  EXPECT_EQ(dtw::WindowFromFraction(0.05, 10), 1);  // ceil(0.5)
+  EXPECT_EQ(dtw::WindowFromFraction(1.0, 100), 99); // clamped to m-1
+}
+
+TEST(WarpingPathTest, PathIsValidAndMatchesDistance) {
+  common::Rng rng(9);
+  const Series x = RandomSeries(18, &rng);
+  const Series y = RandomSeries(18, &rng);
+  const dtw::WarpingPath path = dtw::DtwWarpingPath(x, y);
+  ASSERT_FALSE(path.pairs.empty());
+  EXPECT_EQ(path.pairs.front(), std::make_pair(0, 0));
+  EXPECT_EQ(path.pairs.back(), std::make_pair(17, 17));
+  // Steps are monotone and move by at most 1 in each coordinate.
+  for (std::size_t i = 1; i < path.pairs.size(); ++i) {
+    const int di = path.pairs[i].first - path.pairs[i - 1].first;
+    const int dj = path.pairs[i].second - path.pairs[i - 1].second;
+    EXPECT_TRUE(di == 0 || di == 1);
+    EXPECT_TRUE(dj == 0 || dj == 1);
+    EXPECT_TRUE(di + dj >= 1);
+  }
+  // Path cost reproduces the DTW distance.
+  double cost = 0.0;
+  for (const auto& [i, j] : path.pairs) {
+    const double d = x[i] - y[j];
+    cost += d * d;
+  }
+  EXPECT_NEAR(std::sqrt(cost), dtw::DtwDistance(x, y), 1e-9);
+  EXPECT_NEAR(path.distance, dtw::DtwDistance(x, y), 1e-9);
+}
+
+TEST(EnvelopeTest, MatchesNaiveComputation) {
+  common::Rng rng(10);
+  const Series x = RandomSeries(50, &rng);
+  for (int w : {0, 1, 3, 10, 49}) {
+    Series lower, upper;
+    dtw::LowerUpperEnvelope(x, w, &lower, &upper);
+    for (int i = 0; i < 50; ++i) {
+      double lo = x[i];
+      double hi = x[i];
+      for (int j = std::max(0, i - w); j <= std::min(49, i + w); ++j) {
+        lo = std::min(lo, x[j]);
+        hi = std::max(hi, x[j]);
+      }
+      EXPECT_DOUBLE_EQ(lower[i], lo) << "w=" << w << " i=" << i;
+      EXPECT_DOUBLE_EQ(upper[i], hi) << "w=" << w << " i=" << i;
+    }
+  }
+}
+
+TEST(LbKeoghTest, IsAdmissibleLowerBound) {
+  common::Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Series q = RandomSeries(40, &rng);
+    const Series c = RandomSeries(40, &rng);
+    const int w = 4;
+    Series lower, upper;
+    dtw::LowerUpperEnvelope(q, w, &lower, &upper);
+    const double bound = dtw::LbKeogh(c, lower, upper);
+    const double exact = dtw::ConstrainedDtwDistance(q, c, w);
+    EXPECT_LE(bound, exact + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LbKeoghTest, ZeroWhenCandidateInsideEnvelope) {
+  const Series q = {0.0, 1.0, 2.0, 1.0};
+  Series lower, upper;
+  dtw::LowerUpperEnvelope(q, 1, &lower, &upper);
+  // The query itself is always inside its own envelope.
+  EXPECT_DOUBLE_EQ(dtw::LbKeogh(q, lower, upper), 0.0);
+}
+
+TEST(DerivativeTransformTest, ConstantSlopeGivesConstantDerivative) {
+  Series x(10);
+  for (std::size_t t = 0; t < 10; ++t) x[t] = 2.0 * static_cast<double>(t);
+  const Series d = tseries::DerivativeTransform(x);
+  ASSERT_EQ(d.size(), 10u);
+  for (double v : d) EXPECT_NEAR(v, 2.0, 1e-12);
+}
+
+TEST(DerivativeTransformTest, TwoPointSeries) {
+  const Series x = {1.0, 4.0};
+  const Series d = tseries::DerivativeTransform(x);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+}
+
+TEST(DdtwTest, LevelOffsetIsInvisible) {
+  // DDTW compares slopes, so a constant offset between series vanishes.
+  common::Rng rng(13);
+  const Series x = RandomSeries(40, &rng);
+  Series shifted = x;
+  for (double& v : shifted) v += 100.0;
+  const dtw::DdtwMeasure ddtw;
+  EXPECT_NEAR(ddtw.Distance(x, shifted), 0.0, 1e-9);
+  EXPECT_EQ(ddtw.Name(), "DDTW");
+}
+
+TEST(DdtwTest, DistinguishesSlopesThatDtwOnLevelsMisses) {
+  // Rising vs falling ramp around the same mean: large under DDTW.
+  Series rise(32);
+  Series fall(32);
+  for (std::size_t t = 0; t < 32; ++t) {
+    rise[t] = static_cast<double>(t);
+    fall[t] = 31.0 - static_cast<double>(t);
+  }
+  const dtw::DdtwMeasure ddtw;
+  EXPECT_GT(ddtw.Distance(rise, fall), 1.0);
+  EXPECT_NEAR(ddtw.Distance(rise, rise), 0.0, 1e-12);
+}
+
+TEST(DtwMeasureTest, FixedWindowFactoryUsesExactCells) {
+  common::Rng rng(14);
+  const Series x = RandomSeries(40, &rng);
+  const Series y = RandomSeries(40, &rng);
+  const dtw::DtwMeasure fixed = dtw::DtwMeasure::FixedWindow(3, "cDTWopt");
+  EXPECT_NEAR(fixed.Distance(x, y),
+              dtw::ConstrainedDtwDistance(x, y, 3), 1e-12);
+  EXPECT_EQ(fixed.Name(), "cDTWopt");
+}
+
+TEST(DtwMeasureTest, WrapperNamesAndBehaviour) {
+  const dtw::DtwMeasure full = dtw::DtwMeasure::Unconstrained();
+  const dtw::DtwMeasure banded = dtw::DtwMeasure::SakoeChiba(0.05, "cDTW5");
+  EXPECT_EQ(full.Name(), "DTW");
+  EXPECT_EQ(banded.Name(), "cDTW5");
+  common::Rng rng(12);
+  const Series x = RandomSeries(40, &rng);
+  const Series y = RandomSeries(40, &rng);
+  EXPECT_NEAR(full.Distance(x, y), dtw::DtwDistance(x, y), 1e-10);
+  EXPECT_NEAR(banded.Distance(x, y),
+              dtw::ConstrainedDtwDistance(x, y, 2), 1e-10);
+  EXPECT_GE(banded.Distance(x, y), full.Distance(x, y) - 1e-12);
+}
+
+}  // namespace
+}  // namespace kshape

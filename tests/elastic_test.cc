@@ -1,0 +1,199 @@
+#include "distance/elastic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "distance/euclidean.h"
+
+namespace kshape::distance {
+namespace {
+
+using tseries::Series;
+
+Series RandomSeries(std::size_t m, common::Rng* rng) {
+  Series x(m);
+  for (double& v : x) v = rng->Gaussian();
+  return x;
+}
+
+TEST(ErpTest, EqualSeriesHaveZeroDistance) {
+  common::Rng rng(1);
+  const Series x = RandomSeries(24, &rng);
+  EXPECT_DOUBLE_EQ(ErpDistance(x, x), 0.0);
+}
+
+TEST(ErpTest, HandComputedExample) {
+  // x = (1, 2), y = (1, 2, 3) with gap 0: align 1-1, 2-2, delete 3 -> cost 3.
+  const Series x = {1.0, 2.0};
+  const Series y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ErpDistance(x, y, 0.0), 3.0);
+}
+
+TEST(ErpTest, ReducesToManhattanDeletionAgainstEmptyAlignment) {
+  // Against a single far point, everything else is deleted against the gap.
+  const Series x = {5.0};
+  const Series y = {5.0, 1.0, -2.0};
+  // Match 5-5 (0), delete 1 and -2 against gap 0 -> 1 + 2 = 3.
+  EXPECT_DOUBLE_EQ(ErpDistance(x, y, 0.0), 3.0);
+}
+
+TEST(ErpTest, SymmetryAndTriangleInequality) {
+  common::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Series a = RandomSeries(12, &rng);
+    const Series b = RandomSeries(12, &rng);
+    const Series c = RandomSeries(12, &rng);
+    EXPECT_NEAR(ErpDistance(a, b), ErpDistance(b, a), 1e-12);
+    // ERP is a metric (Chen & Ng 2004).
+    EXPECT_LE(ErpDistance(a, c),
+              ErpDistance(a, b) + ErpDistance(b, c) + 1e-9);
+  }
+}
+
+TEST(ErpTest, GapValueMatters) {
+  const Series x = {0.0, 0.0};
+  const Series y = {0.0, 0.0, 4.0};
+  EXPECT_DOUBLE_EQ(ErpDistance(x, y, 0.0), 4.0);  // Deleting 4 costs |4-0|.
+  EXPECT_DOUBLE_EQ(ErpDistance(x, y, 4.0), 0.0);  // Deleting 4 is now free.
+}
+
+TEST(EdrTest, IdenticalSeriesScoreZero) {
+  common::Rng rng(3);
+  const Series x = RandomSeries(30, &rng);
+  EXPECT_DOUBLE_EQ(EdrDistance(x, x, 0.25), 0.0);
+}
+
+TEST(EdrTest, CountsMismatchesBeyondEpsilon) {
+  const Series x = {0.0, 0.0, 0.0};
+  const Series y = {0.1, 5.0, 0.1};
+  // With epsilon 0.25: positions 1 and 3 match, the middle substitutes.
+  EXPECT_DOUBLE_EQ(EdrDistance(x, y, 0.25), 1.0);
+}
+
+TEST(EdrTest, LengthDifferenceCostsInsertions) {
+  const Series x = {0.0};
+  const Series y = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(EdrDistance(x, y, 0.25), 2.0);
+}
+
+TEST(EdrTest, RobustToASingleOutlier) {
+  // EDR's claim to fame: one wild outlier costs exactly 1 regardless of
+  // magnitude.
+  Series x(20, 0.0);
+  Series y = x;
+  y[10] = 1e6;
+  EXPECT_DOUBLE_EQ(EdrDistance(x, y, 0.25), 1.0);
+}
+
+TEST(MsmTest, IdenticalSeriesScoreZero) {
+  common::Rng rng(4);
+  const Series x = RandomSeries(25, &rng);
+  EXPECT_DOUBLE_EQ(MsmDistance(x, x), 0.0);
+}
+
+TEST(MsmTest, PureMoveCostsValueDifference) {
+  const Series x = {1.0, 2.0, 3.0};
+  const Series y = {1.0, 2.5, 3.0};
+  EXPECT_DOUBLE_EQ(MsmDistance(x, y, 0.5), 0.5);
+}
+
+TEST(MsmTest, SplitPlusMoveHandComputedExample) {
+  const Series x = {1.0, 3.0};
+  const Series y = {1.0, 2.0, 3.0};
+  // Optimal edit: split the 1 (cost c = 0.5) and move the copy to 2
+  // (cost 1), then 3 matches 3 — total 1.5 under Stefan et al.'s recurrence.
+  EXPECT_DOUBLE_EQ(MsmDistance(x, y, 0.5), 1.5);
+  // A cheaper split parameter shifts the total accordingly.
+  EXPECT_DOUBLE_EQ(MsmDistance(x, y, 0.1), 1.1);
+}
+
+TEST(MsmTest, IsSymmetricAndSatisfiesTriangle) {
+  common::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Series a = RandomSeries(10, &rng);
+    const Series b = RandomSeries(10, &rng);
+    const Series c = RandomSeries(10, &rng);
+    EXPECT_NEAR(MsmDistance(a, b), MsmDistance(b, a), 1e-12);
+    // MSM is a metric (Stefan et al. 2013).
+    EXPECT_LE(MsmDistance(a, c),
+              MsmDistance(a, b) + MsmDistance(b, c) + 1e-9);
+  }
+}
+
+TEST(CidTest, EqualComplexityReducesToEd) {
+  common::Rng rng(6);
+  const Series x = RandomSeries(32, &rng);
+  Series y = x;
+  for (double& v : y) v += 0.5;  // Same increments, same complexity.
+  EXPECT_NEAR(CidDistance(x, y), EuclideanDistanceValue(x, y), 1e-9);
+}
+
+TEST(CidTest, PenalizesComplexityMismatch) {
+  const std::size_t m = 64;
+  Series smooth(m);
+  Series rough(m);
+  common::Rng rng(7);
+  for (std::size_t t = 0; t < m; ++t) {
+    smooth[t] = std::sin(0.1 * static_cast<double>(t));
+    rough[t] = smooth[t] + 0.5 * rng.Gaussian();
+  }
+  EXPECT_GT(CidDistance(smooth, rough),
+            EuclideanDistanceValue(smooth, rough));
+}
+
+TEST(CidTest, ComplexityEstimateIsRootSumSquaredIncrements) {
+  const Series x = {0.0, 3.0, 3.0, -1.0};
+  // Increments 3, 0, -4 -> sqrt(9 + 0 + 16) = 5.
+  EXPECT_DOUBLE_EQ(ComplexityEstimate(x), 5.0);
+}
+
+TEST(CidTest, FlatSeriesUseFactorOne) {
+  const Series flat(8, 2.0);
+  const Series other = {1, 2, 1, 2, 1, 2, 1, 2};
+  EXPECT_NEAR(CidDistance(flat, other),
+              EuclideanDistanceValue(flat, other), 1e-12);
+}
+
+TEST(MinkowskiTest, SpecialCases) {
+  const Series x = {0.0, 0.0};
+  const Series y = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(MinkowskiDistance(x, y, 1.0), 7.0);   // Manhattan.
+  EXPECT_DOUBLE_EQ(MinkowskiDistance(x, y, 2.0), 5.0);   // Euclidean.
+  EXPECT_DOUBLE_EQ(ChebyshevDistance(x, y), 4.0);        // L-infinity.
+}
+
+TEST(MinkowskiTest, MonotoneNonIncreasingInP) {
+  common::Rng rng(8);
+  const Series x = RandomSeries(16, &rng);
+  const Series y = RandomSeries(16, &rng);
+  double previous = MinkowskiDistance(x, y, 1.0);
+  for (double p : {1.5, 2.0, 3.0, 5.0, 10.0}) {
+    const double current = MinkowskiDistance(x, y, p);
+    EXPECT_LE(current, previous + 1e-9);
+    previous = current;
+  }
+  EXPECT_GE(previous, ChebyshevDistance(x, y) - 1e-9);
+}
+
+TEST(ElasticMeasureWrappersTest, NamesAndCoherence) {
+  common::Rng rng(9);
+  const Series x = RandomSeries(12, &rng);
+  const Series y = RandomSeries(12, &rng);
+  const ErpMeasure erp;
+  const EdrMeasure edr;
+  const MsmMeasure msm;
+  const CidMeasure cid;
+  EXPECT_EQ(erp.Name(), "ERP");
+  EXPECT_EQ(edr.Name(), "EDR");
+  EXPECT_EQ(msm.Name(), "MSM");
+  EXPECT_EQ(cid.Name(), "CID");
+  EXPECT_DOUBLE_EQ(erp.Distance(x, y), ErpDistance(x, y));
+  EXPECT_DOUBLE_EQ(edr.Distance(x, y), EdrDistance(x, y));
+  EXPECT_DOUBLE_EQ(msm.Distance(x, y), MsmDistance(x, y));
+  EXPECT_DOUBLE_EQ(cid.Distance(x, y), CidDistance(x, y));
+}
+
+}  // namespace
+}  // namespace kshape::distance

@@ -1,0 +1,133 @@
+#include "eval/metrics.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kshape::eval {
+namespace {
+
+TEST(ContingencyTest, CountsPairs) {
+  const std::vector<int> labels = {0, 0, 1, 1, 1};
+  const std::vector<int> clusters = {7, 7, 7, 9, 9};
+  const linalg::Matrix table = ContingencyTable(labels, clusters);
+  ASSERT_EQ(table.rows(), 2u);
+  ASSERT_EQ(table.cols(), 2u);
+  EXPECT_DOUBLE_EQ(table(0, 0), 2.0);  // label 0 in cluster 7
+  EXPECT_DOUBLE_EQ(table(1, 0), 1.0);  // label 1 in cluster 7
+  EXPECT_DOUBLE_EQ(table(1, 1), 2.0);  // label 1 in cluster 9
+  EXPECT_DOUBLE_EQ(table(0, 1), 0.0);
+}
+
+TEST(RandIndexTest, PerfectAgreementIsOne) {
+  const std::vector<int> labels = {0, 0, 1, 1, 2};
+  const std::vector<int> clusters = {5, 5, 3, 3, 8};  // Renamed clusters.
+  EXPECT_DOUBLE_EQ(RandIndex(labels, clusters), 1.0);
+}
+
+TEST(RandIndexTest, HandComputedExample) {
+  // labels {a,a,a,b,b,b}, clusters {1,1,2,2,3,3}.
+  // Pairs: C(6,2)=15. TP: same-label same-cluster pairs = (a1,a2),(b2,b3)=2.
+  // Same-cluster pairs total = 3 -> FP = 1. Same-label pairs = 6 -> FN = 4.
+  // TN = 15 - 2 - 1 - 4 = 8. RI = (2+8)/15 = 2/3.
+  const std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> clusters = {1, 1, 2, 2, 3, 3};
+  EXPECT_NEAR(RandIndex(labels, clusters), 10.0 / 15.0, 1e-12);
+}
+
+TEST(RandIndexTest, LabelPermutationInvariance) {
+  const std::vector<int> labels = {0, 1, 0, 1, 2, 2};
+  const std::vector<int> a = {0, 1, 0, 1, 2, 2};
+  const std::vector<int> b = {2, 0, 2, 0, 1, 1};  // Same partition renamed.
+  EXPECT_DOUBLE_EQ(RandIndex(labels, a), RandIndex(labels, b));
+}
+
+TEST(AdjustedRandIndexTest, PerfectIsOneAndIndependentIsNearZero) {
+  const std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(labels, labels), 1.0);
+  // All points in one cluster: ARI should be 0 (chance level).
+  const std::vector<int> one_cluster(6, 0);
+  EXPECT_NEAR(AdjustedRandIndex(labels, one_cluster), 0.0, 1e-12);
+}
+
+TEST(AdjustedRandIndexTest, KnownExampleFromHubertArabie) {
+  // Standard worked example: ARI is lower than RI for partial agreement.
+  const std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> clusters = {0, 0, 1, 1, 1, 1};
+  const double ri = RandIndex(labels, clusters);
+  const double ari = AdjustedRandIndex(labels, clusters);
+  EXPECT_GT(ri, ari);
+  EXPECT_GT(ari, 0.0);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(NmiTest, BoundsAndPerfectScore) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(labels, labels), 1.0);
+  const std::vector<int> renamed = {9, 9, 4, 4};
+  EXPECT_NEAR(NormalizedMutualInformation(labels, renamed), 1.0, 1e-12);
+  // One trivial partition: NMI defined as 0.
+  const std::vector<int> trivial(4, 0);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(labels, trivial), 0.0);
+}
+
+TEST(NmiTest, IndependentPartitionsScoreLow) {
+  // A checkerboard split carries no information about the labels.
+  const std::vector<int> labels = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int> clusters = {0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(labels, clusters), 0.0, 1e-9);
+}
+
+TEST(PurityTest, MajorityFraction) {
+  const std::vector<int> labels = {0, 0, 0, 1, 1, 2};
+  const std::vector<int> clusters = {0, 0, 1, 1, 1, 1};
+  // Cluster 0: majority label 0 (2). Cluster 1: majority label 1 (2).
+  EXPECT_NEAR(Purity(labels, clusters), 4.0 / 6.0, 1e-12);
+}
+
+TEST(HungarianTest, SolvesKnownAssignment) {
+  // Cost matrix with the obvious optimum on the anti-diagonal.
+  linalg::Matrix cost(3, 3);
+  cost(0, 0) = 4; cost(0, 1) = 1; cost(0, 2) = 3;
+  cost(1, 0) = 2; cost(1, 1) = 0; cost(1, 2) = 5;
+  cost(2, 0) = 3; cost(2, 1) = 2; cost(2, 2) = 2;
+  const std::vector<int> match = SolveMinCostAssignment(cost);
+  // Optimal: (0,1), (1,0), (2,2) with cost 1+2+2=5.
+  ASSERT_EQ(match.size(), 3u);
+  double total = 0.0;
+  for (int i = 0; i < 3; ++i) total += cost(i, match[i]);
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+TEST(HungarianTest, RectangularCostMatrix) {
+  linalg::Matrix cost(2, 3);
+  cost(0, 0) = 10; cost(0, 1) = 1; cost(0, 2) = 10;
+  cost(1, 0) = 10; cost(1, 1) = 10; cost(1, 2) = 1;
+  const std::vector<int> match = SolveMinCostAssignment(cost);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 2);
+}
+
+TEST(HungarianAccuracyTest, PerfectAndPermutedClusters) {
+  const std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(HungarianAccuracy(labels, labels), 1.0);
+  const std::vector<int> permuted = {2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(HungarianAccuracy(labels, permuted), 1.0);
+}
+
+TEST(HungarianAccuracyTest, PartialAgreement) {
+  const std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> clusters = {0, 0, 1, 1, 1, 1};
+  // Best matching: cluster0->label0 (2 correct), cluster1->label1 (3).
+  EXPECT_NEAR(HungarianAccuracy(labels, clusters), 5.0 / 6.0, 1e-12);
+}
+
+TEST(HungarianAccuracyTest, MoreClustersThanClasses) {
+  const std::vector<int> labels = {0, 0, 0, 0, 1, 1};
+  const std::vector<int> clusters = {0, 0, 1, 1, 2, 2};
+  // Two clusters map to class 0 at best 2 points; cluster 2 maps to class 1.
+  EXPECT_NEAR(HungarianAccuracy(labels, clusters), 4.0 / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace kshape::eval

@@ -1,0 +1,114 @@
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/kshape.h"
+#include "data/generators.h"
+#include "harness/experiments.h"
+#include "harness/table.h"
+#include "tseries/normalization.h"
+
+namespace kshape::harness {
+namespace {
+
+TEST(FormatTest, DoubleAndRatio) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+  EXPECT_EQ(FormatRatio(4.42), "4.4x");
+  EXPECT_EQ(FormatRatio(1558.3), "1558x");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Name", "Value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "1000"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1000"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(PrintSectionTest, EmitsTitle) {
+  std::ostringstream out;
+  PrintSection(out, "Table 2");
+  EXPECT_NE(out.str().find("Table 2"), std::string::npos);
+}
+
+TEST(ComparisonTableTest, MarksSignificantImprovement) {
+  MethodScores baseline;
+  baseline.name = "base";
+  MethodScores better;
+  better.name = "better";
+  for (int i = 0; i < 20; ++i) {
+    baseline.scores.push_back(0.5 + 0.001 * i);
+    better.scores.push_back(0.7 + 0.001 * i);
+  }
+  baseline.total_seconds = 1.0;
+  better.total_seconds = 4.4;
+
+  std::ostringstream out;
+  PrintComparisonTable(baseline, {better}, "Accuracy", 0.01, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("better"), std::string::npos);
+  EXPECT_NE(text.find("yes"), std::string::npos);
+  EXPECT_NE(text.find("4.4x"), std::string::npos);
+}
+
+TEST(ScatterPairsTest, CountsAboveDiagonal) {
+  MethodScores x;
+  x.name = "X";
+  x.scores = {0.5, 0.6, 0.7};
+  MethodScores y;
+  y.name = "Y";
+  y.scores = {0.6, 0.5, 0.8};
+  std::ostringstream out;
+  PrintScatterPairs(x, y, {"d1", "d2", "d3"}, out);
+  EXPECT_NE(out.str().find("2/3"), std::string::npos);
+}
+
+TEST(AverageRanksTest, PrintsRanksAndCriticalDifference) {
+  MethodScores a;
+  a.name = "A";
+  MethodScores b;
+  b.name = "B";
+  MethodScores c;
+  c.name = "C";
+  for (int i = 0; i < 10; ++i) {
+    a.scores.push_back(0.9);
+    b.scores.push_back(0.8);
+    c.scores.push_back(0.7);
+  }
+  std::ostringstream out;
+  PrintAverageRanks({a, b, c}, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Average rank"), std::string::npos);
+  EXPECT_NE(text.find("Nemenyi CD"), std::string::npos);
+  // A must be listed with rank 1.00.
+  EXPECT_NE(text.find("1.00"), std::string::npos);
+}
+
+TEST(AverageRandIndexTest, DeterministicAndHighOnEasyData) {
+  common::Rng rng(1);
+  std::vector<tseries::Series> series;
+  std::vector<int> labels;
+  for (int k = 0; k < 2; ++k) {
+    for (int i = 0; i < 10; ++i) {
+      // Frequencies 1 and 3: well separated under SBD.
+      series.push_back(tseries::ZNormalized(
+          data::MakeShiftedSine(2 * k, 64, &rng, 0.05)));
+      labels.push_back(k);
+    }
+  }
+  const core::KShape kshape;
+  const double a = AverageRandIndex(kshape, series, labels, 2, 3, 99);
+  const double b = AverageRandIndex(kshape, series, labels, 2, 3, 99);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GT(a, 0.9);
+}
+
+}  // namespace
+}  // namespace kshape::harness

@@ -1,0 +1,191 @@
+// Cross-module integration tests: the full combination grid the paper's
+// evaluation depends on (every clustering algorithm crossed with every
+// distance measure), and a complete generate -> write -> read -> cluster ->
+// evaluate pipeline.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/averaging.h"
+#include "cluster/dba.h"
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "cluster/kmedoids.h"
+#include "cluster/ksc.h"
+#include "cluster/spectral.h"
+#include "common/random.h"
+#include "core/kshape.h"
+#include "core/sbd.h"
+#include "data/generators.h"
+#include "distance/dtw.h"
+#include "distance/elastic.h"
+#include "distance/euclidean.h"
+#include "eval/metrics.h"
+#include "tseries/io.h"
+#include "tseries/normalization.h"
+
+namespace kshape {
+namespace {
+
+using tseries::Series;
+
+struct GridCase {
+  std::string algorithm;  // "kmeans", "pam", "hier", "spectral"
+  std::string measure;    // "ed", "cdtw", "sbd", "erp", "edr", "msm", "cid"
+};
+
+std::string CaseName(const ::testing::TestParamInfo<GridCase>& info) {
+  return info.param.algorithm + "_" + info.param.measure;
+}
+
+class CombinationGridTest : public ::testing::TestWithParam<GridCase> {
+ protected:
+  static std::unique_ptr<distance::DistanceMeasure> MakeMeasure(
+      const std::string& name) {
+    if (name == "ed") return std::make_unique<distance::EuclideanDistance>();
+    if (name == "cdtw") {
+      return std::make_unique<dtw::DtwMeasure>(
+          dtw::DtwMeasure::SakoeChiba(0.05, "cDTW5"));
+    }
+    if (name == "sbd") return std::make_unique<core::SbdDistance>();
+    if (name == "erp") return std::make_unique<distance::ErpMeasure>();
+    if (name == "edr") return std::make_unique<distance::EdrMeasure>();
+    if (name == "msm") return std::make_unique<distance::MsmMeasure>();
+    if (name == "cid") return std::make_unique<distance::CidMeasure>();
+    return nullptr;
+  }
+};
+
+TEST_P(CombinationGridTest, ProducesValidPartition) {
+  const GridCase& grid_case = GetParam();
+
+  // Small dataset separable under lock-step AND elastic measures: rising vs
+  // falling control-chart trends (phase games would sink the ED-based
+  // combinations by design, which Table 4 covers; this test checks the grid
+  // mechanically).
+  common::Rng data_rng(11);
+  std::vector<Series> series;
+  std::vector<int> labels;
+  for (int klass = 0; klass < 2; ++klass) {
+    for (int i = 0; i < 8; ++i) {
+      series.push_back(tseries::ZNormalized(
+          data::MakeSyntheticControl(klass + 2, 48, &data_rng)));
+      labels.push_back(klass);
+    }
+  }
+
+  const std::unique_ptr<distance::DistanceMeasure> measure =
+      MakeMeasure(grid_case.measure);
+  ASSERT_NE(measure, nullptr);
+
+  const cluster::ArithmeticMeanAveraging mean_avg;
+  std::unique_ptr<cluster::ClusteringAlgorithm> algorithm;
+  if (grid_case.algorithm == "kmeans") {
+    algorithm = std::make_unique<cluster::KMeans>(measure.get(), &mean_avg,
+                                                  "k-AVG");
+  } else if (grid_case.algorithm == "pam") {
+    algorithm = std::make_unique<cluster::KMedoids>(measure.get(), "PAM");
+  } else if (grid_case.algorithm == "hier") {
+    algorithm = std::make_unique<cluster::HierarchicalClustering>(
+        measure.get(), cluster::Linkage::kComplete, "H-C");
+  } else if (grid_case.algorithm == "spectral") {
+    algorithm = std::make_unique<cluster::SpectralClustering>(measure.get(),
+                                                              "S");
+  }
+  ASSERT_NE(algorithm, nullptr);
+
+  common::Rng rng(7);
+  const cluster::ClusteringResult result =
+      algorithm->Cluster(series, 2, &rng);
+
+  // Validity of the partition, whatever the quality.
+  ASSERT_EQ(result.assignments.size(), series.size());
+  for (int a : result.assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 2);
+  }
+  // Quality floor: well above random pairing — every combination in the
+  // grid is a credible method on this trivially separable input.
+  EXPECT_GT(eval::RandIndex(labels, result.assignments), 0.6)
+      << grid_case.algorithm << "+" << grid_case.measure;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullGrid, CombinationGridTest,
+    ::testing::Values(GridCase{"kmeans", "ed"}, GridCase{"kmeans", "sbd"},
+                      GridCase{"kmeans", "cdtw"}, GridCase{"pam", "ed"},
+                      GridCase{"pam", "cdtw"}, GridCase{"pam", "sbd"},
+                      GridCase{"pam", "erp"}, GridCase{"pam", "edr"},
+                      GridCase{"pam", "msm"}, GridCase{"pam", "cid"},
+                      GridCase{"hier", "ed"}, GridCase{"hier", "cdtw"},
+                      GridCase{"hier", "sbd"}, GridCase{"spectral", "ed"},
+                      GridCase{"spectral", "cdtw"},
+                      GridCase{"spectral", "sbd"}),
+    CaseName);
+
+TEST(PipelineTest, GenerateWriteReadClusterEvaluate) {
+  // End-to-end: generator -> UCR file -> reader -> k-Shape -> metrics.
+  common::Rng rng(3);
+  const tseries::Dataset generated = data::MakeLabeledDataset(
+      "pipeline", 3, 8,
+      [](int k, common::Rng* r) { return data::MakeCbf(k, 96, r); }, &rng);
+
+  const std::string path = ::testing::TempDir() + "/kshape_pipeline.csv";
+  ASSERT_TRUE(tseries::WriteUcrFile(generated, path).ok());
+  auto loaded = tseries::ReadUcrFile(path, "pipeline");
+  ASSERT_TRUE(loaded.ok());
+  tseries::Dataset dataset = std::move(loaded).value();
+  std::remove(path.c_str());
+
+  ASSERT_EQ(dataset.size(), generated.size());
+  tseries::ZNormalizeDataset(&dataset);
+
+  const core::KShape kshape;
+  common::Rng cluster_rng(5);
+  const cluster::ClusteringResult result =
+      kshape.Cluster(dataset.series(), 3, &cluster_rng);
+
+  const double rand_index =
+      eval::RandIndex(dataset.labels(), result.assignments);
+  const double ari =
+      eval::AdjustedRandIndex(dataset.labels(), result.assignments);
+  const double nmi = eval::NormalizedMutualInformation(dataset.labels(),
+                                                       result.assignments);
+  EXPECT_GT(rand_index, 0.6);
+  EXPECT_GE(rand_index, ari);  // RI >= ARI always (ARI is chance-corrected).
+  EXPECT_GE(nmi, 0.0);
+  EXPECT_LE(nmi, 1.0);
+}
+
+TEST(PipelineTest, KShapeWithDbaCentroidsDiffersButBothValid) {
+  // k-Shape and k-DBA side by side on warped data: both valid partitions,
+  // exercising core and cluster against the same input.
+  common::Rng rng(9);
+  std::vector<Series> series;
+  std::vector<int> labels;
+  for (int klass = 0; klass < 2; ++klass) {
+    for (int i = 0; i < 8; ++i) {
+      series.push_back(tseries::ZNormalized(
+          data::MakeWarpedPattern(klass, 64, &rng, 0.05)));
+      labels.push_back(klass);
+    }
+  }
+  const core::KShape kshape;
+  const dtw::DtwMeasure dtw_full = dtw::DtwMeasure::Unconstrained();
+  const cluster::DbaAveraging dba;
+  const cluster::KMeans kdba(&dtw_full, &dba, "k-DBA");
+
+  common::Rng rng_a(1);
+  common::Rng rng_b(1);
+  const auto kshape_result = kshape.Cluster(series, 2, &rng_a);
+  const auto kdba_result = kdba.Cluster(series, 2, &rng_b);
+  EXPECT_GT(eval::RandIndex(labels, kshape_result.assignments), 0.8);
+  EXPECT_GT(eval::RandIndex(labels, kdba_result.assignments), 0.8);
+}
+
+}  // namespace
+}  // namespace kshape

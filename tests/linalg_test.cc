@@ -1,0 +1,233 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+
+namespace kshape::linalg {
+namespace {
+
+Matrix RandomSymmetric(std::size_t n, common::Rng* rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng->Gaussian();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+Matrix RandomPsd(std::size_t n, common::Rng* rng) {
+  // B^T B is positive semi-definite for any B.
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng->Gaussian();
+  }
+  return b.Transposed().Multiply(b);
+}
+
+TEST(MatrixTest, IdentityAndBasicAccess) {
+  const Matrix id = Matrix::Identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, FromRowsAndTranspose) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputedProduct) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const std::vector<double> v = {1, 0, -1};
+  const std::vector<double> out = a.MultiplyVector(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(MatrixTest, AddOuterProductBuildsGramMatrix) {
+  Matrix s(2, 2);
+  s.AddOuterProduct({1.0, 2.0});
+  s.AddOuterProduct({3.0, -1.0}, 0.5);
+  EXPECT_DOUBLE_EQ(s(0, 0), 1.0 + 0.5 * 9.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), 2.0 + 0.5 * -3.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), s(0, 1));
+  EXPECT_DOUBLE_EQ(s(1, 1), 4.0 + 0.5 * 1.0);
+  EXPECT_TRUE(s.IsSymmetric());
+}
+
+TEST(MatrixTest, VectorKernels) {
+  const std::vector<double> a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  std::vector<double> b = a;
+  Axpy(2.0, a, &b);  // b = 3a
+  EXPECT_DOUBLE_EQ(b[0], 9.0);
+  NormalizeInPlace(&b);
+  EXPECT_NEAR(Norm(b), 1.0, 1e-12);
+  std::vector<double> zero = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(NormalizeInPlace(&zero), 0.0);
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+}
+
+TEST(JacobiEigenTest, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 2.0;
+  const EigenDecomposition d = JacobiEigen(a);
+  ASSERT_EQ(d.eigenvalues.size(), 3u);
+  EXPECT_NEAR(d.eigenvalues[0], -1.0, 1e-10);
+  EXPECT_NEAR(d.eigenvalues[1], 2.0, 1e-10);
+  EXPECT_NEAR(d.eigenvalues[2], 3.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  const Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  const EigenDecomposition d = JacobiEigen(a);
+  EXPECT_NEAR(d.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(d.eigenvalues[1], 3.0, 1e-10);
+  // Eigenvector for 3 is (1, 1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(d.eigenvectors(0, 1)), 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(std::fabs(d.eigenvectors(1, 1)), 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+class EigenSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenSizeTest, JacobiSatisfiesEigenEquation) {
+  common::Rng rng(GetParam() * 31 + 11);
+  const Matrix a = RandomSymmetric(GetParam(), &rng);
+  const EigenDecomposition d = JacobiEigen(a);
+  for (std::size_t j = 0; j < GetParam(); ++j) {
+    const std::vector<double> v = d.eigenvectors.ColVector(j);
+    const std::vector<double> av = a.MultiplyVector(v);
+    for (std::size_t i = 0; i < GetParam(); ++i) {
+      EXPECT_NEAR(av[i], d.eigenvalues[j] * v[i], 1e-7);
+    }
+  }
+}
+
+TEST_P(EigenSizeTest, SymmetricEigenSatisfiesEigenEquation) {
+  common::Rng rng(GetParam() * 37 + 13);
+  const Matrix a = RandomSymmetric(GetParam(), &rng);
+  const EigenDecomposition d = SymmetricEigen(a);
+  for (std::size_t j = 0; j < GetParam(); ++j) {
+    const std::vector<double> v = d.eigenvectors.ColVector(j);
+    EXPECT_NEAR(Norm(v), 1.0, 1e-8);
+    const std::vector<double> av = a.MultiplyVector(v);
+    for (std::size_t i = 0; i < GetParam(); ++i) {
+      EXPECT_NEAR(av[i], d.eigenvalues[j] * v[i], 1e-7);
+    }
+  }
+}
+
+TEST_P(EigenSizeTest, SymmetricEigenMatchesJacobiEigenvalues) {
+  common::Rng rng(GetParam() * 41 + 17);
+  const Matrix a = RandomSymmetric(GetParam(), &rng);
+  const EigenDecomposition jac = JacobiEigen(a);
+  const EigenDecomposition tql = SymmetricEigen(a);
+  for (std::size_t j = 0; j < GetParam(); ++j) {
+    EXPECT_NEAR(jac.eigenvalues[j], tql.eigenvalues[j], 1e-7);
+  }
+}
+
+TEST_P(EigenSizeTest, EigenvectorsAreOrthonormal) {
+  common::Rng rng(GetParam() * 43 + 19);
+  const Matrix a = RandomSymmetric(GetParam(), &rng);
+  const EigenDecomposition d = SymmetricEigen(a);
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    for (std::size_t j = i; j < GetParam(); ++j) {
+      const double dot =
+          Dot(d.eigenvectors.ColVector(i), d.eigenvectors.ColVector(j));
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST_P(EigenSizeTest, TraceEqualsEigenvalueSum) {
+  common::Rng rng(GetParam() * 47 + 23);
+  const Matrix a = RandomSymmetric(GetParam(), &rng);
+  const EigenDecomposition d = SymmetricEigen(a);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < GetParam(); ++i) trace += a(i, i);
+  double sum = 0.0;
+  for (double v : d.eigenvalues) sum += v;
+  EXPECT_NEAR(trace, sum, 1e-7 * (1.0 + std::fabs(trace)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSizeTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 40));
+
+TEST(DominantEigenvectorTest, MatchesFullDecompositionOnPsdMatrix) {
+  common::Rng rng(99);
+  const Matrix a = RandomPsd(20, &rng);
+  double eigenvalue = 0.0;
+  const std::vector<double> v =
+      DominantEigenvector(a, &rng, 500, 1e-12, &eigenvalue);
+  const EigenDecomposition d = SymmetricEigen(a);
+  const double largest = d.eigenvalues.back();
+  EXPECT_NEAR(eigenvalue, largest, 1e-6 * (1.0 + largest));
+  // Compare directions up to sign.
+  const std::vector<double> ref = d.eigenvectors.ColVector(19);
+  const double alignment = std::fabs(Dot(v, ref));
+  EXPECT_NEAR(alignment, 1.0, 1e-5);
+}
+
+TEST(DominantEigenvectorTest, HandlesZeroMatrix) {
+  common::Rng rng(3);
+  const Matrix zero(5, 5);
+  double eigenvalue = -1.0;
+  const std::vector<double> v =
+      DominantEigenvector(zero, &rng, 50, 1e-10, &eigenvalue);
+  EXPECT_NEAR(eigenvalue, 0.0, 1e-12);
+  EXPECT_NEAR(Norm(v), 1.0, 1e-9);
+}
+
+TEST(DominantEigenvectorTest, FallsBackWhenTopEigenvaluesTie) {
+  // Identity has a fully degenerate spectrum: power iteration "converges"
+  // instantly to its start vector; any unit vector is valid.
+  common::Rng rng(4);
+  const Matrix id = Matrix::Identity(6);
+  double eigenvalue = 0.0;
+  const std::vector<double> v =
+      DominantEigenvector(id, &rng, 100, 1e-12, &eigenvalue);
+  EXPECT_NEAR(eigenvalue, 1.0, 1e-9);
+  EXPECT_NEAR(Norm(v), 1.0, 1e-9);
+}
+
+TEST(RayleighQuotientTest, BoundsAndExactValueOnEigenvector) {
+  const Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  const std::vector<double> v = {1.0, 1.0};
+  EXPECT_NEAR(RayleighQuotient(a, v), 3.0, 1e-12);
+  const std::vector<double> w = {1.0, -1.0};
+  EXPECT_NEAR(RayleighQuotient(a, w), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace kshape::linalg

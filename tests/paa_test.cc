@@ -1,0 +1,101 @@
+#include "tseries/paa.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "distance/euclidean.h"
+
+namespace kshape::tseries {
+namespace {
+
+TEST(PaaTest, EvenDivisionAveragesFrames) {
+  const Series x = {1.0, 3.0, 5.0, 7.0, 2.0, 4.0};
+  const Series sketch = Paa(x, 3);
+  ASSERT_EQ(sketch.size(), 3u);
+  EXPECT_DOUBLE_EQ(sketch[0], 2.0);
+  EXPECT_DOUBLE_EQ(sketch[1], 6.0);
+  EXPECT_DOUBLE_EQ(sketch[2], 3.0);
+}
+
+TEST(PaaTest, FullLengthIsIdentity) {
+  const Series x = {1.0, -2.0, 3.0};
+  EXPECT_EQ(Paa(x, 3), x);
+}
+
+TEST(PaaTest, SingleSegmentIsTheMean) {
+  const Series x = {2.0, 4.0, 6.0, 8.0};
+  const Series sketch = Paa(x, 1);
+  ASSERT_EQ(sketch.size(), 1u);
+  EXPECT_DOUBLE_EQ(sketch[0], 5.0);
+}
+
+TEST(PaaTest, UnevenDivisionSplitsBoundarySamples) {
+  // m = 3 into 2 segments: frame = 1.5.
+  // Segment 0 covers [0, 1.5): all of x0, half of x1.
+  // Segment 1 covers [1.5, 3): half of x1, all of x2.
+  const Series x = {0.0, 6.0, 12.0};
+  const Series sketch = Paa(x, 2);
+  EXPECT_DOUBLE_EQ(sketch[0], (0.0 * 1.0 + 6.0 * 0.5) / 1.5);
+  EXPECT_DOUBLE_EQ(sketch[1], (6.0 * 0.5 + 12.0 * 1.0) / 1.5);
+}
+
+TEST(PaaTest, PreservesTheGlobalMean) {
+  common::Rng rng(1);
+  Series x(100);
+  for (double& v : x) v = rng.Gaussian(3.0, 2.0);
+  for (std::size_t segments : {2, 5, 10, 25, 50}) {
+    const Series sketch = Paa(x, segments);
+    double original_mean = 0.0;
+    for (double v : x) original_mean += v;
+    original_mean /= static_cast<double>(x.size());
+    double sketch_mean = 0.0;
+    for (double v : sketch) sketch_mean += v;
+    sketch_mean /= static_cast<double>(sketch.size());
+    EXPECT_NEAR(sketch_mean, original_mean, 1e-9) << segments;
+  }
+}
+
+TEST(PaaTest, ReconstructionIsPiecewiseConstant) {
+  const Series sketch = {1.0, -1.0};
+  const Series back = PaaReconstruct(sketch, 6);
+  ASSERT_EQ(back.size(), 6u);
+  for (int t = 0; t < 3; ++t) EXPECT_DOUBLE_EQ(back[t], 1.0);
+  for (int t = 3; t < 6; ++t) EXPECT_DOUBLE_EQ(back[t], -1.0);
+}
+
+TEST(PaaTest, ReconstructionErrorShrinksWithMoreSegments) {
+  common::Rng rng(2);
+  Series x(128);
+  double value = 0.0;
+  for (double& v : x) {
+    value += rng.Gaussian();
+    v = value;  // Smooth-ish random walk.
+  }
+  double previous_error = 1e18;
+  for (std::size_t segments : {4, 8, 16, 32, 64, 128}) {
+    const Series back = PaaReconstruct(Paa(x, segments), x.size());
+    const double error = distance::EuclideanDistanceValue(x, back);
+    EXPECT_LE(error, previous_error + 1e-9) << segments;
+    previous_error = error;
+  }
+  EXPECT_NEAR(previous_error, 0.0, 1e-9);  // segments == m is lossless.
+}
+
+TEST(PaaDatasetTest, PreservesLabelsAndRenames) {
+  Dataset d("toy");
+  d.Add({1.0, 2.0, 3.0, 4.0}, 7);
+  d.Add({4.0, 3.0, 2.0, 1.0}, 9);
+  const Dataset reduced = PaaDataset(d, 2);
+  EXPECT_EQ(reduced.name(), "toy-PAA2");
+  ASSERT_EQ(reduced.size(), 2u);
+  EXPECT_EQ(reduced.length(), 2u);
+  EXPECT_EQ(reduced.label(0), 7);
+  EXPECT_EQ(reduced.label(1), 9);
+  EXPECT_DOUBLE_EQ(reduced.series(0)[0], 1.5);
+  EXPECT_DOUBLE_EQ(reduced.series(1)[1], 1.5);
+}
+
+}  // namespace
+}  // namespace kshape::tseries

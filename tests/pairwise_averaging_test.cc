@@ -1,0 +1,118 @@
+#include "cluster/pairwise_averaging.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "distance/dtw.h"
+#include "linalg/matrix.h"
+
+namespace kshape::cluster {
+namespace {
+
+using tseries::Series;
+
+std::vector<Series> ShiftedBumps(common::Rng* rng, int count,
+                                 std::size_t m = 48) {
+  std::vector<Series> pool;
+  for (int i = 0; i < count; ++i) {
+    Series s(m, 0.0);
+    const int start = 10 + rng->UniformInt(10);
+    for (int t = start; t < start + 8; ++t) s[t] = 1.0;
+    pool.push_back(s);
+  }
+  return pool;
+}
+
+TEST(DtwPairAverageTest, AverageOfIdenticalIsIdentity) {
+  const Series x = {0.0, 1.0, 2.0, 1.0, 0.0};
+  const Series avg = DtwPairAverage(x, x, 1.0, 1.0);
+  ASSERT_EQ(avg.size(), x.size());
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    EXPECT_NEAR(avg[t], x[t], 1e-9);
+  }
+}
+
+TEST(DtwPairAverageTest, WeightsBiasTowardHeavierSequence) {
+  const Series x(10, 0.0);
+  const Series y(10, 4.0);
+  // Weight 3:1 in favour of x -> values at 1.0.
+  const Series avg = DtwPairAverage(x, y, 3.0, 1.0);
+  for (double v : avg) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(DtwPairAverageTest, OutputLengthMatchesInput) {
+  common::Rng rng(1);
+  const auto pool = ShiftedBumps(&rng, 2);
+  const Series avg = DtwPairAverage(pool[0], pool[1], 1.0, 1.0);
+  EXPECT_EQ(avg.size(), pool[0].size());
+}
+
+TEST(NlaafTest, AverageOfIdenticalCopiesIsTheCopy) {
+  const Series base = {0.0, 2.0, 5.0, 2.0, 0.0, -1.0};
+  const std::vector<Series> pool = {base, base, base, base};
+  const NlaafAveraging nlaaf;
+  common::Rng rng(2);
+  const Series avg = nlaaf.Average(pool, {0, 1, 2, 3}, Series(6, 0.0), &rng);
+  for (std::size_t t = 0; t < base.size(); ++t) {
+    EXPECT_NEAR(avg[t], base[t], 1e-9);
+  }
+}
+
+TEST(NlaafTest, EmptyClusterGivesZeros) {
+  const std::vector<Series> pool = {{1.0, 2.0}};
+  const NlaafAveraging nlaaf;
+  common::Rng rng(3);
+  const Series avg = nlaaf.Average(pool, {}, Series(2, 0.0), &rng);
+  EXPECT_DOUBLE_EQ(avg[0], 0.0);
+  EXPECT_DOUBLE_EQ(avg[1], 0.0);
+}
+
+TEST(NlaafTest, HandlesOddMemberCounts) {
+  common::Rng rng(4);
+  const auto pool = ShiftedBumps(&rng, 5);
+  const NlaafAveraging nlaaf;
+  const Series avg =
+      nlaaf.Average(pool, {0, 1, 2, 3, 4}, Series(48, 0.0), &rng);
+  EXPECT_EQ(avg.size(), 48u);
+  EXPECT_GT(linalg::Norm(avg), 0.0);
+}
+
+TEST(PsaTest, AverageOfIdenticalCopiesIsTheCopy) {
+  const Series base = {1.0, -1.0, 3.0, 0.0};
+  const std::vector<Series> pool = {base, base, base};
+  const PsaAveraging psa;
+  common::Rng rng(5);
+  const Series avg = psa.Average(pool, {0, 1, 2}, Series(4, 0.0), &rng);
+  for (std::size_t t = 0; t < base.size(); ++t) {
+    EXPECT_NEAR(avg[t], base[t], 1e-9);
+  }
+}
+
+TEST(PsaTest, RepresentsShiftedBumpsBetterThanNothing) {
+  common::Rng rng(6);
+  const auto pool = ShiftedBumps(&rng, 6);
+  std::vector<std::size_t> all;
+  for (std::size_t i = 0; i < pool.size(); ++i) all.push_back(i);
+
+  const PsaAveraging psa;
+  const Series avg = psa.Average(pool, all, Series(48, 0.0), &rng);
+  // The average must be closer (DTW) to the members than a flat zero line.
+  const Series zeros(48, 0.0);
+  double avg_cost = 0.0;
+  double zero_cost = 0.0;
+  for (const Series& member : pool) {
+    avg_cost += dtw::DtwDistance(avg, member);
+    zero_cost += dtw::DtwDistance(zeros, member);
+  }
+  EXPECT_LT(avg_cost, zero_cost);
+}
+
+TEST(PsaTest, NamesAreCorrect) {
+  EXPECT_EQ(NlaafAveraging().Name(), "NLAAF");
+  EXPECT_EQ(PsaAveraging().Name(), "PSA");
+}
+
+}  // namespace
+}  // namespace kshape::cluster

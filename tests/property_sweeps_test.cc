@@ -1,0 +1,229 @@
+// Parameterized property sweeps across modules: invariants that must hold
+// for whole families of inputs rather than single examples.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/sbd.h"
+#include "data/generators.h"
+#include "eval/metrics.h"
+#include "fft/fft.h"
+#include "linalg/eigen.h"
+#include "stats/tests.h"
+#include "tseries/normalization.h"
+#include "tseries/paa.h"
+
+namespace kshape {
+namespace {
+
+using tseries::Series;
+
+// ---------------------------------------------------------------- SBD shifts
+
+class SbdShiftRecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SbdShiftRecoveryTest, RecoversEveryConstructedShift) {
+  const int shift = GetParam();
+  const std::size_t m = 96;
+  // Compact asymmetric pattern: exact-match lag dominates.
+  Series x(m, 0.0);
+  for (std::size_t t = 40; t < 52; ++t) {
+    x[t] = 1.0 + 0.2 * static_cast<double>(t - 40);
+  }
+  const Series y = tseries::ShiftWithZeroFill(x, shift);
+  const core::SbdResult r = core::Sbd(x, y);
+  EXPECT_EQ(r.shift, -shift);
+  EXPECT_NEAR(r.distance, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, SbdShiftRecoveryTest,
+                         ::testing::Values(-30, -17, -8, -1, 0, 1, 5, 13, 25,
+                                           30));
+
+// -------------------------------------------------------------- FFT algebra
+
+class CrossCorrelationLinearityTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrossCorrelationLinearityTest, LinearInEachArgument) {
+  common::Rng rng(GetParam() * 11 + 1);
+  const std::size_t m = GetParam();
+  std::vector<double> x(m), y(m), z(m);
+  for (auto* v : {&x, &y, &z}) {
+    for (double& e : *v) e = rng.Gaussian();
+  }
+  const double a = 2.5;
+  std::vector<double> combo(m);
+  for (std::size_t i = 0; i < m; ++i) combo[i] = x[i] + a * z[i];
+
+  const auto cc_combo = fft::CrossCorrelationFft(combo, y);
+  const auto cc_x = fft::CrossCorrelationFft(x, y);
+  const auto cc_z = fft::CrossCorrelationFft(z, y);
+  for (std::size_t i = 0; i < cc_combo.size(); ++i) {
+    EXPECT_NEAR(cc_combo[i], cc_x[i] + a * cc_z[i], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CrossCorrelationLinearityTest,
+                         ::testing::Values(4, 9, 16, 33, 64, 127));
+
+// ------------------------------------------------------------ PSD spectrum
+
+class PsdSpectrumTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PsdSpectrumTest, GramMatricesHaveNonNegativeSpectra) {
+  common::Rng rng(GetParam() * 13 + 2);
+  const std::size_t n = GetParam();
+  linalg::Matrix s(n, n);
+  for (int rows = 0; rows < 5; ++rows) {
+    std::vector<double> v(n);
+    for (double& e : v) e = rng.Gaussian();
+    s.AddOuterProduct(v);
+  }
+  const linalg::EigenDecomposition d = linalg::SymmetricEigen(s);
+  for (double lambda : d.eigenvalues) {
+    EXPECT_GE(lambda, -1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PsdSpectrumTest,
+                         ::testing::Values(2, 3, 5, 8, 12, 20));
+
+// ------------------------------------------------------------- rank algebra
+
+class RankSumTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RankSumTest, RanksAlwaysSumToTriangularNumber) {
+  common::Rng rng(GetParam() * 17 + 3);
+  const std::size_t n = GetParam();
+  std::vector<double> scores(n);
+  // Include deliberate ties.
+  for (double& v : scores) v = static_cast<double>(rng.UniformInt(4));
+  const std::vector<double> ranks = stats::RankDescending(scores);
+  const double sum = std::accumulate(ranks.begin(), ranks.end(), 0.0);
+  EXPECT_NEAR(sum, static_cast<double>(n * (n + 1)) / 2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RankSumTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 100));
+
+// -------------------------------------------------------- evaluation bounds
+
+class MetricBoundsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricBoundsTest, AllMetricsWithinTheirRangesOnRandomPartitions) {
+  common::Rng rng(GetParam());
+  const int n = 40;
+  std::vector<int> labels(n), clusters(n);
+  for (int& v : labels) v = rng.UniformInt(4);
+  for (int& v : clusters) v = rng.UniformInt(5);
+
+  const double ri = eval::RandIndex(labels, clusters);
+  EXPECT_GE(ri, 0.0);
+  EXPECT_LE(ri, 1.0);
+  const double ari = eval::AdjustedRandIndex(labels, clusters);
+  EXPECT_LE(ari, 1.0 + 1e-12);
+  EXPECT_GE(ri, ari - 1e-12);  // RI >= ARI.
+  const double nmi = eval::NormalizedMutualInformation(labels, clusters);
+  EXPECT_GE(nmi, -1e-12);
+  EXPECT_LE(nmi, 1.0 + 1e-12);
+  const double purity = eval::Purity(labels, clusters);
+  EXPECT_GE(purity, 0.0);
+  EXPECT_LE(purity, 1.0);
+  const double acc = eval::HungarianAccuracy(labels, clusters);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, purity + 1e-12);  // One-to-one matching can't beat purity.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricBoundsTest,
+                         ::testing::Range(1, 21));
+
+// ---------------------------------------------------------------- PAA + SBD
+
+TEST(PaaSbdCompositionTest, SketchDistancesTrackFullDistances) {
+  // PAA preserves coarse shape: SBD on 4x-reduced sketches must keep
+  // within-class pairs closer than between-class pairs.
+  common::Rng rng(5);
+  std::vector<Series> full;
+  std::vector<int> labels;
+  for (int klass = 0; klass < 2; ++klass) {
+    for (int i = 0; i < 6; ++i) {
+      full.push_back(tseries::ZNormalized(
+          data::MakeShiftedSine(2 * klass, 128, &rng, 0.05)));
+      labels.push_back(klass);
+    }
+  }
+  double within = 0.0;
+  double between = 0.0;
+  int wn = 0;
+  int bn = 0;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    for (std::size_t j = i + 1; j < full.size(); ++j) {
+      const Series a = tseries::ZNormalized(tseries::Paa(full[i], 32));
+      const Series b = tseries::ZNormalized(tseries::Paa(full[j], 32));
+      const double d = core::Sbd(a, b).distance;
+      if (labels[i] == labels[j]) {
+        within += d;
+        ++wn;
+      } else {
+        between += d;
+        ++bn;
+      }
+    }
+  }
+  EXPECT_LT(within / wn, between / bn);
+}
+
+// ----------------------------------------------------- generator invariants
+
+struct GeneratorSpec {
+  const char* name;
+  int num_classes;
+};
+
+class GeneratorSweepTest : public ::testing::TestWithParam<GeneratorSpec> {};
+
+TEST_P(GeneratorSweepTest, AllClassesProduceFiniteSeriesOfRequestedLength) {
+  common::Rng rng(9);
+  const GeneratorSpec& spec = GetParam();
+  for (int klass = 0; klass < spec.num_classes; ++klass) {
+    for (std::size_t m : {16, 60, 128, 300}) {
+      Series x;
+      const std::string name = spec.name;
+      if (name == "cbf") x = data::MakeCbf(klass, m, &rng);
+      if (name == "ecg") x = data::MakeEcgLike(klass, m, &rng);
+      if (name == "twopat") x = data::MakeTwoPatterns(klass, m, &rng);
+      if (name == "control") x = data::MakeSyntheticControl(klass, m, &rng);
+      if (name == "sine") x = data::MakeShiftedSine(klass, m, &rng);
+      if (name == "harmonic") x = data::MakeHarmonic(klass, m, &rng);
+      if (name == "bump") x = data::MakeBump(klass, m, &rng);
+      if (name == "trend") x = data::MakeTrendSeasonal(klass, m, &rng);
+      if (name == "wave") x = data::MakeWave(klass, m, &rng);
+      if (name == "warped") x = data::MakeWarpedPattern(klass, m, &rng);
+      ASSERT_EQ(x.size(), m) << name << " class " << klass;
+      for (double v : x) {
+        ASSERT_TRUE(std::isfinite(v)) << name << " class " << klass;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorSweepTest,
+    ::testing::Values(GeneratorSpec{"cbf", 3}, GeneratorSpec{"ecg", 2},
+                      GeneratorSpec{"twopat", 4}, GeneratorSpec{"control", 6},
+                      GeneratorSpec{"sine", 4}, GeneratorSpec{"harmonic", 3},
+                      GeneratorSpec{"bump", 3}, GeneratorSpec{"trend", 4},
+                      GeneratorSpec{"wave", 3}, GeneratorSpec{"warped", 2}),
+    [](const ::testing::TestParamInfo<GeneratorSpec>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace kshape

@@ -1,0 +1,160 @@
+#include "core/shape_extraction.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/sbd.h"
+#include "linalg/matrix.h"
+#include "tseries/normalization.h"
+
+namespace kshape::core {
+namespace {
+
+using tseries::Series;
+
+constexpr double kPi = 3.14159265358979323846;
+
+Series Sine(std::size_t m, double cycles, double phase) {
+  Series x(m);
+  for (std::size_t t = 0; t < m; ++t) {
+    x[t] = std::sin(2.0 * kPi * cycles * t / static_cast<double>(m) + phase);
+  }
+  return x;
+}
+
+TEST(ShapeExtractionTest, EmptyClusterGivesZeroCentroid) {
+  common::Rng rng(1);
+  const Series reference(32, 0.0);
+  const Series centroid = ExtractShape({}, reference, &rng);
+  ASSERT_EQ(centroid.size(), 32u);
+  for (double v : centroid) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ShapeExtractionTest, CentroidOfIdenticalCopiesIsTheShape) {
+  common::Rng rng(2);
+  const Series base = tseries::ZNormalized(Sine(64, 2.0, 0.3));
+  const std::vector<Series> members = {base, base, base};
+  const Series centroid = ExtractShape(members, Series(64, 0.0), &rng);
+  // The centroid is z-normalized and sign-fixed toward the cluster mean, so
+  // it must match the base shape up to numerical error.
+  const double d = Sbd(base, centroid).distance;
+  EXPECT_NEAR(d, 0.0, 1e-6);
+}
+
+TEST(ShapeExtractionTest, CentroidIsZNormalized) {
+  common::Rng rng(3);
+  std::vector<Series> members;
+  for (int i = 0; i < 5; ++i) {
+    Series s = Sine(48, 1.0, 0.1 * i);
+    for (double& v : s) v += rng.Gaussian(0.0, 0.1);
+    members.push_back(tseries::ZNormalized(s));
+  }
+  const Series centroid = ExtractShape(members, Series(48, 0.0), &rng);
+  EXPECT_NEAR(tseries::Mean(centroid), 0.0, 1e-9);
+  EXPECT_NEAR(tseries::StdDev(centroid), 1.0, 1e-9);
+}
+
+TEST(ShapeExtractionTest, AlignsShiftedCopiesBeforeAveraging) {
+  // Members are shifted copies of one bump; with a non-zero reference the
+  // extraction must align them and recover a single sharp bump rather than a
+  // smeared average.
+  const std::size_t m = 96;
+  Series bump(m, 0.0);
+  for (std::size_t t = 40; t < 50; ++t) bump[t] = 1.0;
+  const Series base = tseries::ZNormalized(bump);
+
+  common::Rng rng(4);
+  std::vector<Series> members;
+  for (int shift : {-8, -4, 0, 4, 8}) {
+    members.push_back(
+        tseries::ZNormalized(tseries::ShiftWithZeroFill(base, shift)));
+  }
+  const Series centroid = ExtractShape(members, base, &rng);
+  EXPECT_LT(Sbd(base, centroid).distance, 0.05);
+}
+
+TEST(ShapeExtractionTest, SignIsOrientedTowardClusterMean) {
+  common::Rng rng(5);
+  const Series base = tseries::ZNormalized(Sine(40, 1.0, 0.0));
+  const std::vector<Series> members = {base, base};
+  const Series centroid = ExtractShape(members, Series(40, 0.0), &rng);
+  EXPECT_GT(linalg::Dot(centroid, base), 0.0);
+}
+
+TEST(ShapeExtractionTest, PowerIterationMatchesFullEigensolver) {
+  common::Rng rng(6);
+  std::vector<Series> members;
+  for (int i = 0; i < 8; ++i) {
+    Series s = Sine(32, 2.0, 0.0);
+    for (double& v : s) v += rng.Gaussian(0.0, 0.3);
+    members.push_back(tseries::ZNormalized(s));
+  }
+  ShapeExtractionOptions power;
+  power.use_power_iteration = true;
+  ShapeExtractionOptions full;
+  full.use_power_iteration = false;
+
+  common::Rng rng_a(7);
+  common::Rng rng_b(7);
+  const Series via_power =
+      ExtractShape(members, Series(32, 0.0), &rng_a, power);
+  const Series via_full = ExtractShape(members, Series(32, 0.0), &rng_b, full);
+  for (std::size_t t = 0; t < 32; ++t) {
+    EXPECT_NEAR(via_power[t], via_full[t], 1e-5);
+  }
+}
+
+TEST(ShapeExtractionTest, IndexedOverloadMatchesDirectCall) {
+  common::Rng rng(8);
+  std::vector<Series> pool;
+  for (int i = 0; i < 6; ++i) {
+    pool.push_back(tseries::ZNormalized(Sine(24, 1.0, 0.2 * i)));
+  }
+  common::Rng rng_a(9);
+  common::Rng rng_b(9);
+  const Series direct = ExtractShape({pool[1], pool[3], pool[5]},
+                                     Series(24, 0.0), &rng_a);
+  const Series indexed =
+      ExtractShapeIndexed(pool, {1, 3, 5}, Series(24, 0.0), &rng_b);
+  for (std::size_t t = 0; t < 24; ++t) {
+    EXPECT_NEAR(direct[t], indexed[t], 1e-12);
+  }
+}
+
+TEST(ShapeExtractionTest, BetterRepresentativeThanArithmeticMeanOnShifts) {
+  // The motivating example of Figure 4: for out-of-phase members, the
+  // arithmetic mean smears the shape while shape extraction keeps it sharp.
+  const std::size_t m = 128;
+  Series bump(m, 0.0);
+  for (std::size_t t = 50; t < 62; ++t) bump[t] = 1.0;
+  const Series base = tseries::ZNormalized(bump);
+
+  common::Rng rng(10);
+  std::vector<Series> members;
+  for (int shift : {-20, -10, 0, 10, 20}) {
+    members.push_back(
+        tseries::ZNormalized(tseries::ShiftWithZeroFill(base, shift)));
+  }
+
+  Series mean(m, 0.0);
+  for (const Series& s : members) linalg::Axpy(1.0, s, &mean);
+  linalg::Scale(&mean, 1.0 / members.size());
+  const Series extracted = ExtractShape(members, base, &rng);
+
+  // Sum of squared SBDs to members: extraction must beat the mean.
+  double mean_cost = 0.0;
+  double extract_cost = 0.0;
+  for (const Series& s : members) {
+    const double dm = Sbd(mean, s).distance;
+    const double de = Sbd(extracted, s).distance;
+    mean_cost += dm * dm;
+    extract_cost += de * de;
+  }
+  EXPECT_LT(extract_cost, mean_cost);
+}
+
+}  // namespace
+}  // namespace kshape::core

@@ -1,0 +1,148 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/special_functions.h"
+#include "stats/tests.h"
+
+namespace kshape::stats {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(NormalCdf(3.0), 0.99865, 1e-5);
+}
+
+TEST(TwoSidedNormalPValueTest, KnownValues) {
+  EXPECT_NEAR(TwoSidedNormalPValue(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(TwoSidedNormalPValue(1.959963985), 0.05, 1e-6);
+  EXPECT_NEAR(TwoSidedNormalPValue(2.575829), 0.01, 1e-5);
+}
+
+TEST(GammaTest, RegularizedGammaIdentities) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+    EXPECT_NEAR(RegularizedGammaP(1.0, x) + RegularizedGammaQ(1.0, x), 1.0,
+                1e-10);
+  }
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.5, 0.0), 1.0);
+}
+
+TEST(ChiSquareTest, KnownCriticalValues) {
+  // P(X > 3.841) = 0.05 for df = 1; P(X > 5.991) = 0.05 for df = 2.
+  EXPECT_NEAR(ChiSquareSurvival(3.841459, 1), 0.05, 1e-4);
+  EXPECT_NEAR(ChiSquareSurvival(5.991465, 2), 0.05, 1e-4);
+  EXPECT_NEAR(ChiSquareSurvival(9.487729, 4), 0.05, 1e-4);
+  EXPECT_DOUBLE_EQ(ChiSquareSurvival(0.0, 3), 1.0);
+}
+
+TEST(RankDescendingTest, SimpleAndTiedRanks) {
+  const std::vector<double> scores = {0.9, 0.7, 0.8};
+  const std::vector<double> ranks = RankDescending(scores);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+
+  const std::vector<double> tied = {0.5, 0.9, 0.5};
+  const std::vector<double> tied_ranks = RankDescending(tied);
+  EXPECT_DOUBLE_EQ(tied_ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(tied_ranks[0], 2.5);
+  EXPECT_DOUBLE_EQ(tied_ranks[2], 2.5);
+}
+
+TEST(WilcoxonTest, AllZeroDifferencesGiveNeutralResult) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const WilcoxonResult r = WilcoxonSignedRank(a, a);
+  EXPECT_EQ(r.n_effective, 0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(WilcoxonTest, HandComputedSmallExample) {
+  // Differences: +1, +2, +3, -4 -> |d| ranks 1,2,3,4; W+ = 1+2+3 = 6.
+  const std::vector<double> a = {2.0, 4.0, 6.0, 1.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0, 5.0};
+  const WilcoxonResult r = WilcoxonSignedRank(a, b);
+  EXPECT_EQ(r.n_effective, 4);
+  EXPECT_DOUBLE_EQ(r.w_plus, 6.0);
+  // mean = 5, var = 4*5*9/24 = 7.5; z = (6-5-0.5)/sqrt(7.5).
+  EXPECT_NEAR(r.z, 0.5 / std::sqrt(7.5), 1e-10);
+}
+
+TEST(WilcoxonTest, ClearlyShiftedSamplesAreSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(static_cast<double>(i) + 10.0 + 0.01 * i);
+    b.push_back(static_cast<double>(i));
+  }
+  const WilcoxonResult r = WilcoxonSignedRank(a, b);
+  EXPECT_GT(r.z, 0.0);
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(WilcoxonTest, SymmetricInSign) {
+  const std::vector<double> a = {5.0, 1.0, 7.0, 2.0, 9.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const WilcoxonResult ab = WilcoxonSignedRank(a, b);
+  const WilcoxonResult ba = WilcoxonSignedRank(b, a);
+  EXPECT_NEAR(ab.z, -ba.z, 1e-12);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+}
+
+TEST(FriedmanTest, HandComputedExample) {
+  // 3 methods, 4 datasets; method 0 always best, method 2 always worst.
+  linalg::Matrix scores(4, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    scores(i, 0) = 0.9;
+    scores(i, 1) = 0.8;
+    scores(i, 2) = 0.7;
+  }
+  const FriedmanResult r = FriedmanTest(scores);
+  EXPECT_DOUBLE_EQ(r.average_ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.average_ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.average_ranks[2], 3.0);
+  // chi2 = 12*4/(3*4) * (14 - 3*16/4) = 4 * 2 = 8.
+  EXPECT_NEAR(r.chi_square, 8.0, 1e-10);
+  EXPECT_LT(r.p_value, 0.05);
+}
+
+TEST(FriedmanTest, IndistinguishableMethodsAreNotSignificant) {
+  linalg::Matrix scores(6, 3);
+  // Rotate which method "wins" so ranks even out.
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      scores(i, j) = ((i + j) % 3 == 0) ? 0.9 : ((i + j) % 3 == 1 ? 0.8 : 0.7);
+    }
+  }
+  const FriedmanResult r = FriedmanTest(scores);
+  EXPECT_NEAR(r.average_ranks[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.chi_square, 0.0, 1e-9);
+  EXPECT_GT(r.p_value, 0.9);
+}
+
+TEST(NemenyiTest, MatchesDemsarFormula) {
+  // k=4, n=48: CD = 2.569 * sqrt(4*5 / (6*48)).
+  const double cd = NemenyiCriticalDifference(4, 48, 0.05);
+  EXPECT_NEAR(cd, 2.569 * std::sqrt(20.0 / 288.0), 1e-9);
+  // CD shrinks with more datasets.
+  EXPECT_LT(NemenyiCriticalDifference(4, 100, 0.05), cd);
+  // Stricter alpha widens it.
+  EXPECT_GT(NemenyiCriticalDifference(4, 48, 0.01), cd);
+}
+
+TEST(CompareScoresTest, TalliesWithTolerance) {
+  const std::vector<double> a = {0.9, 0.5, 0.7, 0.6};
+  const std::vector<double> b = {0.8, 0.5, 0.9, 0.6};
+  const WinTieLoss wtl = CompareScores(a, b);
+  EXPECT_EQ(wtl.wins, 1);
+  EXPECT_EQ(wtl.ties, 2);
+  EXPECT_EQ(wtl.losses, 1);
+}
+
+}  // namespace
+}  // namespace kshape::stats

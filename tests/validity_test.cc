@@ -1,0 +1,149 @@
+#include "cluster/validity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cluster/kmedoids.h"
+#include "common/random.h"
+#include "core/kshape.h"
+#include "core/sbd.h"
+#include "distance/euclidean.h"
+#include "tseries/normalization.h"
+
+namespace kshape::cluster {
+namespace {
+
+using tseries::Series;
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Distance matrix for 1-d points, the easiest silhouette sanity setting.
+linalg::Matrix PointMatrix(const std::vector<double>& points) {
+  const std::size_t n = points.size();
+  linalg::Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      d(i, j) = std::fabs(points[i] - points[j]);
+    }
+  }
+  return d;
+}
+
+TEST(SilhouetteTest, WellSeparatedClustersScoreNearOne) {
+  const std::vector<double> points = {0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+  const std::vector<int> good = {0, 0, 0, 1, 1, 1};
+  const linalg::Matrix d = PointMatrix(points);
+  EXPECT_GT(MeanSilhouette(d, good, 2), 0.95);
+}
+
+TEST(SilhouetteTest, BadPartitionScoresLower) {
+  const std::vector<double> points = {0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+  const linalg::Matrix d = PointMatrix(points);
+  const std::vector<int> good = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> bad = {0, 1, 0, 1, 0, 1};
+  EXPECT_GT(MeanSilhouette(d, good, 2), MeanSilhouette(d, bad, 2));
+  EXPECT_LT(MeanSilhouette(d, bad, 2), 0.0);
+}
+
+TEST(SilhouetteTest, HandComputedTwoPointClusters) {
+  // Points 0, 1 in cluster 0; point 10 in cluster 1 (singleton -> 0).
+  // s(0): a = 1, b = 10 -> 9/10. s(1): a = 1, b = 9 -> 8/9.
+  const std::vector<double> points = {0.0, 1.0, 10.0};
+  const linalg::Matrix d = PointMatrix(points);
+  const std::vector<int> assign = {0, 0, 1};
+  const double expected = (9.0 / 10.0 + 8.0 / 9.0 + 0.0) / 3.0;
+  EXPECT_NEAR(MeanSilhouette(d, assign, 2), expected, 1e-12);
+}
+
+TEST(DaviesBouldinTest, SeparatedBeatsMixed) {
+  const std::vector<double> points = {0.0, 0.2, 0.4, 8.0, 8.2, 8.4};
+  const linalg::Matrix d = PointMatrix(points);
+  const std::vector<int> good = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> bad = {0, 1, 0, 1, 0, 1};
+  // Davies-Bouldin: smaller is better.
+  EXPECT_LT(DaviesBouldinIndex(d, good, 2), DaviesBouldinIndex(d, bad, 2));
+}
+
+TEST(WithinClusterSsdTest, HandComputed) {
+  const std::vector<Series> series = {{0.0, 0.0}, {2.0, 0.0}, {10.0, 0.0}};
+  ClusteringResult result;
+  result.assignments = {0, 0, 1};
+  result.centroids = {{1.0, 0.0}, {10.0, 0.0}};
+  const distance::EuclideanDistance ed;
+  // (1^2 + 1^2 + 0^2) = 2.
+  EXPECT_DOUBLE_EQ(WithinClusterSsd(series, result, ed), 2.0);
+}
+
+TEST(EstimateKTest, RecoversTrueClusterCountOnSines) {
+  // Three shape classes; the silhouette sweep should pick k = 3.
+  common::Rng rng(1);
+  std::vector<Series> series;
+  for (int klass = 0; klass < 3; ++klass) {
+    for (int i = 0; i < 10; ++i) {
+      Series s(64);
+      const double phase = rng.Uniform(0.0, 2.0 * kPi);
+      for (std::size_t t = 0; t < 64; ++t) {
+        s[t] = std::sin(2.0 * kPi * (2 * klass + 1) * t / 64.0 + phase) +
+               rng.Gaussian(0.0, 0.05);
+      }
+      series.push_back(tseries::ZNormalized(s));
+    }
+  }
+  const core::KShape kshape;
+  const core::SbdDistance sbd;
+  common::Rng sweep_rng(2);
+  const KEstimate estimate =
+      EstimateK(series, kshape, sbd, 2, 5, 3, &sweep_rng);
+  EXPECT_EQ(estimate.best_k, 3);
+  ASSERT_EQ(estimate.silhouettes.size(), 4u);
+}
+
+TEST(BestOfRestartsTest, NeverWorseThanSingleRunObjective) {
+  common::Rng rng(9);
+  std::vector<Series> series;
+  for (int klass = 0; klass < 2; ++klass) {
+    for (int i = 0; i < 8; ++i) {
+      Series s(48);
+      const double phase = rng.Uniform(0.0, 2.0 * kPi);
+      for (std::size_t t = 0; t < 48; ++t) {
+        s[t] = std::sin(2.0 * kPi * (2 * klass + 1) * t / 48.0 + phase) +
+               rng.Gaussian(0.0, 0.1);
+      }
+      series.push_back(tseries::ZNormalized(s));
+    }
+  }
+  const core::KShape kshape;
+  const core::SbdDistance sbd;
+
+  common::Rng best_rng(4);
+  const ClusteringResult best =
+      BestOfRestarts(series, kshape, sbd, 2, 5, &best_rng);
+  const double best_cost = WithinClusterSsd(series, best, sbd);
+
+  // Re-run the same 5 restarts manually: the chosen objective must equal the
+  // minimum over them.
+  common::Rng manual_rng(4);
+  double manual_min = 1e18;
+  for (int run = 0; run < 5; ++run) {
+    common::Rng run_rng = manual_rng.Fork();
+    const ClusteringResult result = kshape.Cluster(series, 2, &run_rng);
+    manual_min = std::min(manual_min, WithinClusterSsd(series, result, sbd));
+  }
+  EXPECT_NEAR(best_cost, manual_min, 1e-9);
+}
+
+TEST(EstimateKTest, SilhouetteVectorAlignsWithRange) {
+  const std::vector<double> points = {0.0, 0.1, 5.0, 5.1, 10.0, 10.1};
+  std::vector<Series> series;
+  for (double p : points) series.push_back({p, p});
+  const distance::EuclideanDistance ed;
+  const KMedoids pam(&ed, "PAM+ED");
+  common::Rng rng(3);
+  const KEstimate estimate = EstimateK(series, pam, ed, 2, 4, 2, &rng);
+  EXPECT_EQ(estimate.best_k, 3);
+  EXPECT_EQ(estimate.silhouettes.size(), 3u);
+}
+
+}  // namespace
+}  // namespace kshape::cluster
