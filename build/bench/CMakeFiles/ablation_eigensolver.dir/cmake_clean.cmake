@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eigensolver.dir/ablation_eigensolver.cc.o"
+  "CMakeFiles/ablation_eigensolver.dir/ablation_eigensolver.cc.o.d"
+  "ablation_eigensolver"
+  "ablation_eigensolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eigensolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_initialization.dir/ablation_initialization.cc.o"
+  "CMakeFiles/ablation_initialization.dir/ablation_initialization.cc.o.d"
+  "ablation_initialization"
+  "ablation_initialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_initialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

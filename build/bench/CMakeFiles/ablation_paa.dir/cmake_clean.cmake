@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_paa.dir/ablation_paa.cc.o"
+  "CMakeFiles/ablation_paa.dir/ablation_paa.cc.o.d"
+  "ablation_paa"
+  "ablation_paa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_paa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

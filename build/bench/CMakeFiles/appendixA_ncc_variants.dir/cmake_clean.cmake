@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendixA_ncc_variants.dir/appendixA_ncc_variants.cc.o"
+  "CMakeFiles/appendixA_ncc_variants.dir/appendixA_ncc_variants.cc.o.d"
+  "appendixA_ncc_variants"
+  "appendixA_ncc_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixA_ncc_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

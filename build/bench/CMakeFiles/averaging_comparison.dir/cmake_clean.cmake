@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/averaging_comparison.dir/averaging_comparison.cc.o"
+  "CMakeFiles/averaging_comparison.dir/averaging_comparison.cc.o.d"
+  "averaging_comparison"
+  "averaging_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/averaging_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

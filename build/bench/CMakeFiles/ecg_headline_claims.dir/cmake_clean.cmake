@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_headline_claims.dir/ecg_headline_claims.cc.o"
+  "CMakeFiles/ecg_headline_claims.dir/ecg_headline_claims.cc.o.d"
+  "ecg_headline_claims"
+  "ecg_headline_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_headline_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

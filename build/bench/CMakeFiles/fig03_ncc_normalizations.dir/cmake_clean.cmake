@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ncc_normalizations.dir/fig03_ncc_normalizations.cc.o"
+  "CMakeFiles/fig03_ncc_normalizations.dir/fig03_ncc_normalizations.cc.o.d"
+  "fig03_ncc_normalizations"
+  "fig03_ncc_normalizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ncc_normalizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

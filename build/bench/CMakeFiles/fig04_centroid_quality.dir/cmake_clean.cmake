@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_centroid_quality.dir/fig04_centroid_quality.cc.o"
+  "CMakeFiles/fig04_centroid_quality.dir/fig04_centroid_quality.cc.o.d"
+  "fig04_centroid_quality"
+  "fig04_centroid_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_centroid_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_extended_measures.dir/table2_extended_measures.cc.o"
+  "CMakeFiles/table2_extended_measures.dir/table2_extended_measures.cc.o.d"
+  "table2_extended_measures"
+  "table2_extended_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_extended_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

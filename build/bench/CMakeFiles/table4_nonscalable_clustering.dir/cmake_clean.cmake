@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_nonscalable_clustering.dir/table4_nonscalable_clustering.cc.o"
+  "CMakeFiles/table4_nonscalable_clustering.dir/table4_nonscalable_clustering.cc.o.d"
+  "table4_nonscalable_clustering"
+  "table4_nonscalable_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_nonscalable_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

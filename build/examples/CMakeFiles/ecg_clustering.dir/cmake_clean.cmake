@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_clustering.dir/ecg_clustering.cpp.o"
+  "CMakeFiles/ecg_clustering.dir/ecg_clustering.cpp.o.d"
+  "ecg_clustering"
+  "ecg_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimate_k.dir/estimate_k.cpp.o"
+  "CMakeFiles/estimate_k.dir/estimate_k.cpp.o.d"
+  "estimate_k"
+  "estimate_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimate_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_patterns.dir/stock_patterns.cpp.o"
+  "CMakeFiles/stock_patterns.dir/stock_patterns.cpp.o.d"
+  "stock_patterns"
+  "stock_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

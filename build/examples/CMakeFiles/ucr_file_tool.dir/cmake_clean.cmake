@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucr_file_tool.dir/ucr_file_tool.cpp.o"
+  "CMakeFiles/ucr_file_tool.dir/ucr_file_tool.cpp.o.d"
+  "ucr_file_tool"
+  "ucr_file_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucr_file_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

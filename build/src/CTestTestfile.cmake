@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("fft")
+subdirs("linalg")
+subdirs("tseries")
+subdirs("distance")
+subdirs("data")
+subdirs("eval")
+subdirs("stats")
+subdirs("classify")
+subdirs("cluster")
+subdirs("core")
+subdirs("harness")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/nearest_neighbor.cc" "src/classify/CMakeFiles/kshape_classify.dir/nearest_neighbor.cc.o" "gcc" "src/classify/CMakeFiles/kshape_classify.dir/nearest_neighbor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kshape_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tseries/CMakeFiles/kshape_tseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/kshape_distance.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

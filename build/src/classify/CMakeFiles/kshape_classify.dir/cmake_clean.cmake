@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_classify.dir/nearest_neighbor.cc.o"
+  "CMakeFiles/kshape_classify.dir/nearest_neighbor.cc.o.d"
+  "libkshape_classify.a"
+  "libkshape_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/algorithm.cc" "src/cluster/CMakeFiles/kshape_cluster.dir/algorithm.cc.o" "gcc" "src/cluster/CMakeFiles/kshape_cluster.dir/algorithm.cc.o.d"
+  "/root/repo/src/cluster/averaging.cc" "src/cluster/CMakeFiles/kshape_cluster.dir/averaging.cc.o" "gcc" "src/cluster/CMakeFiles/kshape_cluster.dir/averaging.cc.o.d"
+  "/root/repo/src/cluster/dba.cc" "src/cluster/CMakeFiles/kshape_cluster.dir/dba.cc.o" "gcc" "src/cluster/CMakeFiles/kshape_cluster.dir/dba.cc.o.d"
+  "/root/repo/src/cluster/hierarchical.cc" "src/cluster/CMakeFiles/kshape_cluster.dir/hierarchical.cc.o" "gcc" "src/cluster/CMakeFiles/kshape_cluster.dir/hierarchical.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/kshape_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/kshape_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/kmedoids.cc" "src/cluster/CMakeFiles/kshape_cluster.dir/kmedoids.cc.o" "gcc" "src/cluster/CMakeFiles/kshape_cluster.dir/kmedoids.cc.o.d"
+  "/root/repo/src/cluster/ksc.cc" "src/cluster/CMakeFiles/kshape_cluster.dir/ksc.cc.o" "gcc" "src/cluster/CMakeFiles/kshape_cluster.dir/ksc.cc.o.d"
+  "/root/repo/src/cluster/pairwise_averaging.cc" "src/cluster/CMakeFiles/kshape_cluster.dir/pairwise_averaging.cc.o" "gcc" "src/cluster/CMakeFiles/kshape_cluster.dir/pairwise_averaging.cc.o.d"
+  "/root/repo/src/cluster/spectral.cc" "src/cluster/CMakeFiles/kshape_cluster.dir/spectral.cc.o" "gcc" "src/cluster/CMakeFiles/kshape_cluster.dir/spectral.cc.o.d"
+  "/root/repo/src/cluster/validity.cc" "src/cluster/CMakeFiles/kshape_cluster.dir/validity.cc.o" "gcc" "src/cluster/CMakeFiles/kshape_cluster.dir/validity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kshape_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tseries/CMakeFiles/kshape_tseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/kshape_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kshape_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

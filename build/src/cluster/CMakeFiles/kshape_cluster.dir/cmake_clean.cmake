@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_cluster.dir/algorithm.cc.o"
+  "CMakeFiles/kshape_cluster.dir/algorithm.cc.o.d"
+  "CMakeFiles/kshape_cluster.dir/averaging.cc.o"
+  "CMakeFiles/kshape_cluster.dir/averaging.cc.o.d"
+  "CMakeFiles/kshape_cluster.dir/dba.cc.o"
+  "CMakeFiles/kshape_cluster.dir/dba.cc.o.d"
+  "CMakeFiles/kshape_cluster.dir/hierarchical.cc.o"
+  "CMakeFiles/kshape_cluster.dir/hierarchical.cc.o.d"
+  "CMakeFiles/kshape_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/kshape_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/kshape_cluster.dir/kmedoids.cc.o"
+  "CMakeFiles/kshape_cluster.dir/kmedoids.cc.o.d"
+  "CMakeFiles/kshape_cluster.dir/ksc.cc.o"
+  "CMakeFiles/kshape_cluster.dir/ksc.cc.o.d"
+  "CMakeFiles/kshape_cluster.dir/pairwise_averaging.cc.o"
+  "CMakeFiles/kshape_cluster.dir/pairwise_averaging.cc.o.d"
+  "CMakeFiles/kshape_cluster.dir/spectral.cc.o"
+  "CMakeFiles/kshape_cluster.dir/spectral.cc.o.d"
+  "CMakeFiles/kshape_cluster.dir/validity.cc.o"
+  "CMakeFiles/kshape_cluster.dir/validity.cc.o.d"
+  "libkshape_cluster.a"
+  "libkshape_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_common.dir/random.cc.o"
+  "CMakeFiles/kshape_common.dir/random.cc.o.d"
+  "CMakeFiles/kshape_common.dir/status.cc.o"
+  "CMakeFiles/kshape_common.dir/status.cc.o.d"
+  "libkshape_common.a"
+  "libkshape_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

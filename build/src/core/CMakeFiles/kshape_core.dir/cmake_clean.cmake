@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_core.dir/kshape.cc.o"
+  "CMakeFiles/kshape_core.dir/kshape.cc.o.d"
+  "CMakeFiles/kshape_core.dir/multivariate.cc.o"
+  "CMakeFiles/kshape_core.dir/multivariate.cc.o.d"
+  "CMakeFiles/kshape_core.dir/sbd.cc.o"
+  "CMakeFiles/kshape_core.dir/sbd.cc.o.d"
+  "CMakeFiles/kshape_core.dir/shape_extraction.cc.o"
+  "CMakeFiles/kshape_core.dir/shape_extraction.cc.o.d"
+  "libkshape_core.a"
+  "libkshape_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

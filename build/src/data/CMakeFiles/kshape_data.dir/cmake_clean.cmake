@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_data.dir/archive.cc.o"
+  "CMakeFiles/kshape_data.dir/archive.cc.o.d"
+  "CMakeFiles/kshape_data.dir/generators.cc.o"
+  "CMakeFiles/kshape_data.dir/generators.cc.o.d"
+  "libkshape_data.a"
+  "libkshape_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

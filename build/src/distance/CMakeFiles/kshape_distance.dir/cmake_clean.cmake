@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_distance.dir/dtw.cc.o"
+  "CMakeFiles/kshape_distance.dir/dtw.cc.o.d"
+  "CMakeFiles/kshape_distance.dir/elastic.cc.o"
+  "CMakeFiles/kshape_distance.dir/elastic.cc.o.d"
+  "CMakeFiles/kshape_distance.dir/euclidean.cc.o"
+  "CMakeFiles/kshape_distance.dir/euclidean.cc.o.d"
+  "libkshape_distance.a"
+  "libkshape_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_eval.dir/metrics.cc.o"
+  "CMakeFiles/kshape_eval.dir/metrics.cc.o.d"
+  "libkshape_eval.a"
+  "libkshape_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

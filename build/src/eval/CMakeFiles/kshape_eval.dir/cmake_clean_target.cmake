@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkshape_eval.a"
+)

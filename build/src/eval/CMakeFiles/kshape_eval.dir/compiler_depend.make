@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kshape_eval.
+# This may be replaced when dependencies are built.

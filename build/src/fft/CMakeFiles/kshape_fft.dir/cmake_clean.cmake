@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_fft.dir/fft.cc.o"
+  "CMakeFiles/kshape_fft.dir/fft.cc.o.d"
+  "libkshape_fft.a"
+  "libkshape_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

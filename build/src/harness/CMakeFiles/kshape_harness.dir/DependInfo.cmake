@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiments.cc" "src/harness/CMakeFiles/kshape_harness.dir/experiments.cc.o" "gcc" "src/harness/CMakeFiles/kshape_harness.dir/experiments.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/harness/CMakeFiles/kshape_harness.dir/table.cc.o" "gcc" "src/harness/CMakeFiles/kshape_harness.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kshape_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tseries/CMakeFiles/kshape_tseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/kshape_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/kshape_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/kshape_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/kshape_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kshape_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

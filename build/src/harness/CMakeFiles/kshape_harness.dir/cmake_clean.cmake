@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_harness.dir/experiments.cc.o"
+  "CMakeFiles/kshape_harness.dir/experiments.cc.o.d"
+  "CMakeFiles/kshape_harness.dir/table.cc.o"
+  "CMakeFiles/kshape_harness.dir/table.cc.o.d"
+  "libkshape_harness.a"
+  "libkshape_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_linalg.dir/eigen.cc.o"
+  "CMakeFiles/kshape_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/kshape_linalg.dir/matrix.cc.o"
+  "CMakeFiles/kshape_linalg.dir/matrix.cc.o.d"
+  "libkshape_linalg.a"
+  "libkshape_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

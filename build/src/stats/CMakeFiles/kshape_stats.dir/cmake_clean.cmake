@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_stats.dir/special_functions.cc.o"
+  "CMakeFiles/kshape_stats.dir/special_functions.cc.o.d"
+  "CMakeFiles/kshape_stats.dir/tests.cc.o"
+  "CMakeFiles/kshape_stats.dir/tests.cc.o.d"
+  "libkshape_stats.a"
+  "libkshape_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tseries/io.cc" "src/tseries/CMakeFiles/kshape_tseries.dir/io.cc.o" "gcc" "src/tseries/CMakeFiles/kshape_tseries.dir/io.cc.o.d"
+  "/root/repo/src/tseries/normalization.cc" "src/tseries/CMakeFiles/kshape_tseries.dir/normalization.cc.o" "gcc" "src/tseries/CMakeFiles/kshape_tseries.dir/normalization.cc.o.d"
+  "/root/repo/src/tseries/paa.cc" "src/tseries/CMakeFiles/kshape_tseries.dir/paa.cc.o" "gcc" "src/tseries/CMakeFiles/kshape_tseries.dir/paa.cc.o.d"
+  "/root/repo/src/tseries/time_series.cc" "src/tseries/CMakeFiles/kshape_tseries.dir/time_series.cc.o" "gcc" "src/tseries/CMakeFiles/kshape_tseries.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kshape_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

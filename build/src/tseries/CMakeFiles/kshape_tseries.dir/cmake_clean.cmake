@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_tseries.dir/io.cc.o"
+  "CMakeFiles/kshape_tseries.dir/io.cc.o.d"
+  "CMakeFiles/kshape_tseries.dir/normalization.cc.o"
+  "CMakeFiles/kshape_tseries.dir/normalization.cc.o.d"
+  "CMakeFiles/kshape_tseries.dir/paa.cc.o"
+  "CMakeFiles/kshape_tseries.dir/paa.cc.o.d"
+  "CMakeFiles/kshape_tseries.dir/time_series.cc.o"
+  "CMakeFiles/kshape_tseries.dir/time_series.cc.o.d"
+  "libkshape_tseries.a"
+  "libkshape_tseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_tseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

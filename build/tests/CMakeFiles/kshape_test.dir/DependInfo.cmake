@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kshape_test.cc" "tests/CMakeFiles/kshape_test.dir/kshape_test.cc.o" "gcc" "tests/CMakeFiles/kshape_test.dir/kshape_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kshape_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kshape_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/kshape_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/kshape_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/kshape_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/kshape_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/tseries/CMakeFiles/kshape_tseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kshape_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kshape_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshape_test.dir/kshape_test.cc.o"
+  "CMakeFiles/kshape_test.dir/kshape_test.cc.o.d"
+  "kshape_test"
+  "kshape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairwise_averaging_test.dir/pairwise_averaging_test.cc.o"
+  "CMakeFiles/pairwise_averaging_test.dir/pairwise_averaging_test.cc.o.d"
+  "pairwise_averaging_test"
+  "pairwise_averaging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairwise_averaging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

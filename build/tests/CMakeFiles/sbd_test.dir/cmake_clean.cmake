@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbd_test.dir/sbd_test.cc.o"
+  "CMakeFiles/sbd_test.dir/sbd_test.cc.o.d"
+  "sbd_test"
+  "sbd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_extraction_test.dir/shape_extraction_test.cc.o"
+  "CMakeFiles/shape_extraction_test.dir/shape_extraction_test.cc.o.d"
+  "shape_extraction_test"
+  "shape_extraction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_extraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

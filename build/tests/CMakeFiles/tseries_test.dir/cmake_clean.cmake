@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tseries_test.dir/tseries_test.cc.o"
+  "CMakeFiles/tseries_test.dir/tseries_test.cc.o.d"
+  "tseries_test"
+  "tseries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tseries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
