@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI for the parallel execution layer.
+#
+# 1. Release build; tier-1 tests at KSHAPE_THREADS=1 and KSHAPE_THREADS=4
+#    (the suites assert bit-identical results across thread counts, so
+#    running the whole tier at two settings catches scheduling-dependent
+#    output anywhere in the library, not just in parallel_test).
+# 2. ThreadSanitizer build; parallel_test and thread_pool_test run under
+#    TSan to catch data races in the pool, the FFT caches, and the
+#    parallelized hot paths.
+#
+# Usage: ci/run_ci.sh [build-dir-prefix]   (default: build-ci)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build-ci}"
+RELEASE_DIR="${PREFIX}-release"
+TSAN_DIR="${PREFIX}-tsan"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> Release build (${RELEASE_DIR})"
+cmake -B "${RELEASE_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${RELEASE_DIR}" -j "${JOBS}"
+
+for threads in 1 4; do
+  echo "==> tier1 tests, KSHAPE_THREADS=${threads}"
+  (cd "${RELEASE_DIR}" &&
+   KSHAPE_THREADS="${threads}" ctest -L tier1 --output-on-failure -j "${JOBS}")
+done
+
+echo "==> ThreadSanitizer build (${TSAN_DIR})"
+cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DKSHAPE_SANITIZE=thread
+cmake --build "${TSAN_DIR}" -j "${JOBS}" \
+      --target parallel_test thread_pool_test
+
+echo "==> race check: parallel_test + thread_pool_test under TSan"
+# Run the parallel paths at a thread count high enough to force real
+# interleaving even on small CI machines.
+KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    "${TSAN_DIR}/tests/parallel_test"
+KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    "${TSAN_DIR}/tests/thread_pool_test"
+
+echo "==> CI OK"

@@ -1,13 +1,38 @@
 #include "classify/nearest_neighbor.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <map>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "distance/dtw.h"
 
 namespace kshape::classify {
+
+namespace {
+
+// Accuracy loops parallelize over queries: each query writes one flag into a
+// pre-sized buffer and the count is reduced sequentially afterwards, so the
+// result cannot depend on thread scheduling. Grain 1: a single query already
+// costs a full scan of the training set.
+double ParallelQueryAccuracy(
+    std::size_t num_queries,
+    const std::function<bool(std::size_t)>& query_is_correct) {
+  std::vector<unsigned char> correct(num_queries, 0);
+  common::ParallelFor(0, num_queries, 1,
+                      [&](std::size_t begin, std::size_t end) {
+    for (std::size_t q = begin; q < end; ++q) {
+      correct[q] = query_is_correct(q) ? 1 : 0;
+    }
+  });
+  std::size_t total = 0;
+  for (unsigned char c : correct) total += c;
+  return static_cast<double>(total) / static_cast<double>(num_queries);
+}
+
+}  // namespace
 
 int OneNnClassify(const tseries::Dataset& train, const tseries::Series& query,
                   const distance::DistanceMeasure& measure) {
@@ -28,21 +53,18 @@ double OneNnAccuracy(const tseries::Dataset& train,
                      const tseries::Dataset& test,
                      const distance::DistanceMeasure& measure) {
   KSHAPE_CHECK(!train.empty() && !test.empty());
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < test.size(); ++i) {
-    if (OneNnClassify(train, test.series(i), measure) == test.label(i)) {
-      ++correct;
-    }
-  }
-  return static_cast<double>(correct) / static_cast<double>(test.size());
+  return ParallelQueryAccuracy(test.size(), [&](std::size_t i) {
+    return OneNnClassify(train, test.series(i), measure) == test.label(i);
+  });
 }
 
 double OneNnAccuracyCdtwLb(const tseries::Dataset& train,
                            const tseries::Dataset& test, int window) {
   KSHAPE_CHECK(!train.empty() && !test.empty());
   KSHAPE_CHECK(window >= 0);
-  std::size_t correct = 0;
-  for (std::size_t q = 0; q < test.size(); ++q) {
+  // The LB_Keogh prune threshold is query-local state, so queries stay
+  // independent and the prune decisions match the sequential run exactly.
+  return ParallelQueryAccuracy(test.size(), [&](std::size_t q) {
     const tseries::Series& query = test.series(q);
     tseries::Series lower;
     tseries::Series upper;
@@ -60,15 +82,13 @@ double OneNnAccuracyCdtwLb(const tseries::Dataset& train,
         label = train.label(i);
       }
     }
-    if (label == test.label(q)) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(test.size());
+    return label == test.label(q);
+  });
 }
 
 double LeaveOneOutCdtwAccuracy(const tseries::Dataset& data, int window) {
   KSHAPE_CHECK(data.size() >= 2);
-  std::size_t correct = 0;
-  for (std::size_t q = 0; q < data.size(); ++q) {
+  return ParallelQueryAccuracy(data.size(), [&](std::size_t q) {
     const tseries::Series& query = data.series(q);
     tseries::Series lower;
     tseries::Series upper;
@@ -89,9 +109,8 @@ double LeaveOneOutCdtwAccuracy(const tseries::Dataset& data, int window) {
         have_label = true;
       }
     }
-    if (label == data.label(q)) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(data.size());
+    return label == data.label(q);
+  });
 }
 
 int TuneCdtwWindowLoo(const tseries::Dataset& train,
@@ -149,20 +168,16 @@ int KnnClassify(const tseries::Dataset& train, const tseries::Series& query,
 double KnnAccuracy(const tseries::Dataset& train, const tseries::Dataset& test,
                    const distance::DistanceMeasure& measure, int k) {
   KSHAPE_CHECK(!train.empty() && !test.empty());
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < test.size(); ++i) {
-    if (KnnClassify(train, test.series(i), measure, k) == test.label(i)) {
-      ++correct;
-    }
-  }
-  return static_cast<double>(correct) / static_cast<double>(test.size());
+  return ParallelQueryAccuracy(test.size(), [&](std::size_t i) {
+    return KnnClassify(train, test.series(i), measure, k) == test.label(i);
+  });
 }
 
 double OneNnAccuracyEdEarlyAbandon(const tseries::Dataset& train,
                                    const tseries::Dataset& test) {
   KSHAPE_CHECK(!train.empty() && !test.empty());
-  std::size_t correct = 0;
-  for (std::size_t q = 0; q < test.size(); ++q) {
+  // The abandon threshold, like the LB_Keogh prune, is query-local.
+  return ParallelQueryAccuracy(test.size(), [&](std::size_t q) {
     const tseries::Series& query = test.series(q);
     double best_sq = std::numeric_limits<double>::infinity();
     int label = train.label(0);
@@ -183,9 +198,8 @@ double OneNnAccuracyEdEarlyAbandon(const tseries::Dataset& train,
         label = train.label(i);
       }
     }
-    if (label == test.label(q)) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(test.size());
+    return label == test.label(q);
+  });
 }
 
 std::vector<double> DefaultWindowFractions() {

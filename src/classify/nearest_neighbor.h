@@ -15,7 +15,10 @@ int OneNnClassify(const tseries::Dataset& train, const tseries::Series& query,
 
 /// 1-NN classification accuracy of `measure` on a train/test split — the
 /// deterministic, parameter-free evaluation protocol the paper uses for all
-/// distance-measure comparisons (§4, following Ding et al.).
+/// distance-measure comparisons (§4, following Ding et al.). Queries are
+/// evaluated in parallel on the global thread pool (KSHAPE_THREADS); the
+/// accuracy is bit-identical at every thread count, as is that of every
+/// other accuracy function below.
 double OneNnAccuracy(const tseries::Dataset& train,
                      const tseries::Dataset& test,
                      const distance::DistanceMeasure& measure);

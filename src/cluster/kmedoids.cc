@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace kshape::cluster {
 
@@ -12,13 +13,20 @@ linalg::Matrix PairwiseDistanceMatrix(
     const distance::DistanceMeasure& measure) {
   const std::size_t n = series.size();
   linalg::Matrix d(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double dist = measure.Distance(series[i], series[j]);
-      d(i, j) = dist;
-      d(j, i) = dist;
+  // Rows are independent: row i computes d(i, j) for j > i and mirrors each
+  // value into d(j, i). Two rows never write the same cell, so the matrix is
+  // bit-identical at any thread count. Grain 1 because row cost shrinks with
+  // i (n-i-1 distances); the pool's dynamic chunk claiming load-balances.
+  common::ParallelFor(0, n, 1, [&](std::size_t row_begin,
+                                   std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dist = measure.Distance(series[i], series[j]);
+        d(i, j) = dist;
+        d(j, i) = dist;
+      }
     }
-  }
+  });
   return d;
 }
 

@@ -45,7 +45,9 @@ class KMedoids : public ClusteringAlgorithm {
 };
 
 /// Computes the full symmetric pairwise dissimilarity matrix (shared with
-/// hierarchical and spectral clustering).
+/// hierarchical and spectral clustering, validity metrics, and EstimateK).
+/// Rows are computed in parallel on the global thread pool (KSHAPE_THREADS);
+/// the result is bit-identical at every thread count.
 linalg::Matrix PairwiseDistanceMatrix(
     const std::vector<tseries::Series>& series,
     const distance::DistanceMeasure& measure);

@@ -1,0 +1,183 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "common/check.h"
+
+namespace kshape::common {
+
+namespace {
+
+// True while the current thread is executing chunks of some region — on pool
+// workers *and* on the calling thread, which participates in its own region.
+// A ParallelFor issued from such a thread is a nested call and runs inline
+// (a caller-thread nested call would otherwise self-deadlock on submit_mu_).
+thread_local bool t_in_region = false;
+
+// Sets t_in_region for a scope; exception-safe via RAII.
+struct InRegionScope {
+  bool saved = t_in_region;
+  InRegionScope() { t_in_region = true; }
+  ~InRegionScope() { t_in_region = saved; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  KSHAPE_CHECK_MSG(num_threads >= 1, "ThreadPool requires >= 1 thread");
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunks(Region* region) {
+  const InRegionScope scope;
+  for (;;) {
+    std::size_t chunk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (region->next_chunk >= region->num_chunks) return;
+      chunk = region->next_chunk++;
+    }
+    const std::size_t chunk_begin = region->begin + chunk * region->grain;
+    const std::size_t chunk_end =
+        std::min(region->end, chunk_begin + region->grain);
+    try {
+      (*region->body)(chunk_begin, chunk_end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!region->error) region->error = std::current_exception();
+      region->next_chunk = region->num_chunks;  // Cancel remaining chunks.
+      return;
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t last_seq = 0;
+  for (;;) {
+    Region* region = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (region_ != nullptr && region_seq_ != last_seq);
+      });
+      if (shutdown_) return;
+      last_seq = region_seq_;
+      region = region_;
+      ++region->active_workers;
+    }
+    RunChunks(region);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --region->active_workers;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t count = end - begin;
+  const std::size_t num_chunks = (count + grain - 1) / grain;
+
+  // Inline paths: a single-thread pool, a nested call from a worker (running
+  // it inline avoids self-deadlock), or a range that is one chunk anyway.
+  // The chunk decomposition is identical to the parallel path, so results
+  // cannot depend on which path ran.
+  if (num_threads_ == 1 || t_in_region || num_chunks == 1) {
+    for (std::size_t s = begin; s < end; s += grain) {
+      body(s, std::min(end, s + grain));
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  Region region;
+  region.begin = begin;
+  region.end = end;
+  region.grain = grain;
+  region.num_chunks = num_chunks;
+  region.body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    region_ = &region;
+    ++region_seq_;
+  }
+  work_cv_.notify_all();
+
+  RunChunks(&region);  // The caller is a full participant.
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return region.active_workers == 0; });
+    region_ = nullptr;
+    error = region.error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+namespace {
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Global-pool state. The pool is heap-allocated and guarded by a mutex only
+// for creation/replacement; steady-state access is a pointer read.
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mu
+
+ThreadPool& GetOrCreatePool(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr || num_threads > 0) {
+    const int n = num_threads > 0 ? num_threads : DefaultThreadCount();
+    g_pool.reset();  // Join the old workers before spawning replacements.
+    g_pool = std::make_unique<ThreadPool>(n);
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+int DefaultThreadCount() {
+  const char* env = std::getenv("KSHAPE_THREADS");
+  if (env != nullptr) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  return HardwareThreads();
+}
+
+ThreadPool& GlobalThreadPool() { return GetOrCreatePool(0); }
+
+void SetThreadCount(int num_threads) {
+  KSHAPE_CHECK_MSG(num_threads >= 0, "SetThreadCount requires >= 0");
+  GetOrCreatePool(num_threads == 0 ? DefaultThreadCount() : num_threads);
+}
+
+int ThreadCount() { return GlobalThreadPool().num_threads(); }
+
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  GlobalThreadPool().ParallelFor(begin, end, grain, body);
+}
+
+}  // namespace kshape::common

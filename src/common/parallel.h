@@ -1,0 +1,113 @@
+#ifndef KSHAPE_COMMON_PARALLEL_H_
+#define KSHAPE_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kshape::common {
+
+/// A task-parallel runtime for the library's embarrassingly-parallel hot
+/// paths (pairwise distance matrices, the k-Shape assignment step, k-means++
+/// D^2 scans, 1-NN searches).
+///
+/// Determinism contract: ParallelFor splits [begin, end) into the same
+/// chunks regardless of the thread count — only *which* thread runs a chunk
+/// varies. A body that writes exclusively to indices inside its chunk (no
+/// shared accumulator, no reduction-order dependence) therefore produces
+/// bit-identical results at every thread count, including 1. All call sites
+/// in this library follow that pattern: they pre-size output buffers and make
+/// each chunk write a disjoint slice, then reduce sequentially if needed.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` worker threads (the caller participates in
+  /// every region, so 1 means fully inline execution). Requires >= 1.
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Must not be called while a ParallelFor is running.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The configured degree of parallelism (including the calling thread).
+  int num_threads() const { return num_threads_; }
+
+  /// Invokes `body(chunk_begin, chunk_end)` over disjoint chunks of
+  /// [begin, end), each at most `grain` indices long (grain 0 is treated
+  /// as 1). Blocks until every chunk has finished. The set of chunks is a
+  /// pure function of (begin, end, grain) — see the determinism contract
+  /// above. Exceptions thrown by `body` cancel the remaining chunks and the
+  /// first one is rethrown on the calling thread.
+  ///
+  /// Nested calls are safe: a body that itself calls ParallelFor (on any
+  /// pool) runs the inner region inline on its own thread, so the pool can
+  /// never deadlock on itself. Concurrent top-level calls from distinct
+  /// non-worker threads are serialized.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  // One ParallelFor invocation. Chunk c covers
+  // [begin + c*grain, min(end, begin + (c+1)*grain)).
+  struct Region {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::size_t num_chunks = 0;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t next_chunk = 0;    // guarded by ThreadPool::mu_
+    int active_workers = 0;        // guarded by ThreadPool::mu_
+    std::exception_ptr error;      // guarded by ThreadPool::mu_
+  };
+
+  void WorkerLoop();
+  // Claims and runs chunks of `region` until none remain (or an error
+  // cancels the region).
+  void RunChunks(Region* region);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a region was posted / shutdown
+  std::condition_variable done_cv_;  // caller: all participants drained
+  Region* region_ = nullptr;         // active region, nullptr when idle
+  std::uint64_t region_seq_ = 0;     // bumped per region so workers never
+                                     // re-join one they already finished
+  bool shutdown_ = false;
+
+  // Serializes top-level ParallelFor calls (the pool runs one region at a
+  // time); nested calls bypass it by running inline.
+  std::mutex submit_mu_;
+};
+
+/// The process-wide pool used by all library hot paths. Created lazily with
+/// the thread count from the `KSHAPE_THREADS` environment variable (values
+/// < 1 or unset fall back to std::thread::hardware_concurrency()).
+ThreadPool& GlobalThreadPool();
+
+/// Replaces the global pool with one of `num_threads` threads; 0 re-reads
+/// `KSHAPE_THREADS` / the hardware default. Must not be called while any
+/// ParallelFor on the global pool is in flight (configure at startup or
+/// between runs, as the tests do).
+void SetThreadCount(int num_threads);
+
+/// The global pool's thread count (creates the pool if needed).
+int ThreadCount();
+
+/// The thread count `KSHAPE_THREADS` / hardware concurrency would yield for
+/// a fresh pool; exposed for tools that report their configuration.
+int DefaultThreadCount();
+
+/// ParallelFor on the global pool. This is the call sites' entry point.
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace kshape::common
+
+#endif  // KSHAPE_COMMON_PARALLEL_H_

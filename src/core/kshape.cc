@@ -3,11 +3,20 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "core/sbd.h"
 
 namespace kshape::core {
 
 namespace {
+
+// The SBD evaluations of one D^2 scan are independent per series, so they
+// run on the thread pool; each index writes only d2[i] / nearest[i]. The
+// RNG-driven sampling between scans stays sequential, and `total` is reduced
+// over the materialized d2 array in index order — so the seeding consumes
+// exactly the same random stream and picks the same seeds at every thread
+// count. Grain 16 amortizes chunk-claiming over the cheap per-index work.
+constexpr std::size_t kScanGrain = 16;
 
 // k-means++-style seeding under SBD: D^2 sampling of k seed series, then a
 // nearest-seed initial assignment.
@@ -20,10 +29,13 @@ std::vector<int> PlusPlusAssignments(const std::vector<tseries::Series>& series,
 
   // d2[i] = squared SBD to the nearest chosen seed.
   std::vector<double> d2(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double d = Sbd(series[seeds[0]], series[i]).distance;
-    d2[i] = d * d;
-  }
+  common::ParallelFor(0, n, kScanGrain,
+                      [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const double d = Sbd(series[seeds[0]], series[i]).distance;
+      d2[i] = d * d;
+    }
+  });
   std::vector<int> nearest(n, 0);
 
   while (static_cast<int>(seeds.size()) < k) {
@@ -45,13 +57,16 @@ std::vector<int> PlusPlusAssignments(const std::vector<tseries::Series>& series,
     }
     seeds.push_back(pick);
     const int seed_index = static_cast<int>(seeds.size()) - 1;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double d = Sbd(series[pick], series[i]).distance;
-      if (d * d < d2[i]) {
-        d2[i] = d * d;
-        nearest[i] = seed_index;
+    common::ParallelFor(0, n, kScanGrain,
+                        [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const double d = Sbd(series[pick], series[i]).distance;
+        if (d * d < d2[i]) {
+          d2[i] = d * d;
+          nearest[i] = seed_index;
+        }
       }
-    }
+    });
   }
   return nearest;
 }
@@ -101,19 +116,24 @@ cluster::ClusteringResult KShape::Cluster(
     }
 
     // Assignment step: move each series to its closest centroid
-    // (Algorithm 3, lines 11-17).
-    for (std::size_t i = 0; i < n; ++i) {
-      double min_dist = std::numeric_limits<double>::infinity();
-      int best = result.assignments[i];
-      for (int j = 0; j < k; ++j) {
-        const double d = assignment_distance(result.centroids[j], series[i]);
-        if (d < min_dist) {
-          min_dist = d;
-          best = j;
+    // (Algorithm 3, lines 11-17). Each index reads the shared centroids and
+    // writes only its own assignments[i]; ties are broken by centroid order
+    // inside each index, so the result is thread-count-invariant.
+    common::ParallelFor(0, n, kScanGrain,
+                        [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        double min_dist = std::numeric_limits<double>::infinity();
+        int best = result.assignments[i];
+        for (int j = 0; j < k; ++j) {
+          const double d = assignment_distance(result.centroids[j], series[i]);
+          if (d < min_dist) {
+            min_dist = d;
+            best = j;
+          }
         }
+        result.assignments[i] = best;
       }
-      result.assignments[i] = best;
-    }
+    });
 
     // Re-seed clusters that lost all members with the series farthest from
     // its current centroid, so every requested cluster stays populated.

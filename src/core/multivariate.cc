@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "cluster/algorithm.h"
 #include "fft/fft.h"
 #include "linalg/matrix.h"
@@ -158,20 +159,23 @@ MultivariateClusteringResult MultivariateKShape::Cluster(
           members, result.centroids[j], rng, options_.shape_options);
     }
 
-    // Assignment.
-    for (std::size_t i = 0; i < n; ++i) {
-      double min_dist = std::numeric_limits<double>::infinity();
-      int best = result.assignments[i];
-      for (int j = 0; j < k; ++j) {
-        const double dist =
-            MultivariateSbd(result.centroids[j], series[i]).distance;
-        if (dist < min_dist) {
-          min_dist = dist;
-          best = j;
+    // Assignment. Same disjoint-write pattern as univariate k-Shape, so the
+    // result is thread-count-invariant.
+    common::ParallelFor(0, n, 16, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        double min_dist = std::numeric_limits<double>::infinity();
+        int best = result.assignments[i];
+        for (int j = 0; j < k; ++j) {
+          const double dist =
+              MultivariateSbd(result.centroids[j], series[i]).distance;
+          if (dist < min_dist) {
+            min_dist = dist;
+            best = j;
+          }
         }
+        result.assignments[i] = best;
       }
-      result.assignments[i] = best;
-    }
+    });
 
     // Re-seed empty clusters from the farthest member of populated ones.
     std::vector<std::size_t> sizes(k, 0);

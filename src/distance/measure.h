@@ -16,7 +16,12 @@ namespace kshape::distance {
 ///
 /// Implementations must be stateless with respect to Distance() calls (safe
 /// to call repeatedly in any order) and must return a non-negative value
-/// where smaller means more similar.
+/// where smaller means more similar. Statelessness is load-bearing: the
+/// pairwise-matrix, clustering-assignment, and 1-NN hot paths invoke
+/// Distance() concurrently from ParallelFor workers (see common/parallel.h),
+/// so Distance() must also be safe to call from multiple threads at once.
+/// Every measure in this library is; custom measures with mutable caches
+/// must synchronize or use thread_local scratch.
 class DistanceMeasure {
  public:
   virtual ~DistanceMeasure() = default;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "common/check.h"
 
@@ -77,8 +78,13 @@ void Radix2Plan::Inverse(Complex* data) const { TransformImpl(data, true); }
 
 const Radix2Plan& GetPlan(std::size_t n) {
   // Function-local static pointer so the cache is never destroyed (the plans
-  // are immutable and reclaiming them at exit would gain nothing).
+  // are immutable and reclaiming them at exit would gain nothing). The map is
+  // mutex-guarded so concurrent ParallelFor workers can share one cache; the
+  // returned plans are heap-allocated and immutable, so references stay valid
+  // and usable without the lock.
   static auto* cache = new std::map<std::size_t, std::unique_ptr<Radix2Plan>>();
+  static auto* mu = new std::mutex();
+  std::lock_guard<std::mutex> lock(*mu);
   auto it = cache->find(n);
   if (it == cache->end()) {
     it = cache->emplace(n, std::make_unique<Radix2Plan>(n)).first;
@@ -162,8 +168,10 @@ namespace {
 // z = x + i*y once at length fft_len, unpacks the two spectra, multiplies
 // X[k] * conj(Y[k]), and inverse-transforms. SBD calls this once per distance
 // evaluation — the hottest path in the library — so the transform buffers are
-// cached per size instead of being reallocated on every call. Single-threaded
-// by design, like the rest of the library.
+// cached per size instead of being reallocated on every call. The cache is
+// thread_local: every ParallelFor worker gets its own scratch, so concurrent
+// SBD evaluations never share FFT buffers (a requirement of the library's
+// thread-count-invariance guarantee).
 std::vector<double> CrossCorrelationImpl(const std::vector<double>& x,
                                          const std::vector<double>& y,
                                          std::size_t fft_len) {
@@ -176,8 +184,10 @@ std::vector<double> CrossCorrelationImpl(const std::vector<double>& x,
     std::vector<Complex> z;
     std::vector<Complex> c;
   };
-  static auto* workspaces = new std::map<std::size_t, Workspace>();
-  Workspace& ws = (*workspaces)[fft_len];
+  // A value (not a leaked pointer like the plan cache) so each pool worker's
+  // scratch is reclaimed when its thread exits.
+  static thread_local std::map<std::size_t, Workspace> workspaces;
+  Workspace& ws = workspaces[fft_len];
   ws.z.assign(fft_len, Complex(0, 0));
   ws.c.resize(fft_len);
   std::vector<Complex>& z = ws.z;

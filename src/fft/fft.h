@@ -50,7 +50,9 @@ class Radix2Plan {
 ///
 /// The cache is process-wide and intentionally never destroyed (trivially
 /// reclaimed at exit), so repeated SBD computations at one series length do
-/// not re-derive twiddles. Not thread-safe; the library is single-threaded.
+/// not re-derive twiddles. Thread-safe: lookups are mutex-guarded and the
+/// returned plan is immutable, so concurrent ParallelFor workers may share
+/// it freely.
 const Radix2Plan& GetPlan(std::size_t n);
 
 /// In-place forward DFT of arbitrary length (radix-2 when possible, Bluestein

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/kmedoids.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "core/sbd.h"
 #include "distance/dtw.h"
@@ -151,6 +153,86 @@ TEST(SbdSpecificPropertyTest, AntiCorrelatedSeriesApproachTwo) {
   EXPECT_GT(sbd.Distance(x, neg), 0.4);
   EXPECT_GT(sbd.Distance(x, neg), sbd.Distance(x, x) + 0.3);
 }
+
+// Randomized sweeps of SBD's metric-like properties as observed through the
+// parallel PairwiseDistanceMatrix path (the entry point k-medoids,
+// hierarchical, spectral, validity metrics, and EstimateK all share). Run at
+// several thread counts so the properties are checked on the actual
+// concurrent code path, not just the inline fallback.
+class ParallelSbdMatrixPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { common::SetThreadCount(GetParam()); }
+  void TearDown() override { common::SetThreadCount(1); }
+};
+
+TEST_P(ParallelSbdMatrixPropertyTest, SymmetryZeroDiagonalAndRange) {
+  common::Rng rng(8);
+  const core::SbdDistance sbd;
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 17 + 4 * trial;  // Deliberately not grain-aligned.
+    const std::size_t m = 24 + 7 * trial;
+    std::vector<Series> series;
+    for (std::size_t i = 0; i < n; ++i) {
+      series.push_back(tseries::ZNormalized(RandomSeries(m, &rng)));
+    }
+    const linalg::Matrix d = cluster::PairwiseDistanceMatrix(series, sbd);
+    ASSERT_EQ(d.rows(), n);
+    ASSERT_EQ(d.cols(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(d(i, i), 0.0) << "diagonal at " << i;
+      for (std::size_t j = 0; j < n; ++j) {
+        // Bitwise symmetry: the matrix builder mirrors one computed value,
+        // so this is exact, not approximate.
+        EXPECT_EQ(d(i, j), d(j, i)) << i << "," << j;
+        EXPECT_GE(d(i, j), 0.0);
+        EXPECT_LE(d(i, j), 2.0 + 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(ParallelSbdMatrixPropertyTest, DegenerateConstantSeriesHitDenZero) {
+  // Constant series have zero norm after z-normalization, taking the
+  // den == 0 branch of Sbd(): distance 1 to anything non-degenerate and to
+  // each other, with no preferred shift. Mix constants among regular series
+  // so both branch directions occur inside one parallel matrix build.
+  common::Rng rng(9);
+  const core::SbdDistance sbd;
+  const std::size_t m = 32;
+  std::vector<Series> series;
+  std::vector<bool> is_constant;
+  for (int i = 0; i < 12; ++i) {
+    if (i % 3 == 0) {
+      series.push_back(Series(m, static_cast<double>(i)));  // Constant.
+      is_constant.push_back(true);
+    } else {
+      series.push_back(tseries::ZNormalized(RandomSeries(m, &rng)));
+      is_constant.push_back(false);
+    }
+  }
+  // ZNormalized maps constants to all-zero; apply it where the clustering
+  // pipelines would.
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (is_constant[i]) series[i] = tseries::ZNormalized(series[i]);
+  }
+  const linalg::Matrix d = cluster::PairwiseDistanceMatrix(series, sbd);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      if (i == j) continue;
+      if (is_constant[i] || is_constant[j]) {
+        EXPECT_EQ(d(i, j), 1.0) << i << "," << j;
+      } else {
+        EXPECT_LT(d(i, j), 2.0 + 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelSbdMatrixPropertyTest,
+                         ::testing::Values(1, 2, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
 
 TEST(CrossCorrelationSymmetryTest, SequenceReversesBetweenArgumentOrders) {
   // R_k(x, y) == R_{-k}(y, x): the NCC sequence of (y, x) is the reverse of

@@ -1,0 +1,178 @@
+// Thread-count invariance of every parallelized hot path: the same inputs
+// (and, where stochastic, the same RNG seed) must produce bit-for-bit
+// identical results with KSHAPE_THREADS = 1, 2, and 8. Each check runs the
+// computation once per thread count via SetThreadCount and compares the raw
+// doubles with operator== — no tolerances, by design: the parallel layer
+// only redistributes identical per-index computations across threads.
+//
+// This binary is also the one CI runs under ThreadSanitizer, so the bodies
+// double as race detectors for the pool and the FFT scratch caches.
+
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classify/nearest_neighbor.h"
+#include "cluster/kmedoids.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "core/kshape.h"
+#include "core/sbd.h"
+#include "data/generators.h"
+#include "distance/dtw.h"
+#include "tseries/normalization.h"
+
+namespace kshape {
+namespace {
+
+using tseries::Series;
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+std::vector<Series> MakeSeries(std::size_t n, std::size_t m, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Series> series;
+  series.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series.push_back(tseries::ZNormalized(
+        data::MakeCbf(static_cast<int>(i % 3), m, &rng)));
+  }
+  return series;
+}
+
+tseries::Dataset MakeDataset(std::size_t n, std::size_t m, uint64_t seed) {
+  common::Rng rng(seed);
+  tseries::Dataset dataset("parallel-test");
+  for (std::size_t i = 0; i < n; ++i) {
+    const int klass = static_cast<int>(i % 3);
+    dataset.Add(tseries::ZNormalized(data::MakeCbf(klass, m, &rng)), klass);
+  }
+  return dataset;
+}
+
+// Runs `compute` once per thread count and asserts all results compare equal
+// under `equal` (exact equality — the invariance guarantee is bitwise).
+template <typename T>
+void ExpectInvariant(const std::function<T()>& compute,
+                     const std::function<bool(const T&, const T&)>& equal,
+                     const char* what) {
+  common::SetThreadCount(kThreadCounts[0]);
+  const T reference = compute();
+  for (std::size_t t = 1; t < std::size(kThreadCounts); ++t) {
+    common::SetThreadCount(kThreadCounts[t]);
+    const T other = compute();
+    EXPECT_TRUE(equal(reference, other))
+        << what << " differs between " << kThreadCounts[0] << " and "
+        << kThreadCounts[t] << " threads";
+  }
+  common::SetThreadCount(1);
+}
+
+bool MatricesBitIdentical(const linalg::Matrix& a, const linalg::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (a(i, j) != b(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+bool ResultsBitIdentical(const cluster::ClusteringResult& a,
+                         const cluster::ClusteringResult& b) {
+  if (a.assignments != b.assignments) return false;
+  if (a.iterations != b.iterations || a.converged != b.converged) return false;
+  if (a.centroids.size() != b.centroids.size()) return false;
+  for (std::size_t j = 0; j < a.centroids.size(); ++j) {
+    if (a.centroids[j] != b.centroids[j]) return false;
+  }
+  return true;
+}
+
+TEST(ParallelInvarianceTest, PairwiseSbdDistanceMatrix) {
+  const std::vector<Series> series = MakeSeries(40, 64, 1);
+  const core::SbdDistance sbd;
+  ExpectInvariant<linalg::Matrix>(
+      [&] { return cluster::PairwiseDistanceMatrix(series, sbd); },
+      MatricesBitIdentical, "pairwise SBD matrix");
+}
+
+TEST(ParallelInvarianceTest, PairwiseCdtwDistanceMatrix) {
+  const std::vector<Series> series = MakeSeries(24, 48, 2);
+  const dtw::DtwMeasure cdtw5 = dtw::DtwMeasure::SakoeChiba(0.05, "cDTW5");
+  ExpectInvariant<linalg::Matrix>(
+      [&] { return cluster::PairwiseDistanceMatrix(series, cdtw5); },
+      MatricesBitIdentical, "pairwise cDTW matrix");
+}
+
+TEST(ParallelInvarianceTest, KShapeFullRunRandomInit) {
+  const std::vector<Series> series = MakeSeries(36, 64, 3);
+  const core::KShape algorithm;
+  ExpectInvariant<cluster::ClusteringResult>(
+      [&] {
+        common::Rng rng(7);  // Fresh identical seed per thread count.
+        return algorithm.Cluster(series, 3, &rng);
+      },
+      ResultsBitIdentical, "k-Shape (random init)");
+}
+
+TEST(ParallelInvarianceTest, KShapeFullRunPlusPlusInit) {
+  // ++ seeding exercises the parallel D^2 scans *and* the RNG-driven
+  // sequential sampling between them; invariance proves the scans do not
+  // perturb the random stream.
+  const std::vector<Series> series = MakeSeries(36, 64, 4);
+  core::KShapeOptions options;
+  options.init = core::KShapeInit::kPlusPlusSeeding;
+  const core::KShape algorithm(options);
+  ExpectInvariant<cluster::ClusteringResult>(
+      [&] {
+        common::Rng rng(11);
+        return algorithm.Cluster(series, 3, &rng);
+      },
+      ResultsBitIdentical, "k-Shape (++ init)");
+}
+
+TEST(ParallelInvarianceTest, OneNnAccuracySbd) {
+  const tseries::Dataset train = MakeDataset(30, 64, 5);
+  const tseries::Dataset test = MakeDataset(20, 64, 6);
+  const core::SbdDistance sbd;
+  ExpectInvariant<double>(
+      [&] { return classify::OneNnAccuracy(train, test, sbd); },
+      std::equal_to<double>(), "1-NN SBD accuracy");
+}
+
+TEST(ParallelInvarianceTest, LeaveOneOutCdtwAccuracy) {
+  const tseries::Dataset data = MakeDataset(26, 48, 8);
+  ExpectInvariant<double>(
+      [&] { return classify::LeaveOneOutCdtwAccuracy(data, 3); },
+      std::equal_to<double>(), "LOO cDTW accuracy");
+}
+
+TEST(ParallelInvarianceTest, TunedCdtwWindow) {
+  // Window tuning stacks LOO runs; the chosen window is an integer, so any
+  // scheduling sensitivity in the underlying accuracies would surface here.
+  const tseries::Dataset train = MakeDataset(20, 40, 9);
+  ExpectInvariant<int>(
+      [&] {
+        return classify::TuneCdtwWindowLoo(train, {0.0, 0.02, 0.05, 0.1});
+      },
+      std::equal_to<int>(), "tuned cDTW window");
+}
+
+TEST(ParallelInvarianceTest, KnnAndEarlyAbandonAccuracies) {
+  const tseries::Dataset train = MakeDataset(24, 48, 10);
+  const tseries::Dataset test = MakeDataset(15, 48, 12);
+  const core::SbdDistance sbd;
+  ExpectInvariant<double>(
+      [&] { return classify::KnnAccuracy(train, test, sbd, 3); },
+      std::equal_to<double>(), "3-NN SBD accuracy");
+  ExpectInvariant<double>(
+      [&] { return classify::OneNnAccuracyEdEarlyAbandon(train, test); },
+      std::equal_to<double>(), "1-NN ED early-abandon accuracy");
+}
+
+}  // namespace
+}  // namespace kshape
