@@ -47,6 +47,11 @@ int main() {
   const cluster::ArithmeticMeanAveraging mean_avg;
   const cluster::KMeans k_avg_ed(&ed, &mean_avg, "k-AVG+ED");
   const core::KShape kshape;
+  // Ablation column: the identical algorithm with the spectrum cache off,
+  // paying two forward transforms inside every assignment distance.
+  core::KShapeOptions no_cache_options;
+  no_cache_options.use_spectrum_cache = false;
+  const core::KShape kshape_no_cache(no_cache_options);
 
   auto run_one = [&](const cluster::ClusteringAlgorithm& algorithm,
                      const std::vector<Series>& series,
@@ -64,16 +69,20 @@ int main() {
                         "(CBF, m = 128, k = 3)");
   {
     harness::TablePrinter table({"n", "k-AVG+ED (s)", "k-Shape (s)",
-                                 "k-AVG+ED Rand", "k-Shape Rand"});
+                                 "k-Shape no-cache (s)", "k-AVG+ED Rand",
+                                 "k-Shape Rand"});
     std::vector<Series> series;
     std::vector<int> labels;
     for (int n : {300, 600, 1200, 2400}) {
       MakeCbfData(n, 128, 1, &series, &labels);
       double ed_seconds, ed_rand, ks_seconds, ks_rand;
+      double nc_seconds, nc_rand;
       run_one(k_avg_ed, series, labels, &ed_seconds, &ed_rand);
       run_one(kshape, series, labels, &ks_seconds, &ks_rand);
+      run_one(kshape_no_cache, series, labels, &nc_seconds, &nc_rand);
       table.AddRow({std::to_string(n), harness::FormatDouble(ed_seconds, 3),
                     harness::FormatDouble(ks_seconds, 3),
+                    harness::FormatDouble(nc_seconds, 3),
                     harness::FormatDouble(ed_rand, 3),
                     harness::FormatDouble(ks_rand, 3)});
     }
@@ -86,16 +95,20 @@ int main() {
                         "(CBF, n = 300, k = 3)");
   {
     harness::TablePrinter table({"m", "k-AVG+ED (s)", "k-Shape (s)",
-                                 "k-AVG+ED Rand", "k-Shape Rand"});
+                                 "k-Shape no-cache (s)", "k-AVG+ED Rand",
+                                 "k-Shape Rand"});
     std::vector<Series> series;
     std::vector<int> labels;
     for (std::size_t m : {64, 128, 256, 512, 1024}) {
       MakeCbfData(300, m, 2, &series, &labels);
       double ed_seconds, ed_rand, ks_seconds, ks_rand;
+      double nc_seconds, nc_rand;
       run_one(k_avg_ed, series, labels, &ed_seconds, &ed_rand);
       run_one(kshape, series, labels, &ks_seconds, &ks_rand);
+      run_one(kshape_no_cache, series, labels, &nc_seconds, &nc_rand);
       table.AddRow({std::to_string(m), harness::FormatDouble(ed_seconds, 3),
                     harness::FormatDouble(ks_seconds, 3),
+                    harness::FormatDouble(nc_seconds, 3),
                     harness::FormatDouble(ed_rand, 3),
                     harness::FormatDouble(ks_rand, 3)});
     }

@@ -38,6 +38,16 @@ using kshape::tseries::Series;
 
 constexpr int kThreadCounts[] = {1, 2, 4, 8};
 
+// SBD without the batched hooks, so PairwiseDistanceMatrix takes the generic
+// per-pair loop — the uncached mode of the spectrum-cache comparison.
+class UncachedSbd : public kshape::distance::DistanceMeasure {
+ public:
+  double Distance(const Series& x, const Series& y) const override {
+    return kshape::core::Sbd(x, y).distance;
+  }
+  std::string Name() const override { return "SBD_uncached"; }
+};
+
 std::vector<Series> MakeSeries(std::size_t n, std::size_t m, uint64_t seed) {
   kshape::common::Rng rng(seed);
   std::vector<Series> series;
@@ -109,31 +119,35 @@ int main() {
               common::DefaultThreadCount());
 
   // The acceptance workload: symmetric pairwise SBD matrix, n=200, m=512.
+  // Two modes: the default spectrum-cached engine and the per-pair fallback.
   {
-    harness::PrintSection(std::cout,
-                          "Pairwise SBD distance matrix (n=200, m=512)");
     const std::vector<Series> series = MakeSeries(200, 512, 1);
-    const core::SbdDistance sbd;
-    BenchPath("pairwise_sbd", 200, 512, [&] {
-      const linalg::Matrix d = cluster::PairwiseDistanceMatrix(series, sbd);
+    auto matrix_digest = [&](const distance::DistanceMeasure& measure) {
+      const linalg::Matrix d = cluster::PairwiseDistanceMatrix(series,
+                                                               measure);
       std::vector<double> digest;
       digest.reserve(d.rows() * d.cols());
       for (std::size_t i = 0; i < d.rows(); ++i) {
         for (std::size_t j = 0; j < d.cols(); ++j) digest.push_back(d(i, j));
       }
       return digest;
-    });
+    };
+    harness::PrintSection(
+        std::cout, "Pairwise SBD distance matrix, cached (n=200, m=512)");
+    const core::SbdDistance sbd;
+    BenchPath("pairwise_sbd", 200, 512, [&] { return matrix_digest(sbd); });
+    harness::PrintSection(
+        std::cout, "Pairwise SBD distance matrix, uncached (n=200, m=512)");
+    const UncachedSbd uncached_sbd;
+    BenchPath("pairwise_sbd_uncached", 200, 512,
+              [&] { return matrix_digest(uncached_sbd); });
   }
 
-  // Full k-Shape run (++ seeding exercises the D^2 scans too).
+  // Full k-Shape run (++ seeding exercises the D^2 scans too), in both the
+  // spectrum-cached and the per-pair ablation modes.
   {
-    harness::PrintSection(std::cout,
-                          "k-Shape full run, ++ seeding (n=300, m=256, k=3)");
     const std::vector<Series> series = MakeSeries(300, 256, 2);
-    core::KShapeOptions options;
-    options.init = core::KShapeInit::kPlusPlusSeeding;
-    const core::KShape algorithm(options);
-    BenchPath("kshape_plusplus", 300, 256, [&] {
+    auto kshape_digest = [&](const core::KShape& algorithm) {
       common::Rng rng(7);
       const cluster::ClusteringResult result =
           algorithm.Cluster(series, 3, &rng);
@@ -143,7 +157,22 @@ int main() {
         digest.insert(digest.end(), c.begin(), c.end());
       }
       return digest;
-    });
+    };
+    core::KShapeOptions options;
+    options.init = core::KShapeInit::kPlusPlusSeeding;
+    const core::KShape algorithm(options);
+    harness::PrintSection(
+        std::cout, "k-Shape full run, ++ seeding, cached (n=300, m=256, k=3)");
+    BenchPath("kshape_plusplus", 300, 256,
+              [&] { return kshape_digest(algorithm); });
+    core::KShapeOptions uncached_options = options;
+    uncached_options.use_spectrum_cache = false;
+    const core::KShape uncached_algorithm(uncached_options);
+    harness::PrintSection(
+        std::cout,
+        "k-Shape full run, ++ seeding, uncached (n=300, m=256, k=3)");
+    BenchPath("kshape_plusplus_uncached", 300, 256,
+              [&] { return kshape_digest(uncached_algorithm); });
   }
 
   // Leave-one-out 1-NN under cDTW (the window-tuning inner loop).

@@ -5,9 +5,10 @@
 #    (the suites assert bit-identical results across thread counts, so
 #    running the whole tier at two settings catches scheduling-dependent
 #    output anywhere in the library, not just in parallel_test).
-# 2. ThreadSanitizer build; parallel_test and thread_pool_test run under
-#    TSan to catch data races in the pool, the FFT caches, and the
-#    parallelized hot paths.
+# 2. ThreadSanitizer build; parallel_test, thread_pool_test, and
+#    sbd_cache_test run under TSan to catch data races in the pool, the FFT
+#    plan caches, and the spectrum-cached SBD pipeline (engine construction
+#    pre-pass, batched pairwise fills, concurrent batch-scanner queries).
 #
 # Usage: ci/run_ci.sh [build-dir-prefix]   (default: build-ci)
 
@@ -33,14 +34,16 @@ echo "==> ThreadSanitizer build (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DKSHAPE_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-      --target parallel_test thread_pool_test
+      --target parallel_test thread_pool_test sbd_cache_test
 
-echo "==> race check: parallel_test + thread_pool_test under TSan"
+echo "==> race check: parallel_test + thread_pool_test + sbd_cache_test under TSan"
 # Run the parallel paths at a thread count high enough to force real
 # interleaving even on small CI machines.
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/parallel_test"
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/thread_pool_test"
+KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    "${TSAN_DIR}/tests/sbd_cache_test"
 
 echo "==> CI OK"

@@ -4,6 +4,8 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -32,6 +34,42 @@ double ParallelQueryAccuracy(
   return static_cast<double>(total) / static_cast<double>(num_queries);
 }
 
+// First-strict-minimum nearest label over a precomputed distance row —
+// matches OneNnClassify's tie-breaking exactly.
+int NearestLabel(const tseries::Dataset& train,
+                 const std::vector<double>& dists) {
+  double best = std::numeric_limits<double>::infinity();
+  int label = train.label(0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    if (dists[i] < best) {
+      best = dists[i];
+      label = train.label(i);
+    }
+  }
+  return label;
+}
+
+// Majority vote over the k nearest (distance, label) pairs; ties go to the
+// class with the closest member. Shared by the per-pair and batched k-NN
+// paths so the two agree prediction for prediction.
+int KnnVote(std::vector<std::pair<double, int>>* neighbors, int effective_k) {
+  std::partial_sort(neighbors->begin(), neighbors->begin() + effective_k,
+                    neighbors->end());
+  std::map<int, int> votes;
+  for (int i = 0; i < effective_k; ++i) ++votes[(*neighbors)[i].second];
+  int best_label = (*neighbors)[0].second;
+  int best_votes = 0;
+  for (int i = 0; i < effective_k; ++i) {
+    const int label = (*neighbors)[i].second;
+    const int count = votes[label];
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
 }  // namespace
 
 int OneNnClassify(const tseries::Dataset& train, const tseries::Series& query,
@@ -53,6 +91,19 @@ double OneNnAccuracy(const tseries::Dataset& train,
                      const tseries::Dataset& test,
                      const distance::DistanceMeasure& measure) {
   KSHAPE_CHECK(!train.empty() && !test.empty());
+  // Measures with per-candidate precomputation (SBD's spectrum cache) scan
+  // the training set through a batch scanner built once: the training spectra
+  // are transformed here and every query afterwards costs one forward plus
+  // |train| inverse transforms instead of |train| full SBD evaluations.
+  const std::unique_ptr<distance::BatchScanner> scanner =
+      measure.NewBatchScanner(train.series());
+  if (scanner != nullptr) {
+    return ParallelQueryAccuracy(test.size(), [&](std::size_t q) {
+      std::vector<double> dists;
+      scanner->DistancesToAll(test.series(q), &dists);
+      return NearestLabel(train, dists) == test.label(q);
+    });
+  }
   return ParallelQueryAccuracy(test.size(), [&](std::size_t i) {
     return OneNnClassify(train, test.series(i), measure) == test.label(i);
   });
@@ -146,28 +197,29 @@ int KnnClassify(const tseries::Dataset& train, const tseries::Series& query,
     neighbors.emplace_back(measure.Distance(query, train.series(i)),
                            train.label(i));
   }
-  std::partial_sort(neighbors.begin(), neighbors.begin() + effective_k,
-                    neighbors.end());
-
-  // Majority vote; ties go to the class with the closest member.
-  std::map<int, int> votes;
-  for (int i = 0; i < effective_k; ++i) ++votes[neighbors[i].second];
-  int best_label = neighbors[0].second;
-  int best_votes = 0;
-  for (int i = 0; i < effective_k; ++i) {
-    const int label = neighbors[i].second;
-    const int count = votes[label];
-    if (count > best_votes) {
-      best_votes = count;
-      best_label = label;
-    }
-  }
-  return best_label;
+  return KnnVote(&neighbors, effective_k);
 }
 
 double KnnAccuracy(const tseries::Dataset& train, const tseries::Dataset& test,
                    const distance::DistanceMeasure& measure, int k) {
   KSHAPE_CHECK(!train.empty() && !test.empty());
+  KSHAPE_CHECK(k >= 1);
+  const int effective_k = std::min<int>(k, static_cast<int>(train.size()));
+  // Same batched-scan routing as OneNnAccuracy.
+  const std::unique_ptr<distance::BatchScanner> scanner =
+      measure.NewBatchScanner(train.series());
+  if (scanner != nullptr) {
+    return ParallelQueryAccuracy(test.size(), [&](std::size_t q) {
+      std::vector<double> dists;
+      scanner->DistancesToAll(test.series(q), &dists);
+      std::vector<std::pair<double, int>> neighbors;
+      neighbors.reserve(train.size());
+      for (std::size_t i = 0; i < train.size(); ++i) {
+        neighbors.emplace_back(dists[i], train.label(i));
+      }
+      return KnnVote(&neighbors, effective_k) == test.label(q);
+    });
+  }
   return ParallelQueryAccuracy(test.size(), [&](std::size_t i) {
     return KnnClassify(train, test.series(i), measure, k) == test.label(i);
   });

@@ -13,6 +13,18 @@ linalg::Matrix PairwiseDistanceMatrix(
     const distance::DistanceMeasure& measure) {
   const std::size_t n = series.size();
   linalg::Matrix d(n, n);
+  // Measures with per-series precomputation (SBD's spectrum cache) fill the
+  // whole matrix in one batched call — for SBD that turns the two forward
+  // transforms of every pair into n cached forwards plus one inverse per
+  // pair. Everything else takes the generic per-pair loop below.
+  std::vector<double> flat;
+  if (measure.BatchedPairwise(series, &flat)) {
+    KSHAPE_CHECK(flat.size() == n * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) d(i, j) = flat[i * n + j];
+    }
+    return d;
+  }
   // Rows are independent: row i computes d(i, j) for j > i and mirrors each
   // value into d(j, i). Two rows never write the same cell, so the matrix is
   // bit-identical at any thread count. Grain 1 because row cost shrinks with

@@ -47,7 +47,10 @@ class KMedoids : public ClusteringAlgorithm {
 /// Computes the full symmetric pairwise dissimilarity matrix (shared with
 /// hierarchical and spectral clustering, validity metrics, and EstimateK).
 /// Rows are computed in parallel on the global thread pool (KSHAPE_THREADS);
-/// the result is bit-identical at every thread count.
+/// the result is bit-identical at every thread count. Measures that implement
+/// the batched DistanceMeasure::BatchedPairwise hook (SBD's spectrum cache)
+/// are routed through it; their entries agree with per-pair Distance() calls
+/// within a tight tolerance rather than bitwise.
 linalg::Matrix PairwiseDistanceMatrix(
     const std::vector<tseries::Series>& series,
     const distance::DistanceMeasure& measure);

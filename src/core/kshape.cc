@@ -1,10 +1,12 @@
 #include "core/kshape.h"
 
 #include <limits>
+#include <optional>
 
 #include "common/check.h"
 #include "common/parallel.h"
 #include "core/sbd.h"
+#include "core/sbd_engine.h"
 
 namespace kshape::core {
 
@@ -19,20 +21,29 @@ namespace {
 constexpr std::size_t kScanGrain = 16;
 
 // k-means++-style seeding under SBD: D^2 sampling of k seed series, then a
-// nearest-seed initial assignment.
+// nearest-seed initial assignment. With a spectrum cache (`engine` non-null)
+// every seed-to-series distance is a single inverse transform on spectra
+// computed once for the whole Cluster() call; both seed and candidate are
+// in-set, so no forward transform runs inside the scans at all.
 std::vector<int> PlusPlusAssignments(const std::vector<tseries::Series>& series,
-                                     int k, common::Rng* rng) {
+                                     int k, common::Rng* rng,
+                                     const SbdEngine* engine) {
   const std::size_t n = series.size();
   std::vector<std::size_t> seeds;
   seeds.push_back(static_cast<std::size_t>(rng->UniformInt(
       static_cast<int>(n))));
+
+  auto seed_distance = [&](std::size_t seed, std::size_t i) {
+    return engine != nullptr ? engine->Distance(seed, i)
+                             : Sbd(series[seed], series[i]).distance;
+  };
 
   // d2[i] = squared SBD to the nearest chosen seed.
   std::vector<double> d2(n);
   common::ParallelFor(0, n, kScanGrain,
                       [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      const double d = Sbd(series[seeds[0]], series[i]).distance;
+      const double d = seed_distance(seeds[0], i);
       d2[i] = d * d;
     }
   });
@@ -60,7 +71,7 @@ std::vector<int> PlusPlusAssignments(const std::vector<tseries::Series>& series,
     common::ParallelFor(0, n, kScanGrain,
                         [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
-        const double d = Sbd(series[pick], series[i]).distance;
+        const double d = seed_distance(pick, i);
         if (d * d < d2[i]) {
           d2[i] = d * d;
           nearest[i] = seed_index;
@@ -89,18 +100,36 @@ cluster::ClusteringResult KShape::Cluster(
   const std::size_t n = series.size();
   const std::size_t m = series[0].size();
 
+  // Spectrum cache: every series' forward FFT is computed once here and
+  // reused by every ++-seeding scan and every assignment-step distance in
+  // every iteration. Centroid spectra are refreshed once per iteration (k
+  // forwards) below, so each centroid-to-series distance is a single inverse
+  // transform. Disabled for custom assignment distances (the engine only
+  // accelerates SBD) and by the ablation flag.
+  std::optional<SbdEngine> engine;
+  if (options_.use_spectrum_cache && options_.assignment_distance == nullptr) {
+    engine.emplace(series, CrossCorrelationImpl::kFft);
+  }
+
   cluster::ClusteringResult result;
-  result.assignments = options_.init == KShapeInit::kPlusPlusSeeding
-                           ? PlusPlusAssignments(series, k, rng)
-                           : cluster::RandomAssignments(n, k, rng);
+  result.assignments =
+      options_.init == KShapeInit::kPlusPlusSeeding
+          ? PlusPlusAssignments(series, k, rng,
+                                engine ? &*engine : nullptr)
+          : cluster::RandomAssignments(n, k, rng);
   result.centroids.assign(k, tseries::Series(m, 0.0));
 
-  auto assignment_distance = [&](const tseries::Series& centroid,
-                                 const tseries::Series& x) {
+  // Per-iteration centroid spectra; refreshed sequentially after each
+  // refinement step so the assignment scan below stays deterministic.
+  std::vector<SbdEngine::Query> centroid_queries;
+
+  auto assignment_distance = [&](int j, std::size_t i) {
     if (options_.assignment_distance != nullptr) {
-      return options_.assignment_distance->Distance(centroid, x);
+      return options_.assignment_distance->Distance(result.centroids[j],
+                                                    series[i]);
     }
-    return Sbd(centroid, x).distance;
+    if (engine) return engine->Distance(centroid_queries[j], i);
+    return Sbd(result.centroids[j], series[i]).distance;
   };
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
@@ -114,6 +143,14 @@ cluster::ClusteringResult KShape::Cluster(
           ExtractShapeIndexed(series, groups[j], result.centroids[j], rng,
                               options_.shape_options);
     }
+    if (engine) {
+      // k forward transforms per iteration; every centroid-to-series
+      // distance below reuses them as a single inverse transform.
+      centroid_queries.clear();
+      for (int j = 0; j < k; ++j) {
+        centroid_queries.push_back(engine->MakeQuery(result.centroids[j]));
+      }
+    }
 
     // Assignment step: move each series to its closest centroid
     // (Algorithm 3, lines 11-17). Each index reads the shared centroids and
@@ -125,7 +162,7 @@ cluster::ClusteringResult KShape::Cluster(
         double min_dist = std::numeric_limits<double>::infinity();
         int best = result.assignments[i];
         for (int j = 0; j < k; ++j) {
-          const double d = assignment_distance(result.centroids[j], series[i]);
+          const double d = assignment_distance(j, i);
           if (d < min_dist) {
             min_dist = d;
             best = j;
@@ -145,9 +182,7 @@ cluster::ClusteringResult KShape::Cluster(
       std::size_t worst_idx = 0;
       for (std::size_t i = 0; i < n; ++i) {
         if (sizes[result.assignments[i]] <= 1) continue;
-        const double d =
-            assignment_distance(result.centroids[result.assignments[i]],
-                                series[i]);
+        const double d = assignment_distance(result.assignments[i], i);
         if (d > worst_dist) {
           worst_dist = d;
           worst_idx = i;

@@ -35,6 +35,16 @@ struct KShapeOptions {
   /// Controls the eigenvector computation inside shape extraction.
   ShapeExtractionOptions shape_options;
 
+  /// When true (default), Cluster() builds an SbdEngine over the input: every
+  /// series' spectrum is computed once per call and every centroid's once per
+  /// iteration, so each ++-seeding or assignment distance is a single inverse
+  /// transform against cached spectra. Distances agree with the direct Sbd()
+  /// path within a tight tolerance (not bitwise — see core/sbd_engine.h), and
+  /// the cached pipeline itself stays bit-identical at every thread count.
+  /// Ignored when `assignment_distance` is set (the engine only accelerates
+  /// SBD). False forces the per-pair Sbd() path, kept for ablation benches.
+  bool use_spectrum_cache = true;
+
   /// Distance used in the assignment step. Null means SBD (the paper's
   /// k-Shape); pointing this at a DtwMeasure gives the k-Shape+DTW ablation
   /// of Table 3. The pointee must outlive the KShape instance.

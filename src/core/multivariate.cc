@@ -51,6 +51,47 @@ bool IsZeroNorm(const MultivariateSeries& x) {
   return true;
 }
 
+// Spectrum cache for one multivariate series: the padded forward transform of
+// every channel plus the summed channel energy (the mSBD denominator piece).
+// All channels share one common shift, so the assignment step can sum the
+// per-channel cross-correlations recovered from these spectra — one inverse
+// transform per channel per pair, with no forward transforms in the scan.
+struct ChannelSpectra {
+  std::vector<std::vector<fft::Complex>> spectra;
+  double energy = 0.0;
+};
+
+ChannelSpectra MakeChannelSpectra(const MultivariateSeries& s,
+                                  std::size_t fft_len) {
+  ChannelSpectra out;
+  out.spectra.reserve(s.num_channels());
+  for (const auto& channel : s.channels) {
+    out.spectra.push_back(fft::Spectrum(channel, fft_len));
+    out.energy += linalg::Dot(channel, channel);
+  }
+  return out;
+}
+
+// mSBD from cached spectra; same formula as MultivariateSbd, same epsilon
+// (not bitwise) agreement contract as the univariate SbdEngine.
+double CachedMsbdDistance(const ChannelSpectra& x, const ChannelSpectra& y,
+                          std::size_t m) {
+  const double den = std::sqrt(x.energy * y.energy);
+  if (den == 0.0) return 1.0;
+  static thread_local std::vector<double> cc;
+  static thread_local std::vector<double> total;
+  total.assign(2 * m - 1, 0.0);
+  for (std::size_t c = 0; c < x.spectra.size(); ++c) {
+    fft::CrossCorrelationFromSpectra(x.spectra[c], y.spectra[c], m, &cc);
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += cc[i];
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < total.size(); ++i) {
+    if (total[i] > total[best]) best = i;
+  }
+  return 1.0 - total[best] / den;
+}
+
 }  // namespace
 
 MultivariateSbdResult MultivariateSbd(const MultivariateSeries& x,
@@ -146,6 +187,27 @@ MultivariateClusteringResult MultivariateKShape::Cluster(
   zero.channels.assign(d, tseries::Series(m, 0.0));
   result.centroids.assign(k, zero);
 
+  // Spectrum cache: each series' channel spectra are computed once per call
+  // in a deterministic disjoint-write pre-pass; centroid spectra are
+  // refreshed once per iteration below.
+  const bool cached = options_.use_spectrum_cache && m >= 1;
+  const std::size_t fft_len = cached ? fft::NextPowerOfTwo(2 * m - 1) : 0;
+  std::vector<ChannelSpectra> series_cache;
+  if (cached) {
+    series_cache.resize(n);
+    common::ParallelFor(0, n, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        series_cache[i] = MakeChannelSpectra(series[i], fft_len);
+      }
+    });
+  }
+  std::vector<ChannelSpectra> centroid_cache;
+
+  auto assignment_distance = [&](int j, std::size_t i) {
+    if (cached) return CachedMsbdDistance(centroid_cache[j], series_cache[i], m);
+    return MultivariateSbd(result.centroids[j], series[i]).distance;
+  };
+
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     const std::vector<int> previous = result.assignments;
 
@@ -158,6 +220,15 @@ MultivariateClusteringResult MultivariateKShape::Cluster(
       result.centroids[j] = ExtractMultivariateShape(
           members, result.centroids[j], rng, options_.shape_options);
     }
+    if (cached) {
+      // k*d forward transforms per iteration; every centroid-to-series
+      // distance below reuses them as d inverse transforms.
+      centroid_cache.clear();
+      for (int j = 0; j < k; ++j) {
+        centroid_cache.push_back(
+            MakeChannelSpectra(result.centroids[j], fft_len));
+      }
+    }
 
     // Assignment. Same disjoint-write pattern as univariate k-Shape, so the
     // result is thread-count-invariant.
@@ -166,8 +237,7 @@ MultivariateClusteringResult MultivariateKShape::Cluster(
         double min_dist = std::numeric_limits<double>::infinity();
         int best = result.assignments[i];
         for (int j = 0; j < k; ++j) {
-          const double dist =
-              MultivariateSbd(result.centroids[j], series[i]).distance;
+          const double dist = assignment_distance(j, i);
           if (dist < min_dist) {
             min_dist = dist;
             best = j;
@@ -186,9 +256,7 @@ MultivariateClusteringResult MultivariateKShape::Cluster(
       std::size_t worst_idx = 0;
       for (std::size_t i = 0; i < n; ++i) {
         if (sizes[result.assignments[i]] <= 1) continue;
-        const double dist =
-            MultivariateSbd(result.centroids[result.assignments[i]],
-                            series[i]).distance;
+        const double dist = assignment_distance(result.assignments[i], i);
         if (dist > worst_dist) {
           worst_dist = dist;
           worst_idx = i;

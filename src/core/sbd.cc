@@ -1,8 +1,10 @@
 #include "core/sbd.h"
 
 #include <cmath>
+#include <memory>
 
 #include "common/check.h"
+#include "core/sbd_engine.h"
 #include "fft/fft.h"
 #include "linalg/matrix.h"
 #include "tseries/normalization.h"
@@ -105,11 +107,18 @@ SbdResult Sbd(const tseries::Series& x, const tseries::Series& y,
     result.aligned_y = y;
     return result;
   }
-  const NccPeak peak =
-      MaxNcc(x, y, NccNormalization::kCoefficient, impl);
-  result.distance = 1.0 - peak.value;
-  result.shift = peak.shift;
-  result.aligned_y = tseries::ShiftWithZeroFill(y, peak.shift);
+  // Peak of the raw cross-correlation, normalized by the denominator already
+  // in hand — going through NccSequence(kCoefficient) here would recompute
+  // both norms a second time per distance evaluation.
+  const std::vector<double> cc = RawCrossCorrelation(x, y, impl);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < cc.size(); ++i) {
+    if (cc[i] > cc[best]) best = i;
+  }
+  const std::size_t m = x.size();
+  result.distance = 1.0 - cc[best] * (1.0 / den);
+  result.shift = static_cast<int>(best) - static_cast<int>(m - 1);
+  result.aligned_y = tseries::ShiftWithZeroFill(y, result.shift);
   return result;
 }
 
@@ -130,6 +139,48 @@ SbdDistance::SbdDistance(CrossCorrelationImpl impl) : impl_(impl) {
 double SbdDistance::Distance(const tseries::Series& x,
                              const tseries::Series& y) const {
   return Sbd(x, y, impl_).distance;
+}
+
+namespace {
+
+class SbdBatchScanner : public distance::BatchScanner {
+ public:
+  SbdBatchScanner(const std::vector<tseries::Series>& candidates,
+                  CrossCorrelationImpl impl)
+      : engine_(candidates, impl) {}
+
+  void DistancesToAll(const tseries::Series& query,
+                      std::vector<double>* out) const override {
+    // One forward transform for the query, then one inverse per candidate.
+    // Sequential on purpose: the accuracy loops already parallelize over
+    // queries, so the per-query scan runs inside a worker.
+    const SbdEngine::Query q = engine_.MakeQuery(query);
+    out->resize(engine_.size());
+    for (std::size_t i = 0; i < engine_.size(); ++i) {
+      (*out)[i] = engine_.Distance(q, i);
+    }
+  }
+
+ private:
+  SbdEngine engine_;
+};
+
+}  // namespace
+
+bool SbdDistance::BatchedPairwise(const std::vector<tseries::Series>& series,
+                                  std::vector<double>* flat) const {
+  if (impl_ == CrossCorrelationImpl::kNaive || series.empty()) return false;
+  const SbdEngine engine(series, impl_);
+  engine.PairwiseFlat(flat);
+  return true;
+}
+
+std::unique_ptr<distance::BatchScanner> SbdDistance::NewBatchScanner(
+    const std::vector<tseries::Series>& candidates) const {
+  if (impl_ == CrossCorrelationImpl::kNaive || candidates.empty()) {
+    return nullptr;
+  }
+  return std::make_unique<SbdBatchScanner>(candidates, impl_);
 }
 
 NccDistance::NccDistance(NccNormalization norm)

@@ -1,6 +1,7 @@
 #ifndef KSHAPE_CORE_SBD_H_
 #define KSHAPE_CORE_SBD_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,11 @@ SbdResult Sbd(const tseries::Series& x, const tseries::Series& y,
 
 /// DistanceMeasure adapter for SBD, usable by any clustering algorithm or
 /// the 1-NN classifier (PAM+SBD, S+SBD, H-*+SBD, k-AVG+SBD of the paper).
+///
+/// The FFT variants also implement the batched DistanceMeasure hooks via
+/// SbdEngine (see core/sbd_engine.h): pairwise matrices and fixed-set scans
+/// cache one spectrum per series so each pair costs a single inverse
+/// transform. The naive variant has no spectra and keeps the per-pair path.
 class SbdDistance : public distance::DistanceMeasure {
  public:
   explicit SbdDistance(CrossCorrelationImpl impl = CrossCorrelationImpl::kFft);
@@ -79,6 +85,11 @@ class SbdDistance : public distance::DistanceMeasure {
   double Distance(const tseries::Series& x,
                   const tseries::Series& y) const override;
   std::string Name() const override { return name_; }
+
+  bool BatchedPairwise(const std::vector<tseries::Series>& series,
+                       std::vector<double>* flat) const override;
+  std::unique_ptr<distance::BatchScanner> NewBatchScanner(
+      const std::vector<tseries::Series>& candidates) const override;
 
  private:
   CrossCorrelationImpl impl_;

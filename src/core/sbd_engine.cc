@@ -1,0 +1,152 @@
+#include "core/sbd_engine.h"
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "linalg/matrix.h"
+
+namespace kshape::core {
+
+namespace {
+
+// Peak of the raw cross-correlation of two cached spectra. The cc buffer is
+// thread_local so concurrent per-pair evaluations write disjoint scratch.
+struct RawPeak {
+  double value = 0.0;
+  std::size_t index = 0;
+};
+
+RawPeak PeakFromSpectra(const std::vector<fft::Complex>& x_spectrum,
+                        const std::vector<fft::Complex>& y_spectrum,
+                        std::size_t m) {
+  static thread_local std::vector<double> cc;
+  fft::CrossCorrelationFromSpectra(x_spectrum, y_spectrum, m, &cc);
+  RawPeak peak;
+  peak.value = cc[0];
+  for (std::size_t i = 1; i < cc.size(); ++i) {
+    if (cc[i] > peak.value) {
+      peak.value = cc[i];
+      peak.index = i;
+    }
+  }
+  return peak;
+}
+
+}  // namespace
+
+SbdEngine::SbdEngine(const std::vector<tseries::Series>& series,
+                     CrossCorrelationImpl impl) {
+  KSHAPE_CHECK(!series.empty());
+  KSHAPE_CHECK_MSG(impl != CrossCorrelationImpl::kNaive,
+                   "SbdEngine caches spectra; the naive path has none");
+  m_ = series[0].size();
+  KSHAPE_CHECK(m_ >= 1);
+  for (const tseries::Series& s : series) {
+    KSHAPE_CHECK_MSG(s.size() == m_, "SbdEngine requires equal lengths");
+  }
+  fft_len_ = impl == CrossCorrelationImpl::kFft
+                 ? fft::NextPowerOfTwo(2 * m_ - 1)
+                 : 2 * m_ - 1;
+
+  const std::size_t n = series.size();
+  spectra_.resize(n);
+  norms_.resize(n);
+  // Deterministic pre-pass: each index writes only its own spectrum/norm
+  // slot, and each per-series FFT is a fixed arithmetic sequence, so the
+  // cache contents are bit-identical at every thread count.
+  common::ParallelFor(0, n, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      spectra_[i] = fft::Spectrum(series[i], fft_len_);
+      norms_[i] = linalg::Norm(series[i]);
+    }
+  });
+}
+
+SbdEngine::Query SbdEngine::MakeQuery(const tseries::Series& q) const {
+  KSHAPE_CHECK_MSG(q.size() == m_, "query length mismatch");
+  Query query;
+  query.spectrum = fft::Spectrum(q, fft_len_);
+  query.norm = linalg::Norm(q);
+  return query;
+}
+
+double SbdEngine::Distance(std::size_t i, std::size_t j) const {
+  KSHAPE_CHECK(i < size() && j < size());
+  const double den = norms_[i] * norms_[j];
+  if (den == 0.0) return 1.0;
+  return 1.0 - PeakFromSpectra(spectra_[i], spectra_[j], m_).value * (1.0 / den);
+}
+
+double SbdEngine::Distance(const Query& q, std::size_t i) const {
+  KSHAPE_CHECK(i < size());
+  const double den = q.norm * norms_[i];
+  if (den == 0.0) return 1.0;
+  return 1.0 - PeakFromSpectra(q.spectrum, spectra_[i], m_).value * (1.0 / den);
+}
+
+NccPeak SbdEngine::MaxNcc(const Query& q, std::size_t i) const {
+  KSHAPE_CHECK(i < size());
+  NccPeak peak;
+  const double den = q.norm * norms_[i];
+  if (den == 0.0) {
+    // Mirror MaxNcc over the all-zero NCCc sequence: value 0 at index 0.
+    peak.value = 0.0;
+    peak.shift = -static_cast<int>(m_ - 1);
+    return peak;
+  }
+  const RawPeak raw = PeakFromSpectra(q.spectrum, spectra_[i], m_);
+  peak.value = raw.value * (1.0 / den);
+  peak.shift = static_cast<int>(raw.index) - static_cast<int>(m_ - 1);
+  return peak;
+}
+
+void SbdEngine::DistanceToAll(const Query& q, std::vector<double>* out) const {
+  const std::size_t n = size();
+  out->resize(n);
+  common::ParallelFor(0, n, 16, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      (*out)[i] = Distance(q, i);
+    }
+  });
+}
+
+std::vector<double> SbdEngine::DistanceToAll(
+    const tseries::Series& query) const {
+  std::vector<double> out;
+  DistanceToAll(MakeQuery(query), &out);
+  return out;
+}
+
+linalg::Matrix SbdEngine::PairwiseMatrix() const {
+  const std::size_t n = size();
+  linalg::Matrix d(n, n);
+  // Same disjoint-write row pattern (and therefore the same bitwise
+  // thread-count invariance) as the generic PairwiseDistanceMatrix builder.
+  common::ParallelFor(0, n, 1, [&](std::size_t row_begin,
+                                   std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dist = Distance(i, j);
+        d(i, j) = dist;
+        d(j, i) = dist;
+      }
+    }
+  });
+  return d;
+}
+
+void SbdEngine::PairwiseFlat(std::vector<double>* flat) const {
+  const std::size_t n = size();
+  flat->assign(n * n, 0.0);
+  common::ParallelFor(0, n, 1, [&](std::size_t row_begin,
+                                   std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dist = Distance(i, j);
+        (*flat)[i * n + j] = dist;
+        (*flat)[j * n + i] = dist;
+      }
+    }
+  });
+}
+
+}  // namespace kshape::core

@@ -1,0 +1,99 @@
+#ifndef KSHAPE_CORE_SBD_ENGINE_H_
+#define KSHAPE_CORE_SBD_ENGINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/sbd.h"
+#include "fft/fft.h"
+#include "linalg/matrix.h"
+#include "tseries/time_series.h"
+
+namespace kshape::core {
+
+/// Spectrum cache for SBD over a fixed set of equal-length series.
+///
+/// Construction performs one forward FFT and one norm per series (a
+/// deterministic parallel pre-pass); after that, every pairwise NCC against
+/// the set is a single inverse transform on the cached spectra instead of the
+/// two forwards + one inverse the direct Sbd() path spends. A pairwise matrix
+/// therefore costs n forwards + n(n-1)/2 inverses rather than ~n^2 forwards
+/// + n(n-1)/2 inverses, and a k-Shape assignment iteration costs k forwards
+/// (one per centroid) + n*k inverses.
+///
+/// Equivalence contract: the cached path agrees with Sbd() to a tight
+/// epsilon, not bitwise — the direct path packs two reals into one complex
+/// transform, which rounds differently from per-series spectra (see
+/// fft::CrossCorrelationFromSpectra). Within the cached pipeline the
+/// arithmetic is fixed per input, so results are bit-identical across runs
+/// and thread counts.
+///
+/// Thread-safety: immutable after construction; all const members may be
+/// called concurrently (per-pair scratch is thread_local inside src/fft).
+class SbdEngine {
+ public:
+  /// Builds spectra and norms for `series`. All series must share one length
+  /// m >= 1. `impl` selects the padding: kFft transforms at the next power of
+  /// two >= 2m-1, kFftNoPow2 at exactly 2m-1 (Bluestein, whose chirp plan is
+  /// cached per length). kNaive has no spectra and is rejected.
+  explicit SbdEngine(const std::vector<tseries::Series>& series,
+                     CrossCorrelationImpl impl = CrossCorrelationImpl::kFft);
+
+  /// Number of cached series.
+  std::size_t size() const { return norms_.size(); }
+
+  /// The common series length m.
+  std::size_t series_length() const { return m_; }
+
+  /// The padded transform length.
+  std::size_t fft_length() const { return fft_len_; }
+
+  /// Spectrum + norm of an out-of-set series (e.g. a k-Shape centroid),
+  /// computed once and reusable against every cached series.
+  struct Query {
+    std::vector<fft::Complex> spectrum;
+    double norm = 0.0;
+  };
+
+  /// One forward transform + one norm. Requires q.size() == series_length().
+  Query MakeQuery(const tseries::Series& q) const;
+
+  /// SBD(series[i], series[j]) from cached spectra: one inverse transform.
+  /// Mirrors Sbd()'s zero-norm convention (distance 1).
+  double Distance(std::size_t i, std::size_t j) const;
+
+  /// SBD(q, series[i]), with the query in the x role of Sbd(x, y).
+  double Distance(const Query& q, std::size_t i) const;
+
+  /// Peak NCCc value and optimal shift of series[i] relative to q — the
+  /// cached analogue of MaxNcc(q, series[i], kCoefficient).
+  NccPeak MaxNcc(const Query& q, std::size_t i) const;
+
+  /// out[i] = SBD(q, series[i]) for every cached series, computed in parallel
+  /// on the global pool with disjoint writes: bit-identical at every thread
+  /// count.
+  void DistanceToAll(const Query& q, std::vector<double>* out) const;
+
+  /// Convenience: MakeQuery + DistanceToAll.
+  std::vector<double> DistanceToAll(const tseries::Series& query) const;
+
+  /// Full symmetric pairwise SBD matrix (zero diagonal) from cached spectra,
+  /// rows in parallel with disjoint writes: bit-identical at every thread
+  /// count.
+  linalg::Matrix PairwiseMatrix() const;
+
+  /// PairwiseMatrix flattened row-major into `flat` (size() * size()
+  /// entries). This is the carrier for the DistanceMeasure batched-pairwise
+  /// hook, which cannot name linalg::Matrix.
+  void PairwiseFlat(std::vector<double>* flat) const;
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t fft_len_ = 0;
+  std::vector<std::vector<fft::Complex>> spectra_;
+  std::vector<double> norms_;
+};
+
+}  // namespace kshape::core
+
+#endif  // KSHAPE_CORE_SBD_ENGINE_H_

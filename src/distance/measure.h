@@ -1,11 +1,32 @@
 #ifndef KSHAPE_DISTANCE_MEASURE_H_
 #define KSHAPE_DISTANCE_MEASURE_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "tseries/time_series.h"
 
 namespace kshape::distance {
+
+/// A distance evaluator bound to a fixed candidate set, produced by
+/// DistanceMeasure::NewBatchScanner. Measures with per-candidate
+/// precomputation (e.g. SBD's cached spectra and norms) pay it once at
+/// construction and amortize it over every subsequent query — the pattern
+/// the 1-NN accuracy loops use, where each test query scans the whole
+/// training set.
+///
+/// Implementations must be immutable after construction: DistancesToAll is
+/// invoked concurrently from ParallelFor workers (one query per worker).
+class BatchScanner {
+ public:
+  virtual ~BatchScanner() = default;
+
+  /// Fills out[i] = Distance(query, candidate_i) for every candidate, in
+  /// candidate order. Resizes `out` as needed.
+  virtual void DistancesToAll(const tseries::Series& query,
+                              std::vector<double>* out) const = 0;
+};
 
 /// Abstract distance measure between two equal-length time series.
 ///
@@ -32,6 +53,33 @@ class DistanceMeasure {
 
   /// Short display name, e.g. "ED", "cDTW5", "SBD".
   virtual std::string Name() const = 0;
+
+  /// Optional batched pairwise path. A measure that can amortize per-series
+  /// precomputation across pairs (SBD's spectrum cache) fills `flat` with the
+  /// full symmetric n x n matrix, row-major with a zero diagonal, and returns
+  /// true; the default returns false and callers fall back to per-pair
+  /// Distance() calls. cluster::PairwiseDistanceMatrix consults this hook, so
+  /// k-medoids, hierarchical, spectral, validity metrics and EstimateK all
+  /// inherit the accelerated path automatically. Batched results must agree
+  /// with Distance() within a tight tolerance but need not be bitwise equal
+  /// (the cached SBD pipeline rounds differently); they must themselves be
+  /// bit-identical at every thread count.
+  virtual bool BatchedPairwise(const std::vector<tseries::Series>& series,
+                               std::vector<double>* flat) const {
+    (void)series;
+    (void)flat;
+    return false;
+  }
+
+  /// Optional factory for a scanner bound to `candidates` (see BatchScanner).
+  /// Returns nullptr when the measure has no accelerated scan; callers fall
+  /// back to per-pair Distance() calls. The scanner may reference
+  /// `candidates`, which must outlive it.
+  virtual std::unique_ptr<BatchScanner> NewBatchScanner(
+      const std::vector<tseries::Series>& candidates) const {
+    (void)candidates;
+    return nullptr;
+  }
 };
 
 }  // namespace kshape::distance

@@ -84,50 +84,94 @@ const Radix2Plan& GetPlan(std::size_t n) {
   // and usable without the lock.
   static auto* cache = new std::map<std::size_t, std::unique_ptr<Radix2Plan>>();
   static auto* mu = new std::mutex();
-  std::lock_guard<std::mutex> lock(*mu);
-  auto it = cache->find(n);
-  if (it == cache->end()) {
-    it = cache->emplace(n, std::make_unique<Radix2Plan>(n)).first;
+  {
+    std::lock_guard<std::mutex> lock(*mu);
+    auto it = cache->find(n);
+    if (it != cache->end()) return *it->second;
   }
+  // Construct outside the lock: the O(n log n) twiddle/bit-reverse setup must
+  // not stall every other pool worker on first use of a size. If two threads
+  // race on the same n, both build identical plans and emplace keeps the
+  // first; the loser's copy is discarded.
+  auto plan = std::make_unique<Radix2Plan>(n);
+  std::lock_guard<std::mutex> lock(*mu);
+  const auto it = cache->emplace(n, std::move(plan)).first;
   return *it->second;
 }
 
 namespace {
 
-// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a linear
-// convolution, evaluated with power-of-two FFTs.
+// Precomputed state for Bluestein's chirp-z transform of one length n: the
+// chirp sequence and the forward spectrum of the convolution kernel b. Both
+// depend only on n, so they get the same plan treatment as the radix-2
+// twiddles instead of being rebuilt on every call — only the data-dependent
+// a-sequence work remains per transform.
+class BluesteinPlan {
+ public:
+  explicit BluesteinPlan(std::size_t n)
+      : n_(n), m_(NextPowerOfTwo(2 * n - 1)), plan_(&GetPlan(m_)), chirp_(n) {
+    // chirp[j] = exp(-i*pi*j^2/n); compute j^2 mod 2n in integers to keep the
+    // reduced angle exact for large j.
+    for (std::size_t j = 0; j < n; ++j) {
+      const unsigned long long jj =
+          (static_cast<unsigned long long>(j) * j) % (2ULL * n);
+      const double angle = -kPi * static_cast<double>(jj) /
+                           static_cast<double>(n);
+      chirp_[j] = Complex(std::cos(angle), std::sin(angle));
+    }
+
+    b_spectrum_.assign(m_, Complex(0, 0));
+    b_spectrum_[0] = std::conj(chirp_[0]);
+    for (std::size_t j = 1; j < n; ++j) {
+      b_spectrum_[j] = std::conj(chirp_[j]);
+      b_spectrum_[m_ - j] = std::conj(chirp_[j]);
+    }
+    plan_->Forward(b_spectrum_.data());
+  }
+
+  // Expresses the n-point DFT of `data` as a linear convolution with the
+  // cached kernel, evaluated with power-of-two FFTs.
+  void Forward(std::vector<Complex>* data) const {
+    // Per-thread scratch keyed by the padded size, so concurrent workers
+    // transforming the same length never share the a-buffer.
+    static thread_local std::map<std::size_t, std::vector<Complex>> scratch;
+    std::vector<Complex>& a = scratch[m_];
+    a.assign(m_, Complex(0, 0));
+    for (std::size_t j = 0; j < n_; ++j) a[j] = (*data)[j] * chirp_[j];
+
+    plan_->Forward(a.data());
+    for (std::size_t j = 0; j < m_; ++j) a[j] *= b_spectrum_[j];
+    plan_->Inverse(a.data());
+
+    for (std::size_t j = 0; j < n_; ++j) (*data)[j] = a[j] * chirp_[j];
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t m_;
+  const Radix2Plan* plan_;
+  std::vector<Complex> chirp_;
+  std::vector<Complex> b_spectrum_;
+};
+
+// Same never-destroyed, construct-outside-the-lock caching as GetPlan.
+const BluesteinPlan& GetBluesteinPlan(std::size_t n) {
+  static auto* cache =
+      new std::map<std::size_t, std::unique_ptr<BluesteinPlan>>();
+  static auto* mu = new std::mutex();
+  {
+    std::lock_guard<std::mutex> lock(*mu);
+    auto it = cache->find(n);
+    if (it != cache->end()) return *it->second;
+  }
+  auto plan = std::make_unique<BluesteinPlan>(n);
+  std::lock_guard<std::mutex> lock(*mu);
+  const auto it = cache->emplace(n, std::move(plan)).first;
+  return *it->second;
+}
+
 void BluesteinForward(std::vector<Complex>* data) {
-  const std::size_t n = data->size();
-  const std::size_t m = NextPowerOfTwo(2 * n - 1);
-  const Radix2Plan& plan = GetPlan(m);
-
-  // chirp[j] = exp(-i*pi*j^2/n); compute j^2 mod 2n in integers to keep the
-  // reduced angle exact for large j.
-  std::vector<Complex> chirp(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    const unsigned long long jj =
-        (static_cast<unsigned long long>(j) * j) % (2ULL * n);
-    const double angle = -kPi * static_cast<double>(jj) /
-                         static_cast<double>(n);
-    chirp[j] = Complex(std::cos(angle), std::sin(angle));
-  }
-
-  std::vector<Complex> a(m, Complex(0, 0));
-  for (std::size_t j = 0; j < n; ++j) a[j] = (*data)[j] * chirp[j];
-
-  std::vector<Complex> b(m, Complex(0, 0));
-  b[0] = std::conj(chirp[0]);
-  for (std::size_t j = 1; j < n; ++j) {
-    b[j] = std::conj(chirp[j]);
-    b[m - j] = std::conj(chirp[j]);
-  }
-
-  plan.Forward(a.data());
-  plan.Forward(b.data());
-  for (std::size_t j = 0; j < m; ++j) a[j] *= b[j];
-  plan.Inverse(a.data());
-
-  for (std::size_t j = 0; j < n; ++j) (*data)[j] = a[j] * chirp[j];
+  GetBluesteinPlan(data->size()).Forward(data);
 }
 
 }  // namespace
@@ -160,6 +204,54 @@ std::vector<Complex> RealForward(const std::vector<double>& x, std::size_t n) {
   for (std::size_t i = 0; i < copy; ++i) data[i] = Complex(x[i], 0.0);
   Forward(&data);
   return data;
+}
+
+std::vector<Complex> Spectrum(const std::vector<double>& x,
+                              std::size_t fft_len) {
+  KSHAPE_CHECK(fft_len >= 1);
+  KSHAPE_CHECK_MSG(x.size() <= fft_len,
+                   "Spectrum pads, never truncates: fft_len < series length");
+  std::vector<Complex> data(fft_len, Complex(0, 0));
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = Complex(x[i], 0.0);
+  Forward(&data);
+  return data;
+}
+
+void CrossCorrelationFromSpectra(const std::vector<Complex>& x_spectrum,
+                                 const std::vector<Complex>& y_spectrum,
+                                 std::size_t m, std::vector<double>* cc) {
+  const std::size_t len = x_spectrum.size();
+  KSHAPE_CHECK_MSG(y_spectrum.size() == len, "spectrum length mismatch");
+  KSHAPE_CHECK(m >= 1);
+  KSHAPE_CHECK(len >= 2 * m - 1);
+
+  // Per-thread product buffer keyed by length, as in CrossCorrelationImpl:
+  // concurrent per-pair evaluations never share scratch, which the bitwise
+  // thread-count-invariance guarantee relies on.
+  static thread_local std::map<std::size_t, std::vector<Complex>> scratch;
+  std::vector<Complex>& c = scratch[len];
+  c.resize(len);
+  for (std::size_t k = 0; k < len; ++k) {
+    c[k] = x_spectrum[k] * std::conj(y_spectrum[k]);
+  }
+  // The hot half of the cached path: one inverse transform per pair. Power-of-
+  // two lengths go straight to the plan (skipping the conjugation passes of
+  // the generic Inverse); Bluestein lengths reuse the cached chirp plan.
+  if (IsPowerOfTwo(len)) {
+    GetPlan(len).Inverse(c.data());
+  } else {
+    Inverse(&c);
+  }
+
+  cc->resize(2 * m - 1);
+  for (std::size_t i = 0; i < 2 * m - 1; ++i) {
+    const long long lag = static_cast<long long>(i) -
+                          static_cast<long long>(m - 1);
+    const std::size_t idx =
+        lag >= 0 ? static_cast<std::size_t>(lag)
+                 : len - static_cast<std::size_t>(-lag);
+    (*cc)[i] = c[idx].real();
+  }
 }
 
 namespace {

@@ -66,6 +66,31 @@ void Inverse(std::vector<Complex>* data);
 /// or truncated to length n). Requires n to be a power of two.
 std::vector<Complex> RealForward(const std::vector<double>& x, std::size_t n);
 
+/// The padded forward spectrum of one real series: the `fft_len`-point DFT of
+/// x zero-padded to fft_len (any length >= x.size(); radix-2 when possible,
+/// Bluestein otherwise). This is the precompute half of the spectrum-cached
+/// SBD path: compute each series' spectrum once, and every pairwise
+/// cross-correlation against it becomes a single inverse transform
+/// (CrossCorrelationFromSpectra) instead of two forwards plus an inverse.
+std::vector<Complex> Spectrum(const std::vector<double>& x,
+                              std::size_t fft_len);
+
+/// Cross-correlation sequence from two cached spectra: given the fft_len
+/// spectra of x and y (both of original length m, fft_len >= 2m-1), forms
+/// C[k] = X[k] * conj(Y[k]) and runs ONE inverse transform. Fills `cc` with
+/// the same 2m-1 lag layout as CrossCorrelationFft.
+///
+/// Equivalence contract: this path transforms each real series separately,
+/// while CrossCorrelationFft packs the two series into one complex transform
+/// (x + i*y) and unpacks; the two round differently in the last ulps, so the
+/// results agree to a tight epsilon, NOT bitwise. Within the cached pipeline
+/// itself the arithmetic is fixed per (spectra, m), so repeated evaluations —
+/// at any thread count — are bit-identical. Thread-safe: scratch is
+/// per-thread.
+void CrossCorrelationFromSpectra(const std::vector<Complex>& x_spectrum,
+                                 const std::vector<Complex>& y_spectrum,
+                                 std::size_t m, std::vector<double>* cc);
+
 /// Full cross-correlation sequence of Equation 6 of the paper.
 ///
 /// Given x and y of equal length m, returns cc of length 2m-1 with

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <functional>
 #include <iterator>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -20,7 +21,9 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "core/kshape.h"
+#include "core/multivariate.h"
 #include "core/sbd.h"
+#include "core/sbd_engine.h"
 #include "data/generators.h"
 #include "distance/dtw.h"
 #include "tseries/normalization.h"
@@ -133,6 +136,81 @@ TEST(ParallelInvarianceTest, KShapeFullRunPlusPlusInit) {
         return algorithm.Cluster(series, 3, &rng);
       },
       ResultsBitIdentical, "k-Shape (++ init)");
+}
+
+TEST(ParallelInvarianceTest, KShapeFullRunWithoutSpectrumCache) {
+  // The per-pair ablation path must stay invariant too — it is the reference
+  // the cached pipeline is tolerance-tested against.
+  const std::vector<Series> series = MakeSeries(36, 64, 3);
+  core::KShapeOptions options;
+  options.use_spectrum_cache = false;
+  const core::KShape algorithm(options);
+  ExpectInvariant<cluster::ClusteringResult>(
+      [&] {
+        common::Rng rng(7);
+        return algorithm.Cluster(series, 3, &rng);
+      },
+      ResultsBitIdentical, "k-Shape (no spectrum cache)");
+}
+
+TEST(ParallelInvarianceTest, SbdEnginePairwiseMatrix) {
+  // The cached pipeline itself: the construction pre-pass (parallel forward
+  // transforms with disjoint writes) and the row-parallel matrix fill must
+  // both be bit-identical at every thread count. Rebuilding the engine inside
+  // the lambda puts the pre-pass under test as well.
+  const std::vector<Series> series = MakeSeries(30, 48, 13);
+  ExpectInvariant<linalg::Matrix>(
+      [&] {
+        const core::SbdEngine engine(series);
+        return engine.PairwiseMatrix();
+      },
+      MatricesBitIdentical, "SbdEngine pairwise matrix");
+}
+
+TEST(ParallelInvarianceTest, SbdEngineDistanceToAll) {
+  const std::vector<Series> series = MakeSeries(30, 48, 14);
+  common::Rng rng(15);
+  const Series query = tseries::ZNormalized(data::MakeCbf(1, 48, &rng));
+  ExpectInvariant<std::vector<double>>(
+      [&] {
+        const core::SbdEngine engine(series);
+        return engine.DistanceToAll(query);
+      },
+      std::equal_to<std::vector<double>>(), "SbdEngine DistanceToAll");
+}
+
+TEST(ParallelInvarianceTest, MultivariateKShapeFullRun) {
+  // Covers the cached mSBD assignment scans and the per-series channel
+  // spectrum pre-pass.
+  std::vector<core::MultivariateSeries> series;
+  common::Rng rng(16);
+  for (int i = 0; i < 24; ++i) {
+    core::MultivariateSeries s;
+    s.channels.push_back(
+        tseries::ZNormalized(data::MakeCbf(i % 3, 40, &rng)));
+    s.channels.push_back(
+        tseries::ZNormalized(data::MakeCbf((i + 1) % 3, 40, &rng)));
+    series.push_back(std::move(s));
+  }
+  const core::MultivariateKShape algorithm;
+  auto equal = [](const core::MultivariateClusteringResult& a,
+                  const core::MultivariateClusteringResult& b) {
+    if (a.assignments != b.assignments) return false;
+    if (a.iterations != b.iterations || a.converged != b.converged) {
+      return false;
+    }
+    if (a.centroids.size() != b.centroids.size()) return false;
+    for (std::size_t j = 0; j < a.centroids.size(); ++j) {
+      if (a.centroids[j].channels != b.centroids[j].channels) return false;
+    }
+    return true;
+  };
+  ExpectInvariant<core::MultivariateClusteringResult>(
+      [&] {
+        common::Rng run_rng(21);
+        return algorithm.Cluster(series, 3, &run_rng);
+      },
+      equal, "multivariate k-Shape");
 }
 
 TEST(ParallelInvarianceTest, OneNnAccuracySbd) {
