@@ -9,6 +9,9 @@
 #    sbd_cache_test run under TSan to catch data races in the pool, the FFT
 #    plan caches, and the spectrum-cached SBD pipeline (engine construction
 #    pre-pass, batched pairwise fills, concurrent batch-scanner queries).
+# 3. AddressSanitizer+UBSan build; the robustness suites (degenerate inputs,
+#    property sweeps over hostile data, conditioning) run under ASan+UBSan so
+#    every repair/fallback path is also checked for memory errors and UB.
 #
 # Usage: ci/run_ci.sh [build-dir-prefix]   (default: build-ci)
 
@@ -18,6 +21,7 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build-ci}"
 RELEASE_DIR="${PREFIX}-release"
 TSAN_DIR="${PREFIX}-tsan"
+ASAN_DIR="${PREFIX}-asan"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 echo "==> Release build (${RELEASE_DIR})"
@@ -45,5 +49,22 @@ KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/thread_pool_test"
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/sbd_cache_test"
+
+echo "==> ASan+UBSan build (${ASAN_DIR})"
+cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DKSHAPE_SANITIZE=address,undefined
+cmake --build "${ASAN_DIR}" -j "${JOBS}" \
+      --target degenerate_input_test robustness_properties_test tseries_test
+
+echo "==> hostile-input check: robustness suites under ASan+UBSan"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "${ASAN_DIR}/tests/degenerate_input_test"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "${ASAN_DIR}/tests/robustness_properties_test"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "${ASAN_DIR}/tests/tseries_test"
 
 echo "==> CI OK"

@@ -1,8 +1,100 @@
 #include "cluster/algorithm.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace kshape::cluster {
+
+common::Status ValidateClusteringInputs(
+    const std::vector<tseries::Series>& series, int k) {
+  if (series.empty()) {
+    return common::Status::InvalidArgument("empty dataset");
+  }
+  const std::size_t n = series.size();
+  const std::size_t m = series[0].size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (series[i].empty()) {
+      return common::Status::InvalidArgument("series " + std::to_string(i) +
+                                             " is empty");
+    }
+    if (series[i].size() != m) {
+      return common::Status::InvalidArgument(
+          "series " + std::to_string(i) + " has length " +
+          std::to_string(series[i].size()) + " but series 0 has length " +
+          std::to_string(m) + "; condition the input first"
+          " (tseries/conditioning.h)");
+    }
+    for (double v : series[i]) {
+      if (!std::isfinite(v)) {
+        return common::Status::InvalidArgument(
+            "series " + std::to_string(i) + " contains a non-finite value;"
+            " condition the input first (tseries/conditioning.h)");
+      }
+    }
+  }
+  if (k < 1 || static_cast<std::size_t>(k) > n) {
+    return common::Status::OutOfRange(
+        "k = " + std::to_string(k) + " outside [1, n = " + std::to_string(n) +
+        "]");
+  }
+  return common::Status::OK();
+}
+
+common::StatusOr<ClusteringResult> ClusteringAlgorithm::TryCluster(
+    const std::vector<tseries::Series>& series, int k,
+    common::Rng* rng) const {
+  common::Status status = ValidateClusteringInputs(series, k);
+  if (!status.ok()) return status;
+  return Cluster(series, k, rng);
+}
+
+int RepairEmptyClusters(
+    int k, std::vector<int>* assignments,
+    const std::function<double(int, std::size_t)>& distance) {
+  KSHAPE_CHECK(assignments != nullptr);
+  const std::size_t n = assignments->size();
+  std::vector<std::size_t> sizes(k, 0);
+  for (int a : *assignments) ++sizes[a];
+  int reseeds = 0;
+  for (int j = 0; j < k; ++j) {
+    if (sizes[j] != 0) continue;
+    double worst_dist = -1.0;
+    std::size_t worst_idx = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sizes[(*assignments)[i]] <= 1) continue;
+      const double d = distance((*assignments)[i], i);
+      if (d > worst_dist) {
+        worst_dist = d;
+        worst_idx = i;
+      }
+    }
+    if (worst_dist >= 0.0) {
+      --sizes[(*assignments)[worst_idx]];
+      (*assignments)[worst_idx] = j;
+      ++sizes[j];
+      ++reseeds;
+    }
+  }
+  return reseeds;
+}
+
+int CountDegenerateCentroids(const ClusteringResult& result) {
+  if (result.centroids.empty()) return 0;
+  const int k = static_cast<int>(result.centroids.size());
+  std::vector<std::size_t> sizes(k, 0);
+  for (int a : result.assignments) {
+    if (a >= 0 && a < k) ++sizes[a];
+  }
+  int degenerate = 0;
+  for (int j = 0; j < k; ++j) {
+    if (sizes[j] == 0) continue;
+    double sum_sq = 0.0;
+    for (double v : result.centroids[j]) sum_sq += v * v;
+    if (sum_sq == 0.0) ++degenerate;
+  }
+  return degenerate;
+}
 
 std::vector<std::vector<std::size_t>> GroupByCluster(
     const std::vector<int>& assignments, int k) {

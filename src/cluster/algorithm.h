@@ -1,10 +1,12 @@
 #ifndef KSHAPE_CLUSTER_ALGORITHM_H_
 #define KSHAPE_CLUSTER_ALGORITHM_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "tseries/time_series.h"
 
 namespace kshape::cluster {
@@ -24,6 +26,13 @@ struct ClusteringResult {
 
   /// True when the method reached a fixed point before its iteration cap.
   bool converged = false;
+
+  /// Repair telemetry: how many empty-cluster re-seeds ran across all
+  /// iterations, and how many final centroids were degenerate (zero-norm with
+  /// a non-empty member set — every member z-normalizes to the zero series).
+  /// Methods without centroids or repair leave these at zero.
+  int empty_cluster_reseeds = 0;
+  int degenerate_centroids = 0;
 };
 
 /// Abstract partitional/hierarchical/spectral clustering algorithm.
@@ -38,17 +47,56 @@ class ClusteringAlgorithm {
   virtual ~ClusteringAlgorithm() = default;
 
   /// Partitions `series` (equal-length, z-normalized by the caller when the
-  /// measure requires it) into k clusters.
+  /// measure requires it) into k clusters. Inputs violating the data contract
+  /// (see ValidateClusteringInputs) are programmer errors here and abort;
+  /// untrusted data must go through TryCluster instead.
   virtual ClusteringResult Cluster(const std::vector<tseries::Series>& series,
                                    int k, common::Rng* rng) const = 0;
+
+  /// Library-boundary entry point for untrusted data: validates the inputs
+  /// (non-empty, equal lengths, fully finite, 1 <= k <= n) and returns a
+  /// Status error instead of aborting when they are malformed. Malformed
+  /// input should be repaired first with tseries/conditioning.h.
+  common::StatusOr<ClusteringResult> TryCluster(
+      const std::vector<tseries::Series>& series, int k,
+      common::Rng* rng) const;
 
   /// Display name, e.g. "k-AVG+ED", "PAM+cDTW", "k-Shape".
   virtual std::string Name() const = 0;
 };
 
+/// The data contract every Cluster() implementation assumes: a non-empty set
+/// of equal-length, non-empty, fully-finite series and 1 <= k <= n. Returns
+/// InvalidArgument/OutOfRange describing the first violation. All-constant
+/// series are *not* an error: they z-normalize to the zero series, every
+/// shape distance treats zero-norm inputs by a documented fallback
+/// (SBD/mSBD = 1, KSC = 1, ED = 0), and degenerate centroids are surfaced
+/// via ClusteringResult::degenerate_centroids.
+common::Status ValidateClusteringInputs(
+    const std::vector<tseries::Series>& series, int k);
+
 /// Returns per-cluster member indices for an assignment vector.
 std::vector<std::vector<std::size_t>> GroupByCluster(
     const std::vector<int>& assignments, int k);
+
+/// Re-seeds every empty cluster with the series farthest from its current
+/// centroid, drawn from clusters that keep at least one member — the uniform
+/// repair policy shared by k-means, k-Shape (uni- and multivariate), and KSC.
+/// `distance(j, i)` must return the assignment distance of series i to the
+/// centroid of cluster j. Deterministic tie-break contract: candidates are
+/// scanned in ascending series index and only a strictly larger distance
+/// replaces the incumbent, so among tied candidates the lowest index wins
+/// (making repair invariant to thread count and platform). Returns the
+/// number of re-seeded clusters.
+int RepairEmptyClusters(
+    int k, std::vector<int>* assignments,
+    const std::function<double(int, std::size_t)>& distance);
+
+/// Counts final centroids that are zero-norm while their cluster holds at
+/// least one member — the flagged repair signal for all-degenerate (constant)
+/// clusters, which shape extraction represents by the zero series on purpose
+/// (see core/shape_extraction.h). Returns 0 for methods without centroids.
+int CountDegenerateCentroids(const ClusteringResult& result);
 
 /// Random initial assignment of n series to k clusters, guaranteeing no
 /// cluster starts empty when n >= k (matches Algorithm 3's random IDX

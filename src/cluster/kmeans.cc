@@ -54,29 +54,12 @@ ClusteringResult KMeans::Cluster(const std::vector<tseries::Series>& series,
       result.assignments[i] = best;
     }
 
-    // Re-seed empty clusters with the series farthest from its centroid.
-    std::vector<std::size_t> sizes(k, 0);
-    for (int a : result.assignments) ++sizes[a];
-    for (int j = 0; j < k; ++j) {
-      if (sizes[j] != 0) continue;
-      double worst_dist = -1.0;
-      std::size_t worst_idx = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (sizes[result.assignments[i]] <= 1) continue;
-        const double d =
-            measure_->Distance(result.centroids[result.assignments[i]],
-                               series[i]);
-        if (d > worst_dist) {
-          worst_dist = d;
-          worst_idx = i;
-        }
-      }
-      if (worst_dist >= 0.0) {
-        --sizes[result.assignments[worst_idx]];
-        result.assignments[worst_idx] = j;
-        ++sizes[j];
-      }
-    }
+    // Re-seed empty clusters with the series farthest from its centroid
+    // (shared policy — see RepairEmptyClusters for the tie-break contract).
+    result.empty_cluster_reseeds += RepairEmptyClusters(
+        k, &result.assignments, [&](int j, std::size_t i) {
+          return measure_->Distance(result.centroids[j], series[i]);
+        });
 
     result.iterations = iter + 1;
     if (result.assignments == previous) {
@@ -84,6 +67,7 @@ ClusteringResult KMeans::Cluster(const std::vector<tseries::Series>& series,
       break;
     }
   }
+  result.degenerate_centroids = CountDegenerateCentroids(result);
   return result;
 }
 

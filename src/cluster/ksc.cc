@@ -134,12 +134,22 @@ ClusteringResult Ksc::Cluster(const std::vector<tseries::Series>& series,
       result.assignments[i] = best;
     }
 
+    // Re-seed empty clusters with the series farthest from its centroid —
+    // the same policy as k-means and k-Shape (KSC previously let requested
+    // clusters die silently). See RepairEmptyClusters for the tie-break
+    // contract.
+    result.empty_cluster_reseeds += RepairEmptyClusters(
+        k, &result.assignments, [&](int j, std::size_t i) {
+          return KscDistanceValue(series[i], result.centroids[j]);
+        });
+
     result.iterations = iter + 1;
     if (result.assignments == previous) {
       result.converged = true;
       break;
     }
   }
+  result.degenerate_centroids = CountDegenerateCentroids(result);
   return result;
 }
 

@@ -137,11 +137,18 @@ cluster::ClusteringResult KShape::Cluster(
 
     // Refinement step: recompute each centroid by shape extraction, using
     // the previous centroid as the alignment reference (Algorithm 3, 5-10).
+    // A degenerate extraction (all members zero-norm) keeps the zero centroid
+    // as its documented representative and is surfaced via the result flag.
     const auto groups = cluster::GroupByCluster(result.assignments, k);
+    result.degenerate_centroids = 0;
     for (int j = 0; j < k; ++j) {
-      result.centroids[j] =
-          ExtractShapeIndexed(series, groups[j], result.centroids[j], rng,
-                              options_.shape_options);
+      ExtractedShape extracted =
+          ExtractShapeIndexedFlagged(series, groups[j], result.centroids[j],
+                                     rng, options_.shape_options);
+      result.centroids[j] = std::move(extracted.centroid);
+      if (extracted.degenerate && !groups[j].empty()) {
+        ++result.degenerate_centroids;
+      }
     }
     if (engine) {
       // k forward transforms per iteration; every centroid-to-series
@@ -173,27 +180,11 @@ cluster::ClusteringResult KShape::Cluster(
     });
 
     // Re-seed clusters that lost all members with the series farthest from
-    // its current centroid, so every requested cluster stays populated.
-    auto sizes = std::vector<std::size_t>(k, 0);
-    for (int a : result.assignments) ++sizes[a];
-    for (int j = 0; j < k; ++j) {
-      if (sizes[j] != 0) continue;
-      double worst_dist = -1.0;
-      std::size_t worst_idx = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (sizes[result.assignments[i]] <= 1) continue;
-        const double d = assignment_distance(result.assignments[i], i);
-        if (d > worst_dist) {
-          worst_dist = d;
-          worst_idx = i;
-        }
-      }
-      if (worst_dist >= 0.0) {
-        --sizes[result.assignments[worst_idx]];
-        result.assignments[worst_idx] = j;
-        ++sizes[j];
-      }
-    }
+    // its current centroid, so every requested cluster stays populated
+    // (shared policy — see RepairEmptyClusters for the tie-break contract).
+    result.empty_cluster_reseeds +=
+        cluster::RepairEmptyClusters(k, &result.assignments,
+                                     assignment_distance);
 
     result.iterations = iter + 1;
     if (result.assignments == previous) {

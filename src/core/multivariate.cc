@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -247,27 +248,10 @@ MultivariateClusteringResult MultivariateKShape::Cluster(
       }
     });
 
-    // Re-seed empty clusters from the farthest member of populated ones.
-    std::vector<std::size_t> sizes(k, 0);
-    for (int a : result.assignments) ++sizes[a];
-    for (int j = 0; j < k; ++j) {
-      if (sizes[j] != 0) continue;
-      double worst_dist = -1.0;
-      std::size_t worst_idx = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (sizes[result.assignments[i]] <= 1) continue;
-        const double dist = assignment_distance(result.assignments[i], i);
-        if (dist > worst_dist) {
-          worst_dist = dist;
-          worst_idx = i;
-        }
-      }
-      if (worst_dist >= 0.0) {
-        --sizes[result.assignments[worst_idx]];
-        result.assignments[worst_idx] = j;
-        ++sizes[j];
-      }
-    }
+    // Re-seed empty clusters from the farthest member of populated ones
+    // (shared policy — see RepairEmptyClusters for the tie-break contract).
+    result.empty_cluster_reseeds += cluster::RepairEmptyClusters(
+        k, &result.assignments, assignment_distance);
 
     result.iterations = iter + 1;
     if (result.assignments == previous) {
@@ -275,7 +259,75 @@ MultivariateClusteringResult MultivariateKShape::Cluster(
       break;
     }
   }
+
+  // Flag final centroids that collapsed to zero norm in every channel while
+  // still holding members (all-constant clusters).
+  std::vector<std::size_t> sizes(k, 0);
+  for (int a : result.assignments) ++sizes[a];
+  for (int j = 0; j < k; ++j) {
+    if (sizes[j] > 0 && IsZeroNorm(result.centroids[j])) {
+      ++result.degenerate_centroids;
+    }
+  }
   return result;
+}
+
+common::Status ValidateMultivariateInputs(
+    const std::vector<MultivariateSeries>& series, int k) {
+  if (series.empty()) {
+    return common::Status::InvalidArgument("empty dataset: no series to cluster");
+  }
+  const std::size_t d = series[0].num_channels();
+  const std::size_t m = series[0].length();
+  if (d == 0) {
+    return common::Status::InvalidArgument("series 0 has no channels");
+  }
+  if (m == 0) {
+    return common::Status::InvalidArgument("series 0 has empty channels");
+  }
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const MultivariateSeries& s = series[i];
+    if (s.num_channels() != d) {
+      return common::Status::InvalidArgument(
+          "series " + std::to_string(i) + ": channel count " +
+          std::to_string(s.num_channels()) + " does not match series 0 (" +
+          std::to_string(d) + ")");
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+      if (s.channels[c].size() != m) {
+        return common::Status::InvalidArgument(
+            "series " + std::to_string(i) + " channel " + std::to_string(c) +
+            ": length " + std::to_string(s.channels[c].size()) +
+            " does not match series 0 (" + std::to_string(m) +
+            "); condition the input first (tseries/conditioning.h)");
+      }
+      for (double v : s.channels[c]) {
+        if (!std::isfinite(v)) {
+          return common::Status::InvalidArgument(
+              "series " + std::to_string(i) + " channel " + std::to_string(c) +
+              " contains a non-finite value; condition the input first "
+              "(tseries/conditioning.h)");
+        }
+      }
+    }
+  }
+  if (k < 1 || static_cast<std::size_t>(k) > series.size()) {
+    return common::Status::OutOfRange(
+        "k = " + std::to_string(k) + " outside [1, n = " +
+        std::to_string(series.size()) + "]");
+  }
+  return common::Status::OK();
+}
+
+common::StatusOr<MultivariateClusteringResult> MultivariateKShape::TryCluster(
+    const std::vector<MultivariateSeries>& series, int k,
+    common::Rng* rng) const {
+  if (rng == nullptr) {
+    return common::Status::InvalidArgument("rng must not be null");
+  }
+  common::Status status = ValidateMultivariateInputs(series, k);
+  if (!status.ok()) return status;
+  return Cluster(series, k, rng);
 }
 
 }  // namespace kshape::core

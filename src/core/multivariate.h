@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "core/shape_extraction.h"
 #include "tseries/time_series.h"
 
@@ -59,7 +60,20 @@ struct MultivariateClusteringResult {
   std::vector<MultivariateSeries> centroids;
   int iterations = 0;
   bool converged = false;
+
+  /// Repair telemetry, mirroring cluster::ClusteringResult: empty-cluster
+  /// re-seeds across all iterations, and final centroids whose every channel
+  /// is zero-norm while the cluster holds members.
+  int empty_cluster_reseeds = 0;
+  int degenerate_centroids = 0;
 };
+
+/// The data contract MultivariateKShape::Cluster assumes: a non-empty set of
+/// series agreeing in channel count and per-channel length, with >= 1
+/// channel, no empty channels, only finite values, and 1 <= k <= n. Returns
+/// InvalidArgument/OutOfRange describing the first violation.
+common::Status ValidateMultivariateInputs(
+    const std::vector<MultivariateSeries>& series, int k);
 
 /// Options for multivariate k-Shape.
 struct MultivariateKShapeOptions {
@@ -83,8 +97,17 @@ class MultivariateKShape {
   explicit MultivariateKShape(MultivariateKShapeOptions options = {});
 
   /// Partitions `series` into k clusters. All series must agree in channel
-  /// count and length; channels should be z-normalized.
+  /// count and length; channels should be z-normalized. Violations of the
+  /// data contract are programmer errors here and abort; untrusted data must
+  /// go through TryCluster.
   MultivariateClusteringResult Cluster(
+      const std::vector<MultivariateSeries>& series, int k,
+      common::Rng* rng) const;
+
+  /// Library-boundary entry point for untrusted data: validates via
+  /// ValidateMultivariateInputs and returns a Status error instead of
+  /// aborting on malformed input.
+  common::StatusOr<MultivariateClusteringResult> TryCluster(
       const std::vector<MultivariateSeries>& series, int k,
       common::Rng* rng) const;
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <string>
 
 #include "common/check.h"
 #include "core/sbd_engine.h"
@@ -120,6 +121,35 @@ SbdResult Sbd(const tseries::Series& x, const tseries::Series& y,
   result.shift = static_cast<int>(best) - static_cast<int>(m - 1);
   result.aligned_y = tseries::ShiftWithZeroFill(y, result.shift);
   return result;
+}
+
+common::StatusOr<SbdResult> TrySbd(const tseries::Series& x,
+                                   const tseries::Series& y,
+                                   CrossCorrelationImpl impl) {
+  if (x.empty() || y.empty()) {
+    return common::Status::InvalidArgument("SBD requires non-empty series");
+  }
+  if (x.size() != y.size()) {
+    return common::Status::InvalidArgument(
+        "SBD requires equal lengths (" + std::to_string(x.size()) + " vs " +
+        std::to_string(y.size()) +
+        "); condition the input first (tseries/conditioning.h)");
+  }
+  for (double v : x) {
+    if (!std::isfinite(v)) {
+      return common::Status::InvalidArgument(
+          "x contains a non-finite value; condition the input first "
+          "(tseries/conditioning.h)");
+    }
+  }
+  for (double v : y) {
+    if (!std::isfinite(v)) {
+      return common::Status::InvalidArgument(
+          "y contains a non-finite value; condition the input first "
+          "(tseries/conditioning.h)");
+    }
+  }
+  return Sbd(x, y, impl);
 }
 
 SbdDistance::SbdDistance(CrossCorrelationImpl impl) : impl_(impl) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "distance/measure.h"
 #include "tseries/time_series.h"
 
@@ -70,6 +71,15 @@ struct SbdResult {
 /// paper argues for). A zero-norm input yields distance 1 and an unshifted y.
 SbdResult Sbd(const tseries::Series& x, const tseries::Series& y,
               CrossCorrelationImpl impl = CrossCorrelationImpl::kFft);
+
+/// Library-boundary SBD for untrusted data: returns InvalidArgument on empty
+/// inputs, a length mismatch (with a pointer to tseries/conditioning.h), or
+/// non-finite values, where Sbd() would abort via KSHAPE_CHECK (or propagate
+/// NaN). Zero-norm inputs are NOT an error: the documented fallback
+/// (distance 1, unshifted y) applies, matching Sbd().
+common::StatusOr<SbdResult> TrySbd(
+    const tseries::Series& x, const tseries::Series& y,
+    CrossCorrelationImpl impl = CrossCorrelationImpl::kFft);
 
 /// DistanceMeasure adapter for SBD, usable by any clustering algorithm or
 /// the 1-NN classifier (PAM+SBD, S+SBD, H-*+SBD, k-AVG+SBD of the paper).

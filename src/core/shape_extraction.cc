@@ -42,28 +42,43 @@ linalg::Matrix CenterGramMatrix(const linalg::Matrix& s) {
   return centered;
 }
 
-tseries::Series ExtractShapeImpl(
+ExtractedShape ExtractShapeImpl(
     const std::vector<const tseries::Series*>& members,
     const tseries::Series& reference, common::Rng* rng,
     const ShapeExtractionOptions& options) {
   KSHAPE_CHECK(rng != nullptr);
   const std::size_t m = reference.size();
+  ExtractedShape result;
   if (members.empty()) {
-    return tseries::Series(m, 0.0);
+    result.centroid = tseries::Series(m, 0.0);
+    result.degenerate = true;
+    return result;
   }
 
   const bool align = linalg::Norm(reference) > 0.0;
 
   // Accumulate S = sum_i y_i y_i^T over the aligned, z-normalized members.
+  // Members that z-normalize to the zero series (constant after alignment)
+  // contribute nothing to S or the mean; they are skipped so a fully
+  // degenerate member set can be detected instead of feeding the zero matrix
+  // to the eigensolver, which would return an arbitrary start vector.
   linalg::Matrix s(m, m);
   std::vector<double> mean(m, 0.0);
+  std::size_t used = 0;
   for (const tseries::Series* member : members) {
     KSHAPE_CHECK_MSG(member->size() == m, "member length mismatch");
     tseries::Series aligned =
         align ? Sbd(reference, *member).aligned_y : *member;
     tseries::ZNormalizeInPlace(&aligned);
+    if (linalg::Norm(aligned) == 0.0) continue;
     s.AddOuterProduct(aligned);
     linalg::Axpy(1.0, aligned, &mean);
+    ++used;
+  }
+  if (used == 0) {
+    result.centroid = tseries::Series(m, 0.0);
+    result.degenerate = true;
+    return result;
   }
 
   const linalg::Matrix centered = CenterGramMatrix(s);
@@ -82,7 +97,8 @@ tseries::Series ExtractShapeImpl(
     linalg::Scale(&centroid, -1.0);
   }
   tseries::ZNormalizeInPlace(&centroid);
-  return centroid;
+  result.centroid = std::move(centroid);
+  return result;
 }
 
 }  // namespace
@@ -91,13 +107,30 @@ tseries::Series ExtractShape(const std::vector<tseries::Series>& members,
                              const tseries::Series& reference,
                              common::Rng* rng,
                              const ShapeExtractionOptions& options) {
+  return ExtractShapeFlagged(members, reference, rng, options).centroid;
+}
+
+tseries::Series ExtractShapeIndexed(
+    const std::vector<tseries::Series>& pool,
+    const std::vector<std::size_t>& member_indices,
+    const tseries::Series& reference, common::Rng* rng,
+    const ShapeExtractionOptions& options) {
+  return ExtractShapeIndexedFlagged(pool, member_indices, reference, rng,
+                                    options)
+      .centroid;
+}
+
+ExtractedShape ExtractShapeFlagged(const std::vector<tseries::Series>& members,
+                                   const tseries::Series& reference,
+                                   common::Rng* rng,
+                                   const ShapeExtractionOptions& options) {
   std::vector<const tseries::Series*> ptrs;
   ptrs.reserve(members.size());
   for (const auto& member : members) ptrs.push_back(&member);
   return ExtractShapeImpl(ptrs, reference, rng, options);
 }
 
-tseries::Series ExtractShapeIndexed(
+ExtractedShape ExtractShapeIndexedFlagged(
     const std::vector<tseries::Series>& pool,
     const std::vector<std::size_t>& member_indices,
     const tseries::Series& reference, common::Rng* rng,

@@ -47,6 +47,38 @@ tseries::Series ExtractShapeIndexed(
     const tseries::Series& reference, common::Rng* rng,
     const ShapeExtractionOptions& options = {});
 
+/// The result of a flagged shape extraction: the centroid plus an explicit
+/// repair signal for degenerate member sets.
+struct ExtractedShape {
+  tseries::Series centroid;
+
+  /// True when no member contributed to the eigenproblem: the member set was
+  /// empty, or every member z-normalized to the zero series (all-constant
+  /// data). The centroid is then the all-zero series — a deliberate, flagged
+  /// value rather than a silent one: under SBD the zero-norm centroid is at
+  /// the documented fallback distance 1 from everything, so callers can
+  /// either keep it (all-constant clusters are legitimately represented by
+  /// it) or re-seed.
+  bool degenerate = false;
+};
+
+/// ExtractShape with the degenerate-member-set repair signal. Non-degenerate
+/// inputs produce bit-identical centroids to ExtractShape; degenerate inputs
+/// skip the eigenproblem entirely (the previous behavior ran power iteration
+/// on the zero matrix and returned a z-normalized random start vector) and
+/// return the flagged zero centroid instead.
+ExtractedShape ExtractShapeFlagged(const std::vector<tseries::Series>& members,
+                                   const tseries::Series& reference,
+                                   common::Rng* rng,
+                                   const ShapeExtractionOptions& options = {});
+
+/// Indexed variant of ExtractShapeFlagged.
+ExtractedShape ExtractShapeIndexedFlagged(
+    const std::vector<tseries::Series>& pool,
+    const std::vector<std::size_t>& member_indices,
+    const tseries::Series& reference, common::Rng* rng,
+    const ShapeExtractionOptions& options = {});
+
 }  // namespace kshape::core
 
 #endif  // KSHAPE_CORE_SHAPE_EXTRACTION_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -356,6 +357,76 @@ tseries::SplitDataset MakeSplitDataset(const std::string& name,
   split.test = MakeLabeledDataset(name, num_classes, test_per_class,
                                   generator, rng);
   return split;
+}
+
+void InjectFaults(tseries::Series* series,
+                  const FaultInjectionOptions& options, common::Rng* rng) {
+  KSHAPE_CHECK(series != nullptr);
+  KSHAPE_CHECK(rng != nullptr);
+  if (series->empty()) return;
+
+  // Fault order is part of the determinism contract: NaN run, constant
+  // segment, spike, then truncation. Each fault consumes one gating draw plus
+  // its parameter draws only when it fires, so a fixed (seed, options) pair
+  // reproduces the exact corruption.
+  const std::size_t m = series->size();
+
+  if (rng->Uniform() < options.nan_probability && options.max_nan_run >= 1) {
+    const std::size_t run = 1 + static_cast<std::size_t>(rng->UniformInt(
+        static_cast<int>(std::min(options.max_nan_run, m))));
+    const std::size_t start = static_cast<std::size_t>(
+        rng->UniformInt(static_cast<int>(m - std::min(run, m) + 1)));
+    for (std::size_t t = start; t < std::min(start + run, m); ++t) {
+      (*series)[t] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+
+  if (rng->Uniform() < options.constant_probability &&
+      options.max_constant_run >= 1) {
+    const std::size_t run = 1 + static_cast<std::size_t>(rng->UniformInt(
+        static_cast<int>(std::min(options.max_constant_run, m))));
+    const std::size_t start = static_cast<std::size_t>(
+        rng->UniformInt(static_cast<int>(m - std::min(run, m) + 1)));
+    const double stuck = (*series)[start];
+    for (std::size_t t = start; t < std::min(start + run, m); ++t) {
+      (*series)[t] = stuck;
+    }
+  }
+
+  if (rng->Uniform() < options.spike_probability) {
+    const std::size_t pos =
+        static_cast<std::size_t>(rng->UniformInt(static_cast<int>(m)));
+    const double factor =
+        rng->Uniform(options.min_spike_factor, options.max_spike_factor);
+    (*series)[pos] *= factor;
+  }
+
+  if (rng->Uniform() < options.truncate_probability) {
+    const double keep_fraction =
+        rng->Uniform(std::clamp(options.min_keep_fraction, 0.0, 1.0), 1.0);
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(keep_fraction * static_cast<double>(m)));
+    if (keep < m) series->resize(keep);
+  }
+}
+
+CorruptedData MakeCorruptedData(const std::string& name, int num_classes,
+                                int per_class, const GeneratorFn& generator,
+                                const FaultInjectionOptions& options,
+                                common::Rng* rng) {
+  KSHAPE_CHECK(num_classes >= 1 && per_class >= 1);
+  KSHAPE_CHECK(rng != nullptr);
+  CorruptedData data;
+  data.name = name;
+  for (int klass = 0; klass < num_classes; ++klass) {
+    for (int i = 0; i < per_class; ++i) {
+      tseries::Series s = generator(klass, rng);
+      InjectFaults(&s, options, rng);
+      data.series.push_back(std::move(s));
+      data.labels.push_back(klass);
+    }
+  }
+  return data;
 }
 
 }  // namespace kshape::data

@@ -120,4 +120,38 @@ double AverageRandIndex(const cluster::ClusteringAlgorithm& algorithm,
   return total / static_cast<double>(runs);
 }
 
+common::StatusOr<double> TryAverageRandIndex(
+    const cluster::ClusteringAlgorithm& algorithm,
+    const std::vector<tseries::Series>& series, const std::vector<int>& labels,
+    int k, int runs, uint64_t seed,
+    const tseries::ConditioningOptions& conditioning) {
+  if (runs < 1) {
+    return common::Status::InvalidArgument("runs must be >= 1, got " +
+                                           std::to_string(runs));
+  }
+  if (labels.size() != series.size()) {
+    return common::Status::InvalidArgument(
+        "label count " + std::to_string(labels.size()) +
+        " does not match series count " + std::to_string(series.size()));
+  }
+  common::StatusOr<tseries::Dataset> conditioned =
+      tseries::ConditionToDataset(series, labels, "try-average-rand-index",
+                                  conditioning);
+  if (!conditioned.ok()) return conditioned.status();
+
+  common::Status valid =
+      cluster::ValidateClusteringInputs(conditioned.value().series(), k);
+  if (!valid.ok()) return valid;
+
+  common::Rng seeder(seed);
+  double total = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    common::Rng rng = seeder.Fork();
+    const cluster::ClusteringResult result =
+        algorithm.Cluster(conditioned.value().series(), k, &rng);
+    total += eval::RandIndex(labels, result.assignments);
+  }
+  return total / static_cast<double>(runs);
+}
+
 }  // namespace kshape::harness

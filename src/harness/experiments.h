@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "cluster/algorithm.h"
+#include "common/status.h"
+#include "tseries/conditioning.h"
 #include "tseries/time_series.h"
 
 namespace kshape::harness {
@@ -47,6 +49,18 @@ double AverageRandIndex(const cluster::ClusteringAlgorithm& algorithm,
                         const std::vector<tseries::Series>& series,
                         const std::vector<int>& labels, int k, int runs,
                         uint64_t seed);
+
+/// Library-boundary variant of AverageRandIndex for untrusted corpora: the
+/// raw series are first passed through tseries::ConditionToDataset with
+/// `conditioning` (repairing unequal lengths and missing values per policy),
+/// then validated via cluster::ValidateClusteringInputs, and only then
+/// clustered. Returns the conditioning or validation error instead of
+/// aborting; `runs` and `labels` size mismatches are InvalidArgument.
+common::StatusOr<double> TryAverageRandIndex(
+    const cluster::ClusteringAlgorithm& algorithm,
+    const std::vector<tseries::Series>& series, const std::vector<int>& labels,
+    int k, int runs, uint64_t seed,
+    const tseries::ConditioningOptions& conditioning = {});
 
 }  // namespace kshape::harness
 

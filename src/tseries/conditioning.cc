@@ -1,0 +1,242 @@
+#include "tseries/conditioning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kshape::tseries {
+
+const char* LengthPolicyName(LengthPolicy policy) {
+  switch (policy) {
+    case LengthPolicy::kReject:
+      return "reject";
+    case LengthPolicy::kPadZeros:
+      return "pad";
+    case LengthPolicy::kTruncate:
+      return "truncate";
+    case LengthPolicy::kResample:
+      return "resample";
+  }
+  return "?";
+}
+
+const char* MissingPolicyName(MissingPolicy policy) {
+  switch (policy) {
+    case MissingPolicy::kReject:
+      return "reject";
+    case MissingPolicy::kInterpolate:
+      return "interpolate";
+    case MissingPolicy::kMeanFill:
+      return "mean-fill";
+  }
+  return "?";
+}
+
+bool HasMissing(const Series& x) {
+  for (double v : x) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+std::size_t CountMissing(const Series& x) {
+  std::size_t count = 0;
+  for (double v : x) {
+    if (!std::isfinite(v)) ++count;
+  }
+  return count;
+}
+
+bool IsConstant(const Series& x) {
+  bool seen = false;
+  double first = 0.0;
+  for (double v : x) {
+    if (!std::isfinite(v)) continue;
+    if (!seen) {
+      first = v;
+      seen = true;
+    } else if (v != first) {
+      return false;
+    }
+  }
+  return true;
+}
+
+common::Status FillMissingInPlace(Series* x, MissingPolicy policy) {
+  KSHAPE_CHECK(x != nullptr);
+  if (x->empty()) {
+    return common::Status::InvalidArgument("cannot repair an empty series");
+  }
+  const std::size_t missing = CountMissing(*x);
+  if (missing == 0) return common::Status::OK();
+  if (policy == MissingPolicy::kReject) {
+    return common::Status::InvalidArgument(
+        std::to_string(missing) + " missing value(s) under the reject policy");
+  }
+  if (missing == x->size()) {
+    return common::Status::InvalidArgument(
+        "all " + std::to_string(missing) + " values are missing");
+  }
+  const std::size_t m = x->size();
+
+  if (policy == MissingPolicy::kMeanFill) {
+    double sum = 0.0;
+    for (double v : *x) {
+      if (std::isfinite(v)) sum += v;
+    }
+    const double mean = sum / static_cast<double>(m - missing);
+    for (double& v : *x) {
+      if (!std::isfinite(v)) v = mean;
+    }
+    return common::Status::OK();
+  }
+
+  // kInterpolate: bridge each gap linearly between its finite neighbors;
+  // extend boundary gaps from the nearest finite value.
+  std::size_t i = 0;
+  while (i < m) {
+    if (std::isfinite((*x)[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t gap_end = i;  // One past the last missing index of this gap.
+    while (gap_end < m && !std::isfinite((*x)[gap_end])) ++gap_end;
+    const bool has_left = i > 0;
+    const bool has_right = gap_end < m;
+    if (has_left && has_right) {
+      const double left = (*x)[i - 1];
+      const double right = (*x)[gap_end];
+      const double span = static_cast<double>(gap_end - i + 1);
+      for (std::size_t t = i; t < gap_end; ++t) {
+        const double w = static_cast<double>(t - i + 1) / span;
+        (*x)[t] = left + w * (right - left);
+      }
+    } else {
+      const double fill = has_left ? (*x)[i - 1] : (*x)[gap_end];
+      for (std::size_t t = i; t < gap_end; ++t) (*x)[t] = fill;
+    }
+    i = gap_end;
+  }
+  return common::Status::OK();
+}
+
+Series ResampleLinear(const Series& x, std::size_t target_length) {
+  KSHAPE_CHECK_MSG(!x.empty(), "cannot resample an empty series");
+  KSHAPE_CHECK_MSG(target_length >= 1, "resample target must be >= 1");
+  if (x.size() == target_length) return x;
+  const std::size_t m = x.size();
+  Series out(target_length);
+  if (m == 1 || target_length == 1) {
+    std::fill(out.begin(), out.end(), x[0]);
+    return out;
+  }
+  const double step = static_cast<double>(m - 1) /
+                      static_cast<double>(target_length - 1);
+  for (std::size_t t = 0; t < target_length; ++t) {
+    const double pos = static_cast<double>(t) * step;
+    const std::size_t lo = std::min(static_cast<std::size_t>(pos), m - 2);
+    const double w = pos - static_cast<double>(lo);
+    out[t] = x[lo] + w * (x[lo + 1] - x[lo]);
+  }
+  return out;
+}
+
+std::size_t ResolveTargetLength(const std::vector<Series>& series,
+                                const ConditioningOptions& options) {
+  if (options.target_length != 0) return options.target_length;
+  if (series.empty()) return 0;
+  std::size_t lo = series[0].size();
+  std::size_t hi = series[0].size();
+  for (const Series& s : series) {
+    lo = std::min(lo, s.size());
+    hi = std::max(hi, s.size());
+  }
+  return options.length_policy == LengthPolicy::kTruncate ? lo : hi;
+}
+
+common::StatusOr<Series> ConditionSeries(const Series& x,
+                                         std::size_t target_length,
+                                         const ConditioningOptions& options) {
+  if (x.empty()) {
+    return common::Status::InvalidArgument("cannot condition an empty series");
+  }
+  KSHAPE_CHECK_MSG(target_length >= 1, "target length must be >= 1");
+  Series out = x;
+  common::Status status = FillMissingInPlace(&out, options.missing_policy);
+  if (!status.ok()) return status;
+  if (out.size() == target_length) return out;
+
+  const std::string mismatch = "length " + std::to_string(out.size()) +
+                               " != target " + std::to_string(target_length);
+  switch (options.length_policy) {
+    case LengthPolicy::kReject:
+      return common::Status::InvalidArgument(mismatch +
+                                             " under the reject policy");
+    case LengthPolicy::kPadZeros:
+      if (out.size() > target_length) {
+        return common::Status::OutOfRange(
+            mismatch + ": the pad policy cannot shorten a series");
+      }
+      out.resize(target_length, 0.0);
+      return out;
+    case LengthPolicy::kTruncate:
+      if (out.size() < target_length) {
+        return common::Status::OutOfRange(
+            mismatch + ": the truncate policy cannot extend a series");
+      }
+      out.resize(target_length);
+      return out;
+    case LengthPolicy::kResample:
+      return ResampleLinear(out, target_length);
+  }
+  return common::Status::Internal("unknown length policy");
+}
+
+common::StatusOr<Dataset> ConditionToDataset(
+    const std::vector<Series>& series, const std::vector<int>& labels,
+    const std::string& name, const ConditioningOptions& options) {
+  if (series.empty()) {
+    return common::Status::InvalidArgument("cannot condition an empty batch");
+  }
+  if (series.size() != labels.size()) {
+    return common::Status::InvalidArgument(
+        std::to_string(series.size()) + " series but " +
+        std::to_string(labels.size()) + " labels");
+  }
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i].empty()) {
+      return common::Status::InvalidArgument(
+          "series " + std::to_string(i) + " is empty");
+    }
+  }
+  const std::size_t target = ResolveTargetLength(series, options);
+  Dataset dataset(name);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    common::StatusOr<Series> conditioned =
+        ConditionSeries(series[i], target, options);
+    if (!conditioned.ok()) {
+      return common::Status(conditioned.status().code(),
+                            "series " + std::to_string(i) + ": " +
+                                conditioned.status().message());
+    }
+    dataset.Add(std::move(conditioned).value(), labels[i]);
+  }
+  return dataset;
+}
+
+common::Status ConditionDatasetInPlace(Dataset* dataset,
+                                       const ConditioningOptions& options) {
+  KSHAPE_CHECK(dataset != nullptr);
+  if (dataset->empty()) {
+    return common::Status::InvalidArgument("cannot condition an empty dataset");
+  }
+  common::StatusOr<Dataset> conditioned =
+      ConditionToDataset(dataset->series(), dataset->labels(),
+                         dataset->name(), options);
+  if (!conditioned.ok()) return conditioned.status();
+  *dataset = std::move(conditioned).value();
+  return common::Status::OK();
+}
+
+}  // namespace kshape::tseries

@@ -1,0 +1,128 @@
+#ifndef KSHAPE_TSERIES_CONDITIONING_H_
+#define KSHAPE_TSERIES_CONDITIONING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tseries/time_series.h"
+
+namespace kshape::tseries {
+
+/// Input conditioning for hostile real-world archives.
+///
+/// The paper's pipeline assumes the clean UCR layout: equal-length,
+/// fully-observed series. Real archives are messier — recordings of unequal
+/// duration, sensor dropouts encoded as NaN, flat segments. This module turns
+/// such input into the equal-length, fully-finite form every DistanceMeasure
+/// and clustering algorithm requires, under explicit caller-chosen policies.
+/// Conditioning is idempotent: re-conditioning an already conditioned batch
+/// with the same options is an exact no-op.
+///
+/// Error taxonomy: malformed *data* (ragged lengths under kReject, all-missing
+/// series, empty batches) yields a `common::Status` error; misuse of the API
+/// (e.g. a zero target length for a non-empty batch) is a programmer error
+/// and aborts via KSHAPE_CHECK.
+
+/// How series whose length differs from the target length are handled.
+enum class LengthPolicy {
+  /// Any length mismatch is a Status error (the strict UCR contract).
+  kReject,
+
+  /// Shorter series are extended with trailing zeros (the same zero fill SBD
+  /// uses for shifts, Equation 5 of the paper). Series longer than the target
+  /// are a Status error. Default target: the maximum input length.
+  kPadZeros,
+
+  /// Longer series are cut to the target length (keeping the head). Series
+  /// shorter than the target are a Status error. Default target: the minimum
+  /// input length.
+  kTruncate,
+
+  /// Linear interpolation onto `target` equally spaced points; total for any
+  /// input length. Default target: the maximum input length.
+  kResample,
+};
+
+/// How missing observations (NaN or infinite values) are handled.
+enum class MissingPolicy {
+  /// Any non-finite value is a Status error (the strict UCR contract).
+  kReject,
+
+  /// Linear interpolation between the nearest finite neighbors; leading and
+  /// trailing gaps are extended from the nearest finite value. An all-missing
+  /// series is a Status error.
+  kInterpolate,
+
+  /// Every missing value is replaced by the mean of the finite values. An
+  /// all-missing series is a Status error.
+  kMeanFill,
+};
+
+/// Returns a short name, e.g. "pad", "interpolate".
+const char* LengthPolicyName(LengthPolicy policy);
+const char* MissingPolicyName(MissingPolicy policy);
+
+/// A conditioning configuration: what to do about unequal lengths and missing
+/// values, and which common length to aim for.
+struct ConditioningOptions {
+  LengthPolicy length_policy = LengthPolicy::kReject;
+  MissingPolicy missing_policy = MissingPolicy::kReject;
+
+  /// Target length all series are brought to. 0 means "derive from the
+  /// batch": the maximum input length for kPadZeros/kResample, the minimum
+  /// for kTruncate, and the (asserted common) input length for kReject.
+  std::size_t target_length = 0;
+};
+
+/// True when the series contains any non-finite (NaN or infinite) value.
+bool HasMissing(const Series& x);
+
+/// Number of non-finite values in the series.
+std::size_t CountMissing(const Series& x);
+
+/// True when every finite value equals the first finite value (degenerate
+/// under z-normalization: such a series maps to all zeros). An empty or
+/// all-missing series counts as constant.
+bool IsConstant(const Series& x);
+
+/// Replaces non-finite values in place under `policy`. Errors: empty input,
+/// all values missing, or any missing value under kReject.
+common::Status FillMissingInPlace(Series* x, MissingPolicy policy);
+
+/// Linearly resamples `x` onto `target_length` equally spaced points over the
+/// same time span. Exact no-op (returns a copy) when the length already
+/// matches. Requires a non-empty input and target_length >= 1; a length-1
+/// input is extended as a constant.
+Series ResampleLinear(const Series& x, std::size_t target_length);
+
+/// The target length `options` resolves to for this batch (see
+/// ConditioningOptions::target_length). Returns 0 for an empty batch.
+std::size_t ResolveTargetLength(const std::vector<Series>& series,
+                                const ConditioningOptions& options);
+
+/// Conditions one series to `target_length` under `options`: missing values
+/// are repaired first, then the length policy is applied. Errors follow the
+/// policy contracts above.
+common::StatusOr<Series> ConditionSeries(const Series& x,
+                                         std::size_t target_length,
+                                         const ConditioningOptions& options);
+
+/// Conditions a (possibly ragged, possibly NaN-bearing) batch of labeled
+/// series into a Dataset satisfying the equal-length invariant. Errors: empty
+/// batch, series/label count mismatch, an empty series, or any per-series
+/// conditioning failure.
+common::StatusOr<Dataset> ConditionToDataset(
+    const std::vector<Series>& series, const std::vector<int>& labels,
+    const std::string& name, const ConditioningOptions& options);
+
+/// Conditions every series of an existing Dataset in place (missing-value
+/// repair plus, when the resolved target length differs from the dataset
+/// length, a uniform length change). On error the dataset is unchanged.
+common::Status ConditionDatasetInPlace(Dataset* dataset,
+                                       const ConditioningOptions& options);
+
+}  // namespace kshape::tseries
+
+#endif  // KSHAPE_TSERIES_CONDITIONING_H_

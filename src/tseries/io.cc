@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace kshape::tseries {
@@ -38,6 +39,25 @@ common::Status ParseDouble(const std::string& field, double* out) {
     return common::Status::InvalidArgument("bad numeric field: " + field);
   }
   *out = value;
+  return common::Status::OK();
+}
+
+// Parses a value field for the lenient loader: "?" and any non-finite
+// rendering ("nan", "inf", ...) become NaN missing markers.
+common::Status ParseValueOrMissing(const std::string& field, double* out) {
+  if (field == "?") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return common::Status::OK();
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return common::Status::InvalidArgument("bad numeric field: " + field);
+  }
+  *out = std::isfinite(value) && errno != ERANGE
+             ? value
+             : std::numeric_limits<double>::quiet_NaN();
   return common::Status::OK();
 }
 
@@ -85,6 +105,49 @@ common::StatusOr<Dataset> ParseUcrText(const std::string& text,
   return dataset;
 }
 
+common::StatusOr<Dataset> ParseUcrText(const std::string& text,
+                                       const std::string& dataset_name,
+                                       const ConditioningOptions& options) {
+  std::vector<Series> series;
+  std::vector<int> labels;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::vector<std::string> fields = SplitFields(line);
+    if (fields.empty()) continue;  // Skip blank lines.
+    if (fields.size() < 2) {
+      return common::Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": need a label and at least one value");
+    }
+    double label_value = 0.0;
+    common::Status st = ParseDouble(fields[0], &label_value);
+    if (!st.ok()) {
+      return common::Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": " + st.message());
+    }
+    Series row;
+    row.reserve(fields.size() - 1);
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      double value = 0.0;
+      st = ParseValueOrMissing(fields[i], &value);
+      if (!st.ok()) {
+        return common::Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ": " + st.message());
+      }
+      row.push_back(value);
+    }
+    series.push_back(std::move(row));
+    labels.push_back(static_cast<int>(std::lround(label_value)));
+  }
+  if (series.empty()) {
+    return common::Status::InvalidArgument("no series in input");
+  }
+  return ConditionToDataset(series, labels, dataset_name, options);
+}
+
 common::StatusOr<Dataset> ReadUcrFile(const std::string& path,
                                       const std::string& dataset_name) {
   std::ifstream file(path);
@@ -95,6 +158,19 @@ common::StatusOr<Dataset> ReadUcrFile(const std::string& path,
   std::ostringstream buffer;
   buffer << file.rdbuf();
   return ParseUcrText(buffer.str(), dataset_name);
+}
+
+common::StatusOr<Dataset> ReadUcrFile(const std::string& path,
+                                      const std::string& dataset_name,
+                                      const ConditioningOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return common::Status::IoError("cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseUcrText(buffer.str(), dataset_name, options);
 }
 
 common::Status WriteUcrFile(const Dataset& dataset, const std::string& path) {

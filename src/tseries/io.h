@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "tseries/conditioning.h"
 #include "tseries/time_series.h"
 
 namespace kshape::tseries {
@@ -19,6 +20,20 @@ common::StatusOr<Dataset> ReadUcrFile(const std::string& path,
 /// for tests and embedded data.
 common::StatusOr<Dataset> ParseUcrText(const std::string& text,
                                        const std::string& dataset_name);
+
+/// Lenient variants for hostile archives: rows may have differing lengths and
+/// values may be missing — "nan" (any case), "inf"/"-inf", or "?" all parse
+/// as a missing observation. The parsed batch is passed through the
+/// conditioning policies of `options` (see tseries/conditioning.h) to produce
+/// an equal-length, fully-finite Dataset. With both policies at kReject these
+/// behave like the strict variants above.
+common::StatusOr<Dataset> ReadUcrFile(const std::string& path,
+                                      const std::string& dataset_name,
+                                      const ConditioningOptions& options);
+
+common::StatusOr<Dataset> ParseUcrText(const std::string& text,
+                                       const std::string& dataset_name,
+                                       const ConditioningOptions& options);
 
 /// Writes a dataset in the UCR text layout (comma-separated).
 common::Status WriteUcrFile(const Dataset& dataset, const std::string& path);

@@ -26,6 +26,7 @@
 #include "core/sbd_engine.h"
 #include "data/generators.h"
 #include "distance/dtw.h"
+#include "tseries/conditioning.h"
 #include "tseries/normalization.h"
 
 namespace kshape {
@@ -88,6 +89,8 @@ bool ResultsBitIdentical(const cluster::ClusteringResult& a,
                          const cluster::ClusteringResult& b) {
   if (a.assignments != b.assignments) return false;
   if (a.iterations != b.iterations || a.converged != b.converged) return false;
+  if (a.empty_cluster_reseeds != b.empty_cluster_reseeds) return false;
+  if (a.degenerate_centroids != b.degenerate_centroids) return false;
   if (a.centroids.size() != b.centroids.size()) return false;
   for (std::size_t j = 0; j < a.centroids.size(); ++j) {
     if (a.centroids[j] != b.centroids[j]) return false;
@@ -211,6 +214,83 @@ TEST(ParallelInvarianceTest, MultivariateKShapeFullRun) {
         return algorithm.Cluster(series, 3, &run_rng);
       },
       equal, "multivariate k-Shape");
+}
+
+// Determinism regression for the robustness layer: a fault-injected corpus
+// (NaN runs, dropped tails, stuck segments) conditioned through the official
+// repair path, then clustered with empty-cluster repair and degenerate
+// flagging active, must stay bit-identical across thread counts — including
+// the repair telemetry itself.
+tseries::Dataset MakeConditionedCorruptedDataset(uint64_t seed) {
+  common::Rng rng(seed);
+  data::FaultInjectionOptions faults;
+  faults.nan_probability = 0.4;
+  faults.truncate_probability = 0.4;
+  faults.constant_probability = 0.2;
+  const data::CorruptedData corpus = data::MakeCorruptedData(
+      "parallel-corrupted", 3, 10, [](int klass, common::Rng* r) {
+        return data::MakeCbf(klass, 64, r);
+      }, faults, &rng);
+  tseries::ConditioningOptions options;
+  options.length_policy = tseries::LengthPolicy::kResample;
+  options.missing_policy = tseries::MissingPolicy::kInterpolate;
+  auto dataset = tseries::ConditionToDataset(corpus.series, corpus.labels,
+                                             corpus.name, options);
+  EXPECT_TRUE(dataset.ok()) << dataset.status().ToString();
+  tseries::Dataset out = std::move(dataset).value();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    tseries::ZNormalizeInPlace(out.mutable_series(i));
+  }
+  return out;
+}
+
+TEST(ParallelInvarianceTest, KShapeOnConditionedCorruptedCorpus) {
+  const tseries::Dataset dataset = MakeConditionedCorruptedDataset(31);
+  const core::KShape algorithm;
+  ExpectInvariant<cluster::ClusteringResult>(
+      [&] {
+        common::Rng rng(9);
+        auto result = algorithm.TryCluster(dataset.series(), 3, &rng);
+        EXPECT_TRUE(result.ok()) << result.status().ToString();
+        return std::move(result).value();
+      },
+      ResultsBitIdentical, "k-Shape on conditioned corrupted corpus");
+}
+
+TEST(ParallelInvarianceTest, CachedAndUncachedSbdAgreeOnConditionedLabels) {
+  // Identical seeds must give identical labels whether the SBD spectrum
+  // cache is on or off, at every thread count. Centroids are not compared:
+  // the cached distances agree within a tolerance, not bitwise, so only the
+  // discrete outputs (assignments, iteration count, telemetry) are required
+  // to coincide.
+  const tseries::Dataset dataset = MakeConditionedCorruptedDataset(33);
+  core::KShapeOptions uncached_options;
+  uncached_options.use_spectrum_cache = false;
+  const core::KShape cached;
+  const core::KShape uncached(uncached_options);
+
+  common::SetThreadCount(1);
+  common::Rng reference_rng(17);
+  const cluster::ClusteringResult reference =
+      uncached.Cluster(dataset.series(), 3, &reference_rng);
+
+  for (const int threads : kThreadCounts) {
+    common::SetThreadCount(threads);
+    for (const core::KShape* algorithm : {&cached, &uncached}) {
+      common::Rng rng(17);
+      const cluster::ClusteringResult result =
+          algorithm->Cluster(dataset.series(), 3, &rng);
+      EXPECT_EQ(result.assignments, reference.assignments)
+          << "threads=" << threads;
+      EXPECT_EQ(result.iterations, reference.iterations)
+          << "threads=" << threads;
+      EXPECT_EQ(result.empty_cluster_reseeds, reference.empty_cluster_reseeds)
+          << "threads=" << threads;
+      EXPECT_EQ(result.degenerate_centroids, reference.degenerate_centroids)
+          << "threads=" << threads;
+    }
+  }
+  common::SetThreadCount(1);
 }
 
 TEST(ParallelInvarianceTest, OneNnAccuracySbd) {
