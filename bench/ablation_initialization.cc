@@ -36,13 +36,13 @@ int main() {
     {
       common::Stopwatch timer;
       random_scores.scores.push_back(harness::AverageRandIndex(
-          kshape_random, fused.series(), fused.labels(), k, 10, seed));
+          kshape_random, fused.batch(), fused.labels(), k, 10, seed));
       random_scores.total_seconds += timer.ElapsedSeconds();
     }
     {
       common::Stopwatch timer;
       pp_scores.scores.push_back(harness::AverageRandIndex(
-          kshape_pp, fused.series(), fused.labels(), k, 10, seed));
+          kshape_pp, fused.batch(), fused.labels(), k, 10, seed));
       pp_scores.total_seconds += timer.ElapsedSeconds();
     }
     ++seed;

@@ -30,7 +30,8 @@ using kshape::tseries::Series;
 class OptimallyScaledNcc : public kshape::distance::DistanceMeasure {
  public:
   explicit OptimallyScaledNcc(NccNormalization norm) : norm_(norm) {}
-  double Distance(const Series& x, const Series& y) const override {
+  double Distance(kshape::tseries::SeriesView x,
+                  kshape::tseries::SeriesView y) const override {
     const Series scaled = kshape::tseries::OptimallyScaled(x, y);
     return 1.0 - MaxNcc(x, scaled, norm_).value;
   }
@@ -76,10 +77,10 @@ int main() {
 
       if (scenario == "ValuesBetween0-1") {
         for (std::size_t i = 0; i < prepared.train.size(); ++i) {
-          tseries::MinMaxNormalizeInPlace(prepared.train.mutable_series(i));
+          tseries::MinMaxNormalizeInPlace(prepared.train.MutableView(i));
         }
         for (std::size_t i = 0; i < prepared.test.size(); ++i) {
-          tseries::MinMaxNormalizeInPlace(prepared.test.mutable_series(i));
+          tseries::MinMaxNormalizeInPlace(prepared.test.MutableView(i));
         }
       } else if (scenario == "z-normalization") {
         tseries::ZNormalizeDataset(&prepared.train);

@@ -66,16 +66,16 @@ int main() {
       table.AddRow(
           {split.name(),
            harness::FormatDouble(
-               cost_of(mean_avg.Average(train.series(), members, zero, &rng)),
+               cost_of(mean_avg.Average(train.batch(), members, zero, &rng)),
                2),
            harness::FormatDouble(
-               cost_of(nlaaf.Average(train.series(), members, zero, &rng)), 2),
+               cost_of(nlaaf.Average(train.batch(), members, zero, &rng)), 2),
            harness::FormatDouble(
-               cost_of(psa.Average(train.series(), members, zero, &rng)), 2),
+               cost_of(psa.Average(train.batch(), members, zero, &rng)), 2),
            harness::FormatDouble(
-               cost_of(dba.Average(train.series(), members, zero, &rng)), 2),
+               cost_of(dba.Average(train.batch(), members, zero, &rng)), 2),
            harness::FormatDouble(
-               cost_of(dba5.Average(train.series(), members, zero, &rng)),
+               cost_of(dba5.Average(train.batch(), members, zero, &rng)),
                2)});
     }
     table.Print(std::cout);
@@ -119,7 +119,7 @@ int main() {
       for (std::size_t j = 0; j < methods.size(); ++j) {
         common::Stopwatch timer;
         scores[j].scores.push_back(harness::AverageRandIndex(
-            *methods[j], dataset.series(), dataset.labels(),
+            *methods[j], dataset.batch(), dataset.labels(),
             dataset.NumClasses(), 3, seed));
         scores[j].total_seconds += timer.ElapsedSeconds();
       }

@@ -60,9 +60,9 @@ int main() {
   const cluster::KMedoids pam_cdtw(&cdtw5, "PAM+cDTW");
   const int runs = 10;
   const double kshape_rand = harness::AverageRandIndex(
-      kshape, fused.series(), fused.labels(), 2, runs, 1);
+      kshape, fused.batch(), fused.labels(), 2, runs, 1);
   const double pam_rand = harness::AverageRandIndex(
-      pam_cdtw, fused.series(), fused.labels(), 2, runs, 2);
+      pam_cdtw, fused.batch(), fused.labels(), 2, runs, 2);
   harness::TablePrinter cl_table({"Method", "Rand index (10 runs)"});
   cl_table.AddRow({"k-Shape", harness::FormatDouble(kshape_rand)});
   cl_table.AddRow({"PAM+cDTW", harness::FormatDouble(pam_rand)});

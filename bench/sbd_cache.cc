@@ -50,7 +50,8 @@ class UncachedSbd : public kshape::distance::DistanceMeasure {
           kshape::core::CrossCorrelationImpl::kFft)
       : impl_(impl) {}
 
-  double Distance(const Series& x, const Series& y) const override {
+  double Distance(kshape::tseries::SeriesView x,
+                  kshape::tseries::SeriesView y) const override {
     return kshape::core::Sbd(x, y, impl_).distance;
   }
 

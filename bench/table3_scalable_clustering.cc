@@ -68,7 +68,7 @@ int main() {
     for (std::size_t j = 0; j < methods.size(); ++j) {
       common::Stopwatch timer;
       scores[j].scores.push_back(harness::AverageRandIndex(
-          *methods[j], fused.series(), fused.labels(), k, runs, seed));
+          *methods[j], fused.batch(), fused.labels(), k, runs, seed));
       scores[j].total_seconds += timer.ElapsedSeconds();
     }
     ++seed;

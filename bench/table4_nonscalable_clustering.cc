@@ -89,20 +89,20 @@ int main() {
     {
       common::Stopwatch timer;
       baseline.scores.push_back(harness::AverageRandIndex(
-          k_avg_ed, fused.series(), labels, k, 10, seed));
+          k_avg_ed, fused.batch(), labels, k, 10, seed));
       baseline.total_seconds += timer.ElapsedSeconds();
     }
     {
       common::Stopwatch timer;
       kshape_scores.scores.push_back(harness::AverageRandIndex(
-          kshape, fused.series(), labels, k, 10, seed));
+          kshape, fused.batch(), labels, k, 10, seed));
       kshape_scores.total_seconds += timer.ElapsedSeconds();
     }
 
     for (std::size_t mi = 0; mi < measures.size(); ++mi) {
       common::Stopwatch matrix_timer;
       const linalg::Matrix d =
-          cluster::PairwiseDistanceMatrix(fused.series(), *measures[mi]);
+          cluster::PairwiseDistanceMatrix(fused.batch(), *measures[mi]);
       const double matrix_seconds = matrix_timer.ElapsedSeconds();
 
       // Hierarchical: deterministic, one run per linkage.

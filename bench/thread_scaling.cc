@@ -42,7 +42,8 @@ constexpr int kThreadCounts[] = {1, 2, 4, 8};
 // per-pair loop — the uncached mode of the spectrum-cache comparison.
 class UncachedSbd : public kshape::distance::DistanceMeasure {
  public:
-  double Distance(const Series& x, const Series& y) const override {
+  double Distance(kshape::tseries::SeriesView x,
+                  kshape::tseries::SeriesView y) const override {
     return kshape::core::Sbd(x, y).distance;
   }
   std::string Name() const override { return "SBD_uncached"; }

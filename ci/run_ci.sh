@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # CI for the parallel execution layer.
 #
-# 1. Release build; tier-1 tests at KSHAPE_THREADS=1 and KSHAPE_THREADS=4
-#    (the suites assert bit-identical results across thread counts, so
-#    running the whole tier at two settings catches scheduling-dependent
-#    output anywhere in the library, not just in parallel_test).
+# 1. Release build (examples/ binaries built explicitly, so interface
+#    refactors cannot silently break them); tier-1 tests at KSHAPE_THREADS=1
+#    and KSHAPE_THREADS=4 (the suites assert bit-identical results across
+#    thread counts, so running the whole tier at two settings catches
+#    scheduling-dependent output anywhere in the library, not just in
+#    parallel_test); then the storage-layout microbench in --smoke mode as a
+#    release-stage smoke test (it cross-checks that the contiguous and
+#    nested layouts produce bit-identical kernel outputs and writes
+#    BENCH_storage_layout.json).
 # 2. ThreadSanitizer build; parallel_test, thread_pool_test, and
 #    sbd_cache_test run under TSan to catch data races in the pool, the FFT
 #    plan caches, and the spectrum-cached SBD pipeline (engine construction
@@ -28,11 +33,19 @@ echo "==> Release build (${RELEASE_DIR})"
 cmake -B "${RELEASE_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${RELEASE_DIR}" -j "${JOBS}"
 
+echo "==> example binaries"
+cmake --build "${RELEASE_DIR}" -j "${JOBS}" \
+      --target quickstart ecg_clustering stock_patterns ucr_file_tool \
+               estimate_k multichannel
+
 for threads in 1 4; do
   echo "==> tier1 tests, KSHAPE_THREADS=${threads}"
   (cd "${RELEASE_DIR}" &&
    KSHAPE_THREADS="${threads}" ctest -L tier1 --output-on-failure -j "${JOBS}")
 done
+
+echo "==> storage-layout smoke test (contiguous vs nested bit-identity)"
+(cd "${RELEASE_DIR}" && ./bench/storage_layout --smoke)
 
 echo "==> ThreadSanitizer build (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

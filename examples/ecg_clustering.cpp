@@ -103,7 +103,7 @@ int main() {
         static_cast<const cluster::ClusteringAlgorithm*>(&k_avg_ed),
         static_cast<const cluster::ClusteringAlgorithm*>(&pam_cdtw)}) {
     std::cout << "  " << algorithm->Name() << ": "
-              << harness::AverageRandIndex(*algorithm, fused.series(),
+              << harness::AverageRandIndex(*algorithm, fused.batch(),
                                            fused.labels(), 2, 10, 77)
               << "\n";
   }

@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
 
   common::Rng rng(12345);
   const cluster::ClusteringResult result =
-      algorithm->Cluster(dataset.series(), k, &rng);
+      algorithm->Cluster(dataset.batch(), k, &rng);
 
   harness::TablePrinter table({"Metric", "Value"});
   table.AddRow({"Rand index",

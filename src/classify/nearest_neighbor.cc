@@ -72,13 +72,13 @@ int KnnVote(std::vector<std::pair<double, int>>* neighbors, int effective_k) {
 
 }  // namespace
 
-int OneNnClassify(const tseries::Dataset& train, const tseries::Series& query,
+int OneNnClassify(const tseries::Dataset& train, tseries::SeriesView query,
                   const distance::DistanceMeasure& measure) {
   KSHAPE_CHECK(!train.empty());
   double best = std::numeric_limits<double>::infinity();
   int label = train.label(0);
   for (std::size_t i = 0; i < train.size(); ++i) {
-    const double d = measure.Distance(query, train.series(i));
+    const double d = measure.Distance(query, train.view(i));
     if (d < best) {
       best = d;
       label = train.label(i);
@@ -96,16 +96,16 @@ double OneNnAccuracy(const tseries::Dataset& train,
   // are transformed here and every query afterwards costs one forward plus
   // |train| inverse transforms instead of |train| full SBD evaluations.
   const std::unique_ptr<distance::BatchScanner> scanner =
-      measure.NewBatchScanner(train.series());
+      measure.NewBatchScanner(train.batch());
   if (scanner != nullptr) {
     return ParallelQueryAccuracy(test.size(), [&](std::size_t q) {
       std::vector<double> dists;
-      scanner->DistancesToAll(test.series(q), &dists);
+      scanner->DistancesToAll(test.view(q), &dists);
       return NearestLabel(train, dists) == test.label(q);
     });
   }
   return ParallelQueryAccuracy(test.size(), [&](std::size_t i) {
-    return OneNnClassify(train, test.series(i), measure) == test.label(i);
+    return OneNnClassify(train, test.view(i), measure) == test.label(i);
   });
 }
 
@@ -116,7 +116,7 @@ double OneNnAccuracyCdtwLb(const tseries::Dataset& train,
   // The LB_Keogh prune threshold is query-local state, so queries stay
   // independent and the prune decisions match the sequential run exactly.
   return ParallelQueryAccuracy(test.size(), [&](std::size_t q) {
-    const tseries::Series& query = test.series(q);
+    const tseries::SeriesView query = test.view(q);
     tseries::Series lower;
     tseries::Series upper;
     dtw::LowerUpperEnvelope(query, window, &lower, &upper);
@@ -124,10 +124,10 @@ double OneNnAccuracyCdtwLb(const tseries::Dataset& train,
     double best = std::numeric_limits<double>::infinity();
     int label = train.label(0);
     for (std::size_t i = 0; i < train.size(); ++i) {
-      const double bound = dtw::LbKeogh(train.series(i), lower, upper);
+      const double bound = dtw::LbKeogh(train.view(i), lower, upper);
       if (bound >= best) continue;  // Admissible prune.
       const double d =
-          dtw::ConstrainedDtwDistance(query, train.series(i), window);
+          dtw::ConstrainedDtwDistance(query, train.view(i), window);
       if (d < best) {
         best = d;
         label = train.label(i);
@@ -140,7 +140,7 @@ double OneNnAccuracyCdtwLb(const tseries::Dataset& train,
 double LeaveOneOutCdtwAccuracy(const tseries::Dataset& data, int window) {
   KSHAPE_CHECK(data.size() >= 2);
   return ParallelQueryAccuracy(data.size(), [&](std::size_t q) {
-    const tseries::Series& query = data.series(q);
+    const tseries::SeriesView query = data.view(q);
     tseries::Series lower;
     tseries::Series upper;
     dtw::LowerUpperEnvelope(query, window, &lower, &upper);
@@ -150,10 +150,10 @@ double LeaveOneOutCdtwAccuracy(const tseries::Dataset& data, int window) {
     bool have_label = false;
     for (std::size_t i = 0; i < data.size(); ++i) {
       if (i == q) continue;
-      const double bound = dtw::LbKeogh(data.series(i), lower, upper);
+      const double bound = dtw::LbKeogh(data.view(i), lower, upper);
       if (have_label && bound >= best) continue;
       const double d =
-          dtw::ConstrainedDtwDistance(query, data.series(i), window);
+          dtw::ConstrainedDtwDistance(query, data.view(i), window);
       if (!have_label || d < best) {
         best = d;
         label = data.label(i);
@@ -184,7 +184,7 @@ int TuneCdtwWindowLoo(const tseries::Dataset& train,
   return best_window;
 }
 
-int KnnClassify(const tseries::Dataset& train, const tseries::Series& query,
+int KnnClassify(const tseries::Dataset& train, tseries::SeriesView query,
                 const distance::DistanceMeasure& measure, int k) {
   KSHAPE_CHECK(!train.empty());
   KSHAPE_CHECK(k >= 1);
@@ -194,7 +194,7 @@ int KnnClassify(const tseries::Dataset& train, const tseries::Series& query,
   std::vector<std::pair<double, int>> neighbors;
   neighbors.reserve(train.size());
   for (std::size_t i = 0; i < train.size(); ++i) {
-    neighbors.emplace_back(measure.Distance(query, train.series(i)),
+    neighbors.emplace_back(measure.Distance(query, train.view(i)),
                            train.label(i));
   }
   return KnnVote(&neighbors, effective_k);
@@ -207,11 +207,11 @@ double KnnAccuracy(const tseries::Dataset& train, const tseries::Dataset& test,
   const int effective_k = std::min<int>(k, static_cast<int>(train.size()));
   // Same batched-scan routing as OneNnAccuracy.
   const std::unique_ptr<distance::BatchScanner> scanner =
-      measure.NewBatchScanner(train.series());
+      measure.NewBatchScanner(train.batch());
   if (scanner != nullptr) {
     return ParallelQueryAccuracy(test.size(), [&](std::size_t q) {
       std::vector<double> dists;
-      scanner->DistancesToAll(test.series(q), &dists);
+      scanner->DistancesToAll(test.view(q), &dists);
       std::vector<std::pair<double, int>> neighbors;
       neighbors.reserve(train.size());
       for (std::size_t i = 0; i < train.size(); ++i) {
@@ -221,7 +221,7 @@ double KnnAccuracy(const tseries::Dataset& train, const tseries::Dataset& test,
     });
   }
   return ParallelQueryAccuracy(test.size(), [&](std::size_t i) {
-    return KnnClassify(train, test.series(i), measure, k) == test.label(i);
+    return KnnClassify(train, test.view(i), measure, k) == test.label(i);
   });
 }
 
@@ -230,11 +230,11 @@ double OneNnAccuracyEdEarlyAbandon(const tseries::Dataset& train,
   KSHAPE_CHECK(!train.empty() && !test.empty());
   // The abandon threshold, like the LB_Keogh prune, is query-local.
   return ParallelQueryAccuracy(test.size(), [&](std::size_t q) {
-    const tseries::Series& query = test.series(q);
+    const tseries::SeriesView query = test.view(q);
     double best_sq = std::numeric_limits<double>::infinity();
     int label = train.label(0);
     for (std::size_t i = 0; i < train.size(); ++i) {
-      const tseries::Series& candidate = train.series(i);
+      const tseries::SeriesView candidate = train.view(i);
       double sum = 0.0;
       bool abandoned = false;
       for (std::size_t t = 0; t < query.size(); ++t) {

@@ -10,7 +10,7 @@ namespace kshape::classify {
 
 /// Predicts the label of `query` as the label of its nearest training series
 /// under `measure` (ties broken by the first minimum).
-int OneNnClassify(const tseries::Dataset& train, const tseries::Series& query,
+int OneNnClassify(const tseries::Dataset& train, tseries::SeriesView query,
                   const distance::DistanceMeasure& measure);
 
 /// 1-NN classification accuracy of `measure` on a train/test split — the
@@ -49,7 +49,7 @@ std::vector<double> DefaultWindowFractions();
 /// k-nearest-neighbor majority-vote classification (generalizes the paper's
 /// 1-NN protocol; k = 1 reproduces OneNnClassify exactly). Ties between
 /// classes are broken toward the class whose nearest member is closest.
-int KnnClassify(const tseries::Dataset& train, const tseries::Series& query,
+int KnnClassify(const tseries::Dataset& train, tseries::SeriesView query,
                 const distance::DistanceMeasure& measure, int k);
 
 /// k-NN classification accuracy over a train/test split.

@@ -41,9 +41,43 @@ common::Status ValidateClusteringInputs(
   return common::Status::OK();
 }
 
+common::Status ValidateClusteringInputs(const tseries::SeriesBatch& series,
+                                        int k) {
+  // A batch already carries the equal-length, non-empty-rows invariant, so
+  // only emptiness, finiteness, and the k range remain to check.
+  if (series.empty()) {
+    return common::Status::InvalidArgument("empty dataset");
+  }
+  const std::size_t n = series.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double v : series[i]) {
+      if (!std::isfinite(v)) {
+        return common::Status::InvalidArgument(
+            "series " + std::to_string(i) + " contains a non-finite value;"
+            " condition the input first (tseries/conditioning.h)");
+      }
+    }
+  }
+  if (k < 1 || static_cast<std::size_t>(k) > n) {
+    return common::Status::OutOfRange(
+        "k = " + std::to_string(k) + " outside [1, n = " + std::to_string(n) +
+        "]");
+  }
+  return common::Status::OK();
+}
+
 common::StatusOr<ClusteringResult> ClusteringAlgorithm::TryCluster(
     const std::vector<tseries::Series>& series, int k,
     common::Rng* rng) const {
+  common::Status status = ValidateClusteringInputs(series, k);
+  if (!status.ok()) return status;
+  // Validation passed, so the rows are equal-length and the batch view over
+  // the vector is safe to form.
+  return Cluster(tseries::SeriesBatch(series), k, rng);
+}
+
+common::StatusOr<ClusteringResult> ClusteringAlgorithm::TryCluster(
+    const tseries::SeriesBatch& series, int k, common::Rng* rng) const {
   common::Status status = ValidateClusteringInputs(series, k);
   if (!status.ok()) return status;
   return Cluster(series, k, rng);

@@ -47,19 +47,27 @@ class ClusteringAlgorithm {
   virtual ~ClusteringAlgorithm() = default;
 
   /// Partitions `series` (equal-length, z-normalized by the caller when the
-  /// measure requires it) into k clusters. Inputs violating the data contract
-  /// (see ValidateClusteringInputs) are programmer errors here and abort;
-  /// untrusted data must go through TryCluster instead.
-  virtual ClusteringResult Cluster(const std::vector<tseries::Series>& series,
+  /// measure requires it) into k clusters. The batch is a non-owning view —
+  /// pass Dataset::batch() for the contiguous hot path, or a
+  /// std::vector<Series> (implicit conversion) for ad-hoc collections.
+  /// Inputs violating the data contract (see ValidateClusteringInputs) are
+  /// programmer errors here and abort; untrusted data must go through
+  /// TryCluster instead.
+  virtual ClusteringResult Cluster(const tseries::SeriesBatch& series,
                                    int k, common::Rng* rng) const = 0;
 
   /// Library-boundary entry point for untrusted data: validates the inputs
   /// (non-empty, equal lengths, fully finite, 1 <= k <= n) and returns a
   /// Status error instead of aborting when they are malformed. Malformed
-  /// input should be repaired first with tseries/conditioning.h.
+  /// input should be repaired first with tseries/conditioning.h. The nested
+  /// overload exists because ragged input cannot even form a SeriesBatch
+  /// (the batch type carries the equal-length invariant): raw untrusted
+  /// vectors are validated *before* a batch view is built over them.
   common::StatusOr<ClusteringResult> TryCluster(
       const std::vector<tseries::Series>& series, int k,
       common::Rng* rng) const;
+  common::StatusOr<ClusteringResult> TryCluster(
+      const tseries::SeriesBatch& series, int k, common::Rng* rng) const;
 
   /// Display name, e.g. "k-AVG+ED", "PAM+cDTW", "k-Shape".
   virtual std::string Name() const = 0;
@@ -74,6 +82,8 @@ class ClusteringAlgorithm {
 /// via ClusteringResult::degenerate_centroids.
 common::Status ValidateClusteringInputs(
     const std::vector<tseries::Series>& series, int k);
+common::Status ValidateClusteringInputs(const tseries::SeriesBatch& series,
+                                        int k);
 
 /// Returns per-cluster member indices for an assignment vector.
 std::vector<std::vector<std::size_t>> GroupByCluster(

@@ -5,16 +5,16 @@
 namespace kshape::cluster {
 
 tseries::Series ArithmeticMeanAveraging::Average(
-    const std::vector<tseries::Series>& pool,
+    const tseries::SeriesBatch& pool,
     const std::vector<std::size_t>& member_indices,
-    const tseries::Series& previous, common::Rng* rng) const {
+    tseries::SeriesView previous, common::Rng* rng) const {
   (void)rng;
   const std::size_t m = previous.size();
   tseries::Series mean(m, 0.0);
   if (member_indices.empty()) return mean;
   for (std::size_t idx : member_indices) {
     KSHAPE_CHECK(idx < pool.size());
-    const tseries::Series& x = pool[idx];
+    const tseries::SeriesView x = pool[idx];
     KSHAPE_CHECK_MSG(x.size() == m, "member length mismatch");
     for (std::size_t t = 0; t < m; ++t) mean[t] += x[t];
   }

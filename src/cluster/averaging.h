@@ -27,9 +27,9 @@ class AveragingMethod {
   /// (used as the refinement starting point by iterative methods like DBA);
   /// it is all-zero on the first iteration. Must return a series of the same
   /// length; conventionally all-zero when `member_indices` is empty.
-  virtual tseries::Series Average(const std::vector<tseries::Series>& pool,
+  virtual tseries::Series Average(const tseries::SeriesBatch& pool,
                                   const std::vector<std::size_t>& member_indices,
-                                  const tseries::Series& previous,
+                                  tseries::SeriesView previous,
                                   common::Rng* rng) const = 0;
 
   /// Display name, e.g. "AVG", "DBA".
@@ -39,9 +39,9 @@ class AveragingMethod {
 /// Coordinate-wise arithmetic mean (the k-means default, §2.5).
 class ArithmeticMeanAveraging : public AveragingMethod {
  public:
-  tseries::Series Average(const std::vector<tseries::Series>& pool,
+  tseries::Series Average(const tseries::SeriesBatch& pool,
                           const std::vector<std::size_t>& member_indices,
-                          const tseries::Series& previous,
+                          tseries::SeriesView previous,
                           common::Rng* rng) const override;
   std::string Name() const override { return "AVG"; }
 };

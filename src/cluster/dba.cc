@@ -6,15 +6,15 @@
 
 namespace kshape::cluster {
 
-tseries::Series DbaRefineOnce(const std::vector<tseries::Series>& pool,
+tseries::Series DbaRefineOnce(const tseries::SeriesBatch& pool,
                               const std::vector<std::size_t>& member_indices,
-                              const tseries::Series& average, int window) {
+                              tseries::SeriesView average, int window) {
   const std::size_t m = average.size();
   std::vector<double> sums(m, 0.0);
   std::vector<int> counts(m, 0);
   for (std::size_t idx : member_indices) {
     KSHAPE_CHECK(idx < pool.size());
-    const tseries::Series& member = pool[idx];
+    const tseries::SeriesView member = pool[idx];
     const dtw::WarpingPath path =
         dtw::DtwWarpingPath(average, member, window);
     for (const auto& [ai, mi] : path.pairs) {
@@ -32,9 +32,9 @@ tseries::Series DbaRefineOnce(const std::vector<tseries::Series>& pool,
 }
 
 tseries::Series DbaAveraging::Average(
-    const std::vector<tseries::Series>& pool,
+    const tseries::SeriesBatch& pool,
     const std::vector<std::size_t>& member_indices,
-    const tseries::Series& previous, common::Rng* rng) const {
+    tseries::SeriesView previous, common::Rng* rng) const {
   KSHAPE_CHECK(rng != nullptr);
   const std::size_t m = previous.size();
   if (member_indices.empty()) return tseries::Series(m, 0.0);
@@ -42,11 +42,12 @@ tseries::Series DbaAveraging::Average(
   // DBA needs a concrete starting sequence: the previous centroid if one
   // exists, otherwise a member picked at random (Petitjean et al. initialize
   // from a sequence of the data).
-  tseries::Series average = previous;
+  tseries::Series average(previous.begin(), previous.end());
   if (linalg::Norm(average) == 0.0) {
     const std::size_t pick =
         member_indices[rng->UniformInt(static_cast<int>(member_indices.size()))];
-    average = pool[pick];
+    const tseries::SeriesView seed = pool[pick];
+    average.assign(seed.begin(), seed.end());
   }
   for (int pass = 0; pass < options_.refinements; ++pass) {
     average = DbaRefineOnce(pool, member_indices, average, options_.window);

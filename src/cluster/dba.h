@@ -24,9 +24,9 @@ struct DbaOptions {
 
 /// One DBA refinement pass: returns the barycenter update of `average`
 /// against the selected members.
-tseries::Series DbaRefineOnce(const std::vector<tseries::Series>& pool,
+tseries::Series DbaRefineOnce(const tseries::SeriesBatch& pool,
                               const std::vector<std::size_t>& member_indices,
-                              const tseries::Series& average, int window);
+                              tseries::SeriesView average, int window);
 
 /// AveragingMethod adapter; combined with DTW in the generic k-means this is
 /// the paper's k-DBA baseline. When the previous centroid is all-zero (first
@@ -35,9 +35,9 @@ class DbaAveraging : public AveragingMethod {
  public:
   explicit DbaAveraging(DbaOptions options = {}) : options_(options) {}
 
-  tseries::Series Average(const std::vector<tseries::Series>& pool,
+  tseries::Series Average(const tseries::SeriesBatch& pool,
                           const std::vector<std::size_t>& member_indices,
-                          const tseries::Series& previous,
+                          tseries::SeriesView previous,
                           common::Rng* rng) const override;
   std::string Name() const override { return "DBA"; }
 

@@ -150,7 +150,7 @@ HierarchicalClustering::HierarchicalClustering(
 }
 
 ClusteringResult HierarchicalClustering::Cluster(
-    const std::vector<tseries::Series>& series, int k,
+    const tseries::SeriesBatch& series, int k,
     common::Rng* rng) const {
   (void)rng;  // Deterministic method.
   KSHAPE_CHECK(!series.empty());

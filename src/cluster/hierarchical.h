@@ -45,7 +45,7 @@ class HierarchicalClustering : public ClusteringAlgorithm {
   HierarchicalClustering(const distance::DistanceMeasure* measure,
                          Linkage linkage, std::string name);
 
-  ClusteringResult Cluster(const std::vector<tseries::Series>& series, int k,
+  ClusteringResult Cluster(const tseries::SeriesBatch& series, int k,
                            common::Rng* rng) const override;
 
   std::string Name() const override { return name_; }

@@ -18,13 +18,13 @@ KMeans::KMeans(const distance::DistanceMeasure* measure,
   KSHAPE_CHECK(options_.max_iterations >= 1);
 }
 
-ClusteringResult KMeans::Cluster(const std::vector<tseries::Series>& series,
+ClusteringResult KMeans::Cluster(const tseries::SeriesBatch& series,
                                  int k, common::Rng* rng) const {
   KSHAPE_CHECK(!series.empty());
   KSHAPE_CHECK(k >= 1 && static_cast<std::size_t>(k) <= series.size());
   KSHAPE_CHECK(rng != nullptr);
   const std::size_t n = series.size();
-  const std::size_t m = series[0].size();
+  const std::size_t m = series.length();
 
   ClusteringResult result;
   result.assignments = RandomAssignments(n, k, rng);

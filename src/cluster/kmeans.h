@@ -30,7 +30,7 @@ class KMeans : public ClusteringAlgorithm {
          const AveragingMethod* averaging, std::string name,
          KMeansOptions options = {});
 
-  ClusteringResult Cluster(const std::vector<tseries::Series>& series, int k,
+  ClusteringResult Cluster(const tseries::SeriesBatch& series, int k,
                            common::Rng* rng) const override;
 
   std::string Name() const override { return name_; }

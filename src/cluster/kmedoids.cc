@@ -9,7 +9,7 @@
 namespace kshape::cluster {
 
 linalg::Matrix PairwiseDistanceMatrix(
-    const std::vector<tseries::Series>& series,
+    const tseries::SeriesBatch& series,
     const distance::DistanceMeasure& measure) {
   const std::size_t n = series.size();
   linalg::Matrix d(n, n);
@@ -193,7 +193,7 @@ KMedoids::KMedoids(const distance::DistanceMeasure* measure, std::string name,
   KSHAPE_CHECK(measure_ != nullptr);
 }
 
-ClusteringResult KMedoids::Cluster(const std::vector<tseries::Series>& series,
+ClusteringResult KMedoids::Cluster(const tseries::SeriesBatch& series,
                                    int k, common::Rng* rng) const {
   const linalg::Matrix d = PairwiseDistanceMatrix(series, *measure_);
   ClusteringResult result = PamOnMatrix(d, k, rng, options_);
@@ -202,7 +202,7 @@ ClusteringResult KMedoids::Cluster(const std::vector<tseries::Series>& series,
   result.centroids.clear();
   for (int j = 0; j < k; ++j) {
     if (groups[j].empty()) {
-      result.centroids.push_back(tseries::Series(series[0].size(), 0.0));
+      result.centroids.push_back(tseries::Series(series.length(), 0.0));
       continue;
     }
     // Recover the medoid as the member with the least total distance.
@@ -216,7 +216,8 @@ ClusteringResult KMedoids::Cluster(const std::vector<tseries::Series>& series,
         best = i;
       }
     }
-    result.centroids.push_back(series[best]);
+    const tseries::SeriesView medoid = series[best];
+    result.centroids.emplace_back(medoid.begin(), medoid.end());
   }
   return result;
 }

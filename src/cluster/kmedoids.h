@@ -33,7 +33,7 @@ class KMedoids : public ClusteringAlgorithm {
   KMedoids(const distance::DistanceMeasure* measure, std::string name,
            PamOptions options = {});
 
-  ClusteringResult Cluster(const std::vector<tseries::Series>& series, int k,
+  ClusteringResult Cluster(const tseries::SeriesBatch& series, int k,
                            common::Rng* rng) const override;
 
   std::string Name() const override { return name_; }
@@ -52,7 +52,7 @@ class KMedoids : public ClusteringAlgorithm {
 /// are routed through it; their entries agree with per-pair Distance() calls
 /// within a tight tolerance rather than bitwise.
 linalg::Matrix PairwiseDistanceMatrix(
-    const std::vector<tseries::Series>& series,
+    const tseries::SeriesBatch& series,
     const distance::DistanceMeasure& measure);
 
 /// Runs PAM directly on a precomputed dissimilarity matrix. Exposed so

@@ -10,7 +10,7 @@
 
 namespace kshape::cluster {
 
-KscAlignment KscAlign(const tseries::Series& x, const tseries::Series& y) {
+KscAlignment KscAlign(tseries::SeriesView x, tseries::SeriesView y) {
   KSHAPE_CHECK_MSG(x.size() == y.size(), "KSC requires equal lengths");
   const int m = static_cast<int>(x.size());
   const double x_norm_sq = linalg::Dot(x, x);
@@ -53,7 +53,7 @@ KscAlignment KscAlign(const tseries::Series& x, const tseries::Series& y) {
   return best;
 }
 
-double KscDistanceValue(const tseries::Series& x, const tseries::Series& y) {
+double KscDistanceValue(tseries::SeriesView x, tseries::SeriesView y) {
   return KscAlign(x, y).distance;
 }
 
@@ -69,9 +69,9 @@ namespace {
 // M = sum_i (I - b_i b_i^T / (b_i^T b_i)). Equivalently the *dominant*
 // eigenvector of P = sum_i b_i b_i^T / (b_i^T b_i), which power iteration
 // finds in O(m^2) per step.
-tseries::Series KscCentroid(const std::vector<tseries::Series>& pool,
+tseries::Series KscCentroid(const tseries::SeriesBatch& pool,
                             const std::vector<std::size_t>& member_indices,
-                            const tseries::Series& previous,
+                            tseries::SeriesView previous,
                             common::Rng* rng) {
   const std::size_t m = previous.size();
   if (member_indices.empty()) return tseries::Series(m, 0.0);
@@ -81,10 +81,11 @@ tseries::Series KscCentroid(const std::vector<tseries::Series>& pool,
   std::vector<double> mean(m, 0.0);
   std::size_t used = 0;
   for (std::size_t idx : member_indices) {
+    const tseries::SeriesView member = pool[idx];
     tseries::Series b =
-        align ? tseries::ShiftWithZeroFill(pool[idx],
-                                           KscAlign(previous, pool[idx]).shift)
-              : pool[idx];
+        align ? tseries::ShiftWithZeroFill(member,
+                                           KscAlign(previous, member).shift)
+              : tseries::Series(member.begin(), member.end());
     const double norm_sq = linalg::Dot(b, b);
     if (norm_sq == 0.0) continue;
     p.AddOuterProduct(b, 1.0 / norm_sq);
@@ -100,13 +101,13 @@ tseries::Series KscCentroid(const std::vector<tseries::Series>& pool,
 
 }  // namespace
 
-ClusteringResult Ksc::Cluster(const std::vector<tseries::Series>& series,
+ClusteringResult Ksc::Cluster(const tseries::SeriesBatch& series,
                               int k, common::Rng* rng) const {
   KSHAPE_CHECK(!series.empty());
   KSHAPE_CHECK(k >= 1 && static_cast<std::size_t>(k) <= series.size());
   KSHAPE_CHECK(rng != nullptr);
   const std::size_t n = series.size();
-  const std::size_t m = series[0].size();
+  const std::size_t m = series.length();
 
   ClusteringResult result;
   result.assignments = RandomAssignments(n, k, rng);

@@ -13,7 +13,7 @@ namespace kshape::cluster {
 /// ||x - a * y(q)|| / ||x||, with y(q) the zero-filled shift of Equation 5
 /// and a chosen optimally in closed form per shift. Zero-norm x is defined
 /// to be at distance 0 from a zero-norm y and 1 from anything else.
-double KscDistanceValue(const tseries::Series& x, const tseries::Series& y);
+double KscDistanceValue(tseries::SeriesView x, tseries::SeriesView y);
 
 /// The optimal alignment behind KscDistanceValue.
 struct KscAlignment {
@@ -24,13 +24,13 @@ struct KscAlignment {
 
 /// Returns the optimal (shift, scale) of y toward x and the resulting
 /// distance.
-KscAlignment KscAlign(const tseries::Series& x, const tseries::Series& y);
+KscAlignment KscAlign(tseries::SeriesView x, tseries::SeriesView y);
 
 /// DistanceMeasure adapter for the KSC distance.
 class KscDistance : public distance::DistanceMeasure {
  public:
-  double Distance(const tseries::Series& x,
-                  const tseries::Series& y) const override {
+  double Distance(tseries::SeriesView x,
+                  tseries::SeriesView y) const override {
     return KscDistanceValue(x, y);
   }
   std::string Name() const override { return "KSC-dist"; }
@@ -51,7 +51,7 @@ class Ksc : public ClusteringAlgorithm {
  public:
   explicit Ksc(KscOptions options = {});
 
-  ClusteringResult Cluster(const std::vector<tseries::Series>& series, int k,
+  ClusteringResult Cluster(const tseries::SeriesBatch& series, int k,
                            common::Rng* rng) const override;
 
   std::string Name() const override { return "KSC"; }

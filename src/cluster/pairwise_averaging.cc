@@ -36,8 +36,8 @@ tseries::Series ResampleLinear(const tseries::Series& values,
 
 }  // namespace
 
-tseries::Series DtwPairAverage(const tseries::Series& x,
-                               const tseries::Series& y, double weight_x,
+tseries::Series DtwPairAverage(tseries::SeriesView x,
+                               tseries::SeriesView y, double weight_x,
                                double weight_y, int window) {
   KSHAPE_CHECK(weight_x > 0.0 && weight_y > 0.0);
   const dtw::WarpingPath path = dtw::DtwWarpingPath(x, y, window);
@@ -51,9 +51,9 @@ tseries::Series DtwPairAverage(const tseries::Series& x,
 }
 
 tseries::Series NlaafAveraging::Average(
-    const std::vector<tseries::Series>& pool,
+    const tseries::SeriesBatch& pool,
     const std::vector<std::size_t>& member_indices,
-    const tseries::Series& previous, common::Rng* rng) const {
+    tseries::SeriesView previous, common::Rng* rng) const {
   KSHAPE_CHECK(rng != nullptr);
   const std::size_t m = previous.size();
   if (member_indices.empty()) return tseries::Series(m, 0.0);
@@ -66,7 +66,8 @@ tseries::Series NlaafAveraging::Average(
   round.reserve(order.size());
   for (std::size_t idx : order) {
     KSHAPE_CHECK(idx < pool.size());
-    round.push_back(pool[idx]);
+    const tseries::SeriesView member = pool[idx];
+    round.emplace_back(member.begin(), member.end());
   }
   while (round.size() > 1) {
     std::vector<tseries::Series> next;
@@ -81,9 +82,9 @@ tseries::Series NlaafAveraging::Average(
 }
 
 tseries::Series PsaAveraging::Average(
-    const std::vector<tseries::Series>& pool,
+    const tseries::SeriesBatch& pool,
     const std::vector<std::size_t>& member_indices,
-    const tseries::Series& previous, common::Rng* rng) const {
+    tseries::SeriesView previous, common::Rng* rng) const {
   (void)rng;
   const std::size_t m = previous.size();
   if (member_indices.empty()) return tseries::Series(m, 0.0);
@@ -96,7 +97,8 @@ tseries::Series PsaAveraging::Average(
   nodes.reserve(member_indices.size());
   for (std::size_t idx : member_indices) {
     KSHAPE_CHECK(idx < pool.size());
-    nodes.push_back({pool[idx], 1.0});
+    const tseries::SeriesView member = pool[idx];
+    nodes.push_back({tseries::Series(member.begin(), member.end()), 1.0});
   }
 
   // Greedy agglomeration: always merge the DTW-closest pair, weighting by

@@ -13,8 +13,8 @@ namespace kshape::cluster {
 /// (i, j) contributes the weighted midpoint (w_x x_i + w_y y_j)/(w_x + w_y),
 /// and the resulting path-length sequence is resampled back to length m by
 /// linear interpolation. The building block of NLAAF and PSA.
-tseries::Series DtwPairAverage(const tseries::Series& x,
-                               const tseries::Series& y, double weight_x,
+tseries::Series DtwPairAverage(tseries::SeriesView x,
+                               tseries::SeriesView y, double weight_x,
                                double weight_y, int window = -1);
 
 /// Nonlinear Alignment and Averaging Filters (Gupta et al. 1996): averages
@@ -23,9 +23,9 @@ tseries::Series DtwPairAverage(const tseries::Series& x,
 /// pairing order, which is the drawback DBA was built to fix (§2.5).
 class NlaafAveraging : public AveragingMethod {
  public:
-  tseries::Series Average(const std::vector<tseries::Series>& pool,
+  tseries::Series Average(const tseries::SeriesBatch& pool,
                           const std::vector<std::size_t>& member_indices,
-                          const tseries::Series& previous,
+                          tseries::SeriesView previous,
                           common::Rng* rng) const override;
   std::string Name() const override { return "NLAAF"; }
 };
@@ -37,9 +37,9 @@ class NlaafAveraging : public AveragingMethod {
 /// superseded by DBA (§2.5).
 class PsaAveraging : public AveragingMethod {
  public:
-  tseries::Series Average(const std::vector<tseries::Series>& pool,
+  tseries::Series Average(const tseries::SeriesBatch& pool,
                           const std::vector<std::size_t>& member_indices,
-                          const tseries::Series& previous,
+                          tseries::SeriesView previous,
                           common::Rng* rng) const override;
   std::string Name() const override { return "PSA"; }
 };

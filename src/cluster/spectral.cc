@@ -136,7 +136,7 @@ SpectralClustering::SpectralClustering(const distance::DistanceMeasure* measure,
 }
 
 ClusteringResult SpectralClustering::Cluster(
-    const std::vector<tseries::Series>& series, int k,
+    const tseries::SeriesBatch& series, int k,
     common::Rng* rng) const {
   KSHAPE_CHECK(!series.empty());
   KSHAPE_CHECK(rng != nullptr);

@@ -33,7 +33,7 @@ class SpectralClustering : public ClusteringAlgorithm {
   SpectralClustering(const distance::DistanceMeasure* measure,
                      std::string name, SpectralOptions options = {});
 
-  ClusteringResult Cluster(const std::vector<tseries::Series>& series, int k,
+  ClusteringResult Cluster(const tseries::SeriesBatch& series, int k,
                            common::Rng* rng) const override;
 
   std::string Name() const override { return name_; }

@@ -102,7 +102,7 @@ double DaviesBouldinIndex(const linalg::Matrix& dissimilarity,
   return total / static_cast<double>(medoids.size());
 }
 
-double WithinClusterSsd(const std::vector<tseries::Series>& series,
+double WithinClusterSsd(const tseries::SeriesBatch& series,
                         const ClusteringResult& result,
                         const distance::DistanceMeasure& measure) {
   KSHAPE_CHECK(result.assignments.size() == series.size());
@@ -117,7 +117,7 @@ double WithinClusterSsd(const std::vector<tseries::Series>& series,
   return total;
 }
 
-KEstimate EstimateK(const std::vector<tseries::Series>& series,
+KEstimate EstimateK(const tseries::SeriesBatch& series,
                     const ClusteringAlgorithm& algorithm,
                     const distance::DistanceMeasure& measure, int k_min,
                     int k_max, int runs, common::Rng* rng) {
@@ -145,7 +145,7 @@ KEstimate EstimateK(const std::vector<tseries::Series>& series,
   return estimate;
 }
 
-ClusteringResult BestOfRestarts(const std::vector<tseries::Series>& series,
+ClusteringResult BestOfRestarts(const tseries::SeriesBatch& series,
                                 const ClusteringAlgorithm& algorithm,
                                 const distance::DistanceMeasure& measure,
                                 int k, int restarts, common::Rng* rng) {

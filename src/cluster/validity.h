@@ -34,7 +34,7 @@ double DaviesBouldinIndex(const linalg::Matrix& dissimilarity,
 /// The paper's clustering objective (Equation 1): the within-cluster sum of
 /// squared distances of each series to its centroid under `measure`.
 /// Clusters without a centroid (empty) contribute nothing.
-double WithinClusterSsd(const std::vector<tseries::Series>& series,
+double WithinClusterSsd(const tseries::SeriesBatch& series,
                         const ClusteringResult& result,
                         const distance::DistanceMeasure& measure);
 
@@ -49,7 +49,7 @@ struct KEstimate {
 /// [k_min, k_max] (with `runs` random restarts each, keeping each k's best
 /// assignment by silhouette) and picking the k with the highest mean
 /// silhouette over the `measure`-induced dissimilarity matrix.
-KEstimate EstimateK(const std::vector<tseries::Series>& series,
+KEstimate EstimateK(const tseries::SeriesBatch& series,
                     const ClusteringAlgorithm& algorithm,
                     const distance::DistanceMeasure& measure, int k_min,
                     int k_max, int runs, common::Rng* rng);
@@ -59,7 +59,7 @@ KEstimate EstimateK(const std::vector<tseries::Series>& series,
 /// `measure`). This is the standard unsupervised way to consume a
 /// k-means-family method: restarts are cheap insurance against the local
 /// optima the iterative refinement converges to.
-ClusteringResult BestOfRestarts(const std::vector<tseries::Series>& series,
+ClusteringResult BestOfRestarts(const tseries::SeriesBatch& series,
                                 const ClusteringAlgorithm& algorithm,
                                 const distance::DistanceMeasure& measure,
                                 int k, int restarts, common::Rng* rng);

@@ -25,7 +25,7 @@ constexpr std::size_t kScanGrain = 16;
 // every seed-to-series distance is a single inverse transform on spectra
 // computed once for the whole Cluster() call; both seed and candidate are
 // in-set, so no forward transform runs inside the scans at all.
-std::vector<int> PlusPlusAssignments(const std::vector<tseries::Series>& series,
+std::vector<int> PlusPlusAssignments(const tseries::SeriesBatch& series,
                                      int k, common::Rng* rng,
                                      const SbdEngine* engine) {
   const std::size_t n = series.size();
@@ -92,13 +92,12 @@ KShape::KShape(KShapeOptions options) : options_(options) {
 }
 
 cluster::ClusteringResult KShape::Cluster(
-    const std::vector<tseries::Series>& series, int k,
-    common::Rng* rng) const {
+    const tseries::SeriesBatch& series, int k, common::Rng* rng) const {
   KSHAPE_CHECK(!series.empty());
   KSHAPE_CHECK(k >= 1 && static_cast<std::size_t>(k) <= series.size());
   KSHAPE_CHECK(rng != nullptr);
   const std::size_t n = series.size();
-  const std::size_t m = series[0].size();
+  const std::size_t m = series.length();
 
   // Spectrum cache: every series' forward FFT is computed once here and
   // reused by every ++-seeding scan and every assignment-step distance in

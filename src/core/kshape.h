@@ -64,7 +64,7 @@ class KShape : public cluster::ClusteringAlgorithm {
  public:
   explicit KShape(KShapeOptions options = {});
 
-  cluster::ClusteringResult Cluster(const std::vector<tseries::Series>& series,
+  cluster::ClusteringResult Cluster(const tseries::SeriesBatch& series,
                                     int k, common::Rng* rng) const override;
 
   std::string Name() const override { return name_; }

@@ -26,8 +26,8 @@ const char* NccNormalizationName(NccNormalization norm) {
 
 namespace {
 
-std::vector<double> RawCrossCorrelation(const tseries::Series& x,
-                                        const tseries::Series& y,
+std::vector<double> RawCrossCorrelation(tseries::SeriesView x,
+                                        tseries::SeriesView y,
                                         CrossCorrelationImpl impl) {
   switch (impl) {
     case CrossCorrelationImpl::kFft:
@@ -43,8 +43,7 @@ std::vector<double> RawCrossCorrelation(const tseries::Series& x,
 
 }  // namespace
 
-std::vector<double> NccSequence(const tseries::Series& x,
-                                const tseries::Series& y,
+std::vector<double> NccSequence(tseries::SeriesView x, tseries::SeriesView y,
                                 NccNormalization norm,
                                 CrossCorrelationImpl impl) {
   KSHAPE_CHECK_MSG(x.size() == y.size(), "NCC requires equal lengths");
@@ -78,7 +77,7 @@ std::vector<double> NccSequence(const tseries::Series& x,
   return cc;
 }
 
-NccPeak MaxNcc(const tseries::Series& x, const tseries::Series& y,
+NccPeak MaxNcc(tseries::SeriesView x, tseries::SeriesView y,
                NccNormalization norm, CrossCorrelationImpl impl) {
   const std::vector<double> ncc = NccSequence(x, y, norm, impl);
   const int m = static_cast<int>(x.size());
@@ -95,7 +94,7 @@ NccPeak MaxNcc(const tseries::Series& x, const tseries::Series& y,
   return peak;
 }
 
-SbdResult Sbd(const tseries::Series& x, const tseries::Series& y,
+SbdResult Sbd(tseries::SeriesView x, tseries::SeriesView y,
               CrossCorrelationImpl impl) {
   KSHAPE_CHECK_MSG(x.size() == y.size(), "SBD requires equal lengths");
   SbdResult result;
@@ -105,7 +104,7 @@ SbdResult Sbd(const tseries::Series& x, const tseries::Series& y,
     // zero, so the distance is 1 and no shift is preferable to any other.
     result.distance = 1.0;
     result.shift = 0;
-    result.aligned_y = y;
+    result.aligned_y.assign(y.begin(), y.end());
     return result;
   }
   // Peak of the raw cross-correlation, normalized by the denominator already
@@ -123,8 +122,8 @@ SbdResult Sbd(const tseries::Series& x, const tseries::Series& y,
   return result;
 }
 
-common::StatusOr<SbdResult> TrySbd(const tseries::Series& x,
-                                   const tseries::Series& y,
+common::StatusOr<SbdResult> TrySbd(tseries::SeriesView x,
+                                   tseries::SeriesView y,
                                    CrossCorrelationImpl impl) {
   if (x.empty() || y.empty()) {
     return common::Status::InvalidArgument("SBD requires non-empty series");
@@ -166,8 +165,8 @@ SbdDistance::SbdDistance(CrossCorrelationImpl impl) : impl_(impl) {
   }
 }
 
-double SbdDistance::Distance(const tseries::Series& x,
-                             const tseries::Series& y) const {
+double SbdDistance::Distance(tseries::SeriesView x,
+                             tseries::SeriesView y) const {
   return Sbd(x, y, impl_).distance;
 }
 
@@ -175,11 +174,11 @@ namespace {
 
 class SbdBatchScanner : public distance::BatchScanner {
  public:
-  SbdBatchScanner(const std::vector<tseries::Series>& candidates,
+  SbdBatchScanner(const tseries::SeriesBatch& candidates,
                   CrossCorrelationImpl impl)
       : engine_(candidates, impl) {}
 
-  void DistancesToAll(const tseries::Series& query,
+  void DistancesToAll(tseries::SeriesView query,
                       std::vector<double>* out) const override {
     // One forward transform for the query, then one inverse per candidate.
     // Sequential on purpose: the accuracy loops already parallelize over
@@ -197,7 +196,7 @@ class SbdBatchScanner : public distance::BatchScanner {
 
 }  // namespace
 
-bool SbdDistance::BatchedPairwise(const std::vector<tseries::Series>& series,
+bool SbdDistance::BatchedPairwise(const tseries::SeriesBatch& series,
                                   std::vector<double>* flat) const {
   if (impl_ == CrossCorrelationImpl::kNaive || series.empty()) return false;
   const SbdEngine engine(series, impl_);
@@ -206,7 +205,7 @@ bool SbdDistance::BatchedPairwise(const std::vector<tseries::Series>& series,
 }
 
 std::unique_ptr<distance::BatchScanner> SbdDistance::NewBatchScanner(
-    const std::vector<tseries::Series>& candidates) const {
+    const tseries::SeriesBatch& candidates) const {
   if (impl_ == CrossCorrelationImpl::kNaive || candidates.empty()) {
     return nullptr;
   }
@@ -216,8 +215,8 @@ std::unique_ptr<distance::BatchScanner> SbdDistance::NewBatchScanner(
 NccDistance::NccDistance(NccNormalization norm)
     : norm_(norm), name_(NccNormalizationName(norm)) {}
 
-double NccDistance::Distance(const tseries::Series& x,
-                             const tseries::Series& y) const {
+double NccDistance::Distance(tseries::SeriesView x,
+                             tseries::SeriesView y) const {
   return 1.0 - MaxNcc(x, y, norm_).value;
 }
 

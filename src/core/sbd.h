@@ -35,8 +35,8 @@ enum class CrossCorrelationImpl {
 /// Equation 8 for every shift: the returned vector has length 2m-1 and its
 /// element i corresponds to shift s = i - (m - 1) of x relative to y.
 /// For NCCc with a zero-norm input the sequence is all zeros.
-std::vector<double> NccSequence(const tseries::Series& x,
-                                const tseries::Series& y,
+std::vector<double> NccSequence(tseries::SeriesView x,
+                                tseries::SeriesView y,
                                 NccNormalization norm,
                                 CrossCorrelationImpl impl =
                                     CrossCorrelationImpl::kFft);
@@ -48,7 +48,7 @@ struct NccPeak {
 };
 
 /// Returns the maximum of NccSequence and the corresponding optimal shift.
-NccPeak MaxNcc(const tseries::Series& x, const tseries::Series& y,
+NccPeak MaxNcc(tseries::SeriesView x, tseries::SeriesView y,
                NccNormalization norm,
                CrossCorrelationImpl impl = CrossCorrelationImpl::kFft);
 
@@ -69,7 +69,7 @@ struct SbdResult {
 /// Inputs are expected to be z-normalized (the measure is still well defined
 /// otherwise, but only z-normalized inputs give the scaling invariance the
 /// paper argues for). A zero-norm input yields distance 1 and an unshifted y.
-SbdResult Sbd(const tseries::Series& x, const tseries::Series& y,
+SbdResult Sbd(tseries::SeriesView x, tseries::SeriesView y,
               CrossCorrelationImpl impl = CrossCorrelationImpl::kFft);
 
 /// Library-boundary SBD for untrusted data: returns InvalidArgument on empty
@@ -78,7 +78,7 @@ SbdResult Sbd(const tseries::Series& x, const tseries::Series& y,
 /// NaN). Zero-norm inputs are NOT an error: the documented fallback
 /// (distance 1, unshifted y) applies, matching Sbd().
 common::StatusOr<SbdResult> TrySbd(
-    const tseries::Series& x, const tseries::Series& y,
+    tseries::SeriesView x, tseries::SeriesView y,
     CrossCorrelationImpl impl = CrossCorrelationImpl::kFft);
 
 /// DistanceMeasure adapter for SBD, usable by any clustering algorithm or
@@ -92,14 +92,14 @@ class SbdDistance : public distance::DistanceMeasure {
  public:
   explicit SbdDistance(CrossCorrelationImpl impl = CrossCorrelationImpl::kFft);
 
-  double Distance(const tseries::Series& x,
-                  const tseries::Series& y) const override;
+  double Distance(tseries::SeriesView x,
+                  tseries::SeriesView y) const override;
   std::string Name() const override { return name_; }
 
-  bool BatchedPairwise(const std::vector<tseries::Series>& series,
+  bool BatchedPairwise(const tseries::SeriesBatch& series,
                        std::vector<double>* flat) const override;
   std::unique_ptr<distance::BatchScanner> NewBatchScanner(
-      const std::vector<tseries::Series>& candidates) const override;
+      const tseries::SeriesBatch& candidates) const override;
 
  private:
   CrossCorrelationImpl impl_;
@@ -114,8 +114,8 @@ class NccDistance : public distance::DistanceMeasure {
  public:
   explicit NccDistance(NccNormalization norm);
 
-  double Distance(const tseries::Series& x,
-                  const tseries::Series& y) const override;
+  double Distance(tseries::SeriesView x,
+                  tseries::SeriesView y) const override;
   std::string Name() const override { return name_; }
 
  private:

@@ -33,16 +33,13 @@ RawPeak PeakFromSpectra(const std::vector<fft::Complex>& x_spectrum,
 
 }  // namespace
 
-SbdEngine::SbdEngine(const std::vector<tseries::Series>& series,
+SbdEngine::SbdEngine(const tseries::SeriesBatch& series,
                      CrossCorrelationImpl impl) {
   KSHAPE_CHECK(!series.empty());
   KSHAPE_CHECK_MSG(impl != CrossCorrelationImpl::kNaive,
                    "SbdEngine caches spectra; the naive path has none");
-  m_ = series[0].size();
+  m_ = series.length();
   KSHAPE_CHECK(m_ >= 1);
-  for (const tseries::Series& s : series) {
-    KSHAPE_CHECK_MSG(s.size() == m_, "SbdEngine requires equal lengths");
-  }
   fft_len_ = impl == CrossCorrelationImpl::kFft
                  ? fft::NextPowerOfTwo(2 * m_ - 1)
                  : 2 * m_ - 1;
@@ -61,7 +58,7 @@ SbdEngine::SbdEngine(const std::vector<tseries::Series>& series,
   });
 }
 
-SbdEngine::Query SbdEngine::MakeQuery(const tseries::Series& q) const {
+SbdEngine::Query SbdEngine::MakeQuery(tseries::SeriesView q) const {
   KSHAPE_CHECK_MSG(q.size() == m_, "query length mismatch");
   Query query;
   query.spectrum = fft::Spectrum(q, fft_len_);
@@ -109,8 +106,7 @@ void SbdEngine::DistanceToAll(const Query& q, std::vector<double>* out) const {
   });
 }
 
-std::vector<double> SbdEngine::DistanceToAll(
-    const tseries::Series& query) const {
+std::vector<double> SbdEngine::DistanceToAll(tseries::SeriesView query) const {
   std::vector<double> out;
   DistanceToAll(MakeQuery(query), &out);
   return out;

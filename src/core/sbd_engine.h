@@ -36,7 +36,7 @@ class SbdEngine {
   /// m >= 1. `impl` selects the padding: kFft transforms at the next power of
   /// two >= 2m-1, kFftNoPow2 at exactly 2m-1 (Bluestein, whose chirp plan is
   /// cached per length). kNaive has no spectra and is rejected.
-  explicit SbdEngine(const std::vector<tseries::Series>& series,
+  explicit SbdEngine(const tseries::SeriesBatch& series,
                      CrossCorrelationImpl impl = CrossCorrelationImpl::kFft);
 
   /// Number of cached series.
@@ -56,7 +56,7 @@ class SbdEngine {
   };
 
   /// One forward transform + one norm. Requires q.size() == series_length().
-  Query MakeQuery(const tseries::Series& q) const;
+  Query MakeQuery(tseries::SeriesView q) const;
 
   /// SBD(series[i], series[j]) from cached spectra: one inverse transform.
   /// Mirrors Sbd()'s zero-norm convention (distance 1).
@@ -75,7 +75,7 @@ class SbdEngine {
   void DistanceToAll(const Query& q, std::vector<double>* out) const;
 
   /// Convenience: MakeQuery + DistanceToAll.
-  std::vector<double> DistanceToAll(const tseries::Series& query) const;
+  std::vector<double> DistanceToAll(tseries::SeriesView query) const;
 
   /// Full symmetric pairwise SBD matrix (zero diagonal) from cached spectra,
   /// rows in parallel with disjoint writes: bit-identical at every thread

@@ -43,8 +43,8 @@ linalg::Matrix CenterGramMatrix(const linalg::Matrix& s) {
 }
 
 ExtractedShape ExtractShapeImpl(
-    const std::vector<const tseries::Series*>& members,
-    const tseries::Series& reference, common::Rng* rng,
+    const std::vector<tseries::SeriesView>& members,
+    tseries::SeriesView reference, common::Rng* rng,
     const ShapeExtractionOptions& options) {
   KSHAPE_CHECK(rng != nullptr);
   const std::size_t m = reference.size();
@@ -65,10 +65,11 @@ ExtractedShape ExtractShapeImpl(
   linalg::Matrix s(m, m);
   std::vector<double> mean(m, 0.0);
   std::size_t used = 0;
-  for (const tseries::Series* member : members) {
-    KSHAPE_CHECK_MSG(member->size() == m, "member length mismatch");
-    tseries::Series aligned =
-        align ? Sbd(reference, *member).aligned_y : *member;
+  for (tseries::SeriesView member : members) {
+    KSHAPE_CHECK_MSG(member.size() == m, "member length mismatch");
+    tseries::Series aligned = align ? Sbd(reference, member).aligned_y
+                                    : tseries::Series(member.begin(),
+                                                      member.end());
     tseries::ZNormalizeInPlace(&aligned);
     if (linalg::Norm(aligned) == 0.0) continue;
     s.AddOuterProduct(aligned);
@@ -103,45 +104,45 @@ ExtractedShape ExtractShapeImpl(
 
 }  // namespace
 
-tseries::Series ExtractShape(const std::vector<tseries::Series>& members,
-                             const tseries::Series& reference,
+tseries::Series ExtractShape(const tseries::SeriesBatch& members,
+                             tseries::SeriesView reference,
                              common::Rng* rng,
                              const ShapeExtractionOptions& options) {
   return ExtractShapeFlagged(members, reference, rng, options).centroid;
 }
 
 tseries::Series ExtractShapeIndexed(
-    const std::vector<tseries::Series>& pool,
+    const tseries::SeriesBatch& pool,
     const std::vector<std::size_t>& member_indices,
-    const tseries::Series& reference, common::Rng* rng,
+    tseries::SeriesView reference, common::Rng* rng,
     const ShapeExtractionOptions& options) {
   return ExtractShapeIndexedFlagged(pool, member_indices, reference, rng,
                                     options)
       .centroid;
 }
 
-ExtractedShape ExtractShapeFlagged(const std::vector<tseries::Series>& members,
-                                   const tseries::Series& reference,
+ExtractedShape ExtractShapeFlagged(const tseries::SeriesBatch& members,
+                                   tseries::SeriesView reference,
                                    common::Rng* rng,
                                    const ShapeExtractionOptions& options) {
-  std::vector<const tseries::Series*> ptrs;
-  ptrs.reserve(members.size());
-  for (const auto& member : members) ptrs.push_back(&member);
-  return ExtractShapeImpl(ptrs, reference, rng, options);
+  std::vector<tseries::SeriesView> views;
+  views.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) views.push_back(members[i]);
+  return ExtractShapeImpl(views, reference, rng, options);
 }
 
 ExtractedShape ExtractShapeIndexedFlagged(
-    const std::vector<tseries::Series>& pool,
+    const tseries::SeriesBatch& pool,
     const std::vector<std::size_t>& member_indices,
-    const tseries::Series& reference, common::Rng* rng,
+    tseries::SeriesView reference, common::Rng* rng,
     const ShapeExtractionOptions& options) {
-  std::vector<const tseries::Series*> ptrs;
-  ptrs.reserve(member_indices.size());
+  std::vector<tseries::SeriesView> views;
+  views.reserve(member_indices.size());
   for (std::size_t idx : member_indices) {
     KSHAPE_CHECK(idx < pool.size());
-    ptrs.push_back(&pool[idx]);
+    views.push_back(pool[idx]);
   }
-  return ExtractShapeImpl(ptrs, reference, rng, options);
+  return ExtractShapeImpl(views, reference, rng, options);
 }
 
 }  // namespace kshape::core

@@ -33,18 +33,18 @@ struct ShapeExtractionOptions {
 /// mean, and the result is z-normalized.
 ///
 /// Returns the all-zero series when `members` is empty. `rng` seeds the power
-/// iteration start vector.
-tseries::Series ExtractShape(const std::vector<tseries::Series>& members,
-                             const tseries::Series& reference,
+/// iteration start vector. The batch is read, never retained.
+tseries::Series ExtractShape(const tseries::SeriesBatch& members,
+                             tseries::SeriesView reference,
                              common::Rng* rng,
                              const ShapeExtractionOptions& options = {});
 
 /// Convenience overload for extracting the shape of members selected from a
-/// larger pool by index (avoids copying series into a temporary vector).
+/// larger pool by index (no copies: views straight into the pool's storage).
 tseries::Series ExtractShapeIndexed(
-    const std::vector<tseries::Series>& pool,
+    const tseries::SeriesBatch& pool,
     const std::vector<std::size_t>& member_indices,
-    const tseries::Series& reference, common::Rng* rng,
+    tseries::SeriesView reference, common::Rng* rng,
     const ShapeExtractionOptions& options = {});
 
 /// The result of a flagged shape extraction: the centroid plus an explicit
@@ -67,16 +67,16 @@ struct ExtractedShape {
 /// skip the eigenproblem entirely (the previous behavior ran power iteration
 /// on the zero matrix and returned a z-normalized random start vector) and
 /// return the flagged zero centroid instead.
-ExtractedShape ExtractShapeFlagged(const std::vector<tseries::Series>& members,
-                                   const tseries::Series& reference,
+ExtractedShape ExtractShapeFlagged(const tseries::SeriesBatch& members,
+                                   tseries::SeriesView reference,
                                    common::Rng* rng,
                                    const ShapeExtractionOptions& options = {});
 
 /// Indexed variant of ExtractShapeFlagged.
 ExtractedShape ExtractShapeIndexedFlagged(
-    const std::vector<tseries::Series>& pool,
+    const tseries::SeriesBatch& pool,
     const std::vector<std::size_t>& member_indices,
-    const tseries::Series& reference, common::Rng* rng,
+    tseries::SeriesView reference, common::Rng* rng,
     const ShapeExtractionOptions& options = {});
 
 }  // namespace kshape::core

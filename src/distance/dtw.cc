@@ -16,7 +16,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Shared banded dynamic program over squared point costs. Returns the total
 // squared cost of the optimal path.
-double BandedDtwSquared(const tseries::Series& x, const tseries::Series& y,
+double BandedDtwSquared(tseries::SeriesView x, tseries::SeriesView y,
                         int window) {
   const int m = static_cast<int>(x.size());
   const int n = static_cast<int>(y.size());
@@ -47,13 +47,13 @@ double BandedDtwSquared(const tseries::Series& x, const tseries::Series& y,
 
 }  // namespace
 
-double DtwDistance(const tseries::Series& x, const tseries::Series& y) {
+double DtwDistance(tseries::SeriesView x, tseries::SeriesView y) {
   const int full = static_cast<int>(std::max(x.size(), y.size()));
   return std::sqrt(BandedDtwSquared(x, y, full));
 }
 
-double ConstrainedDtwDistance(const tseries::Series& x,
-                              const tseries::Series& y, int window) {
+double ConstrainedDtwDistance(tseries::SeriesView x,
+                              tseries::SeriesView y, int window) {
   KSHAPE_CHECK_MSG(window >= 0, "window must be non-negative");
   return std::sqrt(BandedDtwSquared(x, y, window));
 }
@@ -65,7 +65,7 @@ int WindowFromFraction(double fraction, std::size_t length) {
   return std::clamp(w, 0, std::max(0, m - 1));
 }
 
-WarpingPath DtwWarpingPath(const tseries::Series& x, const tseries::Series& y,
+WarpingPath DtwWarpingPath(tseries::SeriesView x, tseries::SeriesView y,
                            int window) {
   const int m = static_cast<int>(x.size());
   const int n = static_cast<int>(y.size());
@@ -109,7 +109,7 @@ WarpingPath DtwWarpingPath(const tseries::Series& x, const tseries::Series& y,
   return path;
 }
 
-void LowerUpperEnvelope(const tseries::Series& x, int window,
+void LowerUpperEnvelope(tseries::SeriesView x, int window,
                         tseries::Series* lower, tseries::Series* upper) {
   const int m = static_cast<int>(x.size());
   KSHAPE_CHECK(m >= 1);
@@ -141,9 +141,9 @@ void LowerUpperEnvelope(const tseries::Series& x, int window,
   }
 }
 
-double LbKeogh(const tseries::Series& candidate,
-               const tseries::Series& query_lower,
-               const tseries::Series& query_upper) {
+double LbKeogh(tseries::SeriesView candidate,
+               tseries::SeriesView query_lower,
+               tseries::SeriesView query_upper) {
   KSHAPE_CHECK_MSG(candidate.size() == query_lower.size() &&
                        candidate.size() == query_upper.size(),
                    "LB_Keogh length mismatch");
@@ -161,8 +161,8 @@ double LbKeogh(const tseries::Series& candidate,
   return std::sqrt(sum);
 }
 
-double DtwMeasure::Distance(const tseries::Series& x,
-                            const tseries::Series& y) const {
+double DtwMeasure::Distance(tseries::SeriesView x,
+                            tseries::SeriesView y) const {
   if (absolute_window_ >= 0) {
     return ConstrainedDtwDistance(x, y, absolute_window_);
   }
@@ -170,8 +170,8 @@ double DtwMeasure::Distance(const tseries::Series& x,
   return ConstrainedDtwDistance(x, y, WindowFromFraction(fraction_, x.size()));
 }
 
-double DdtwMeasure::Distance(const tseries::Series& x,
-                             const tseries::Series& y) const {
+double DdtwMeasure::Distance(tseries::SeriesView x,
+                             tseries::SeriesView y) const {
   const tseries::Series dx = tseries::DerivativeTransform(x);
   const tseries::Series dy = tseries::DerivativeTransform(y);
   if (fraction_ < 0.0) return DtwDistance(dx, dy);

@@ -12,14 +12,14 @@ namespace kshape::dtw {
 /// Dynamic Time Warping distance (Equation 4 of the paper): the square root
 /// of the minimum sum of squared point differences over all warping paths.
 /// O(m^2) time, O(m) memory.
-double DtwDistance(const tseries::Series& x, const tseries::Series& y);
+double DtwDistance(tseries::SeriesView x, tseries::SeriesView y);
 
 /// DTW constrained to the Sakoe-Chiba band: cells (i, j) with |i - j| <=
 /// window are reachable. `window` is an absolute cell count; window >= m - 1
 /// reproduces the unconstrained distance, window == 0 degenerates to ED.
 /// O(m * window) time.
-double ConstrainedDtwDistance(const tseries::Series& x,
-                              const tseries::Series& y, int window);
+double ConstrainedDtwDistance(tseries::SeriesView x,
+                              tseries::SeriesView y, int window);
 
 /// Converts the paper's "w% of the time-series length" warping-window
 /// convention to an absolute cell count (ceil, clamped to [0, m-1]).
@@ -35,22 +35,22 @@ struct WarpingPath {
 
 /// Computes the optimal warping path under a Sakoe-Chiba window (window < 0
 /// means unconstrained). O(m^2) time and memory.
-WarpingPath DtwWarpingPath(const tseries::Series& x, const tseries::Series& y,
+WarpingPath DtwWarpingPath(tseries::SeriesView x, tseries::SeriesView y,
                            int window = -1);
 
 /// Computes the running min/max envelope of `x` with half-width `window`
 /// using Lemire's streaming min-max algorithm: O(m) total. On exit,
 /// (*lower)[i] = min(x[i-window .. i+window]) and (*upper)[i] the max.
-void LowerUpperEnvelope(const tseries::Series& x, int window,
+void LowerUpperEnvelope(tseries::SeriesView x, int window,
                         tseries::Series* lower, tseries::Series* upper);
 
 /// LB_Keogh lower bound on cDTW(query, candidate) with the given window:
 /// the distance from `candidate` to the envelope of `query`. Never exceeds
 /// the true constrained DTW distance, so 1-NN search can skip candidates
 /// whose bound already exceeds the best distance found (§4 of the paper).
-double LbKeogh(const tseries::Series& candidate,
-               const tseries::Series& query_lower,
-               const tseries::Series& query_upper);
+double LbKeogh(tseries::SeriesView candidate,
+               tseries::SeriesView query_lower,
+               tseries::SeriesView query_upper);
 
 /// DistanceMeasure wrapper for DTW / cDTW.
 class DtwMeasure : public distance::DistanceMeasure {
@@ -71,8 +71,8 @@ class DtwMeasure : public distance::DistanceMeasure {
     return DtwMeasure(-1.0, cells, std::move(name));
   }
 
-  double Distance(const tseries::Series& x,
-                  const tseries::Series& y) const override;
+  double Distance(tseries::SeriesView x,
+                  tseries::SeriesView y) const override;
   std::string Name() const override { return name_; }
 
   /// The band fraction (negative when unconstrained or fixed-window).
@@ -97,8 +97,8 @@ class DdtwMeasure : public distance::DistanceMeasure {
  public:
   explicit DdtwMeasure(double fraction = -1.0) : fraction_(fraction) {}
 
-  double Distance(const tseries::Series& x,
-                  const tseries::Series& y) const override;
+  double Distance(tseries::SeriesView x,
+                  tseries::SeriesView y) const override;
   std::string Name() const override { return "DDTW"; }
 
  private:

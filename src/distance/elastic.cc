@@ -8,7 +8,7 @@
 
 namespace kshape::distance {
 
-double ErpDistance(const tseries::Series& x, const tseries::Series& y,
+double ErpDistance(tseries::SeriesView x, tseries::SeriesView y,
                    double gap_value) {
   const std::size_t m = x.size();
   const std::size_t n = y.size();
@@ -33,7 +33,7 @@ double ErpDistance(const tseries::Series& x, const tseries::Series& y,
   return prev[n];
 }
 
-double EdrDistance(const tseries::Series& x, const tseries::Series& y,
+double EdrDistance(tseries::SeriesView x, tseries::SeriesView y,
                    double epsilon) {
   const std::size_t m = x.size();
   const std::size_t n = y.size();
@@ -72,7 +72,7 @@ double MsmCost(double inserted, double anchor_a, double anchor_b,
 
 }  // namespace
 
-double MsmDistance(const tseries::Series& x, const tseries::Series& y,
+double MsmDistance(tseries::SeriesView x, tseries::SeriesView y,
                    double cost) {
   const std::size_t m = x.size();
   const std::size_t n = y.size();
@@ -99,7 +99,7 @@ double MsmDistance(const tseries::Series& x, const tseries::Series& y,
   return prev[n - 1];
 }
 
-double ComplexityEstimate(const tseries::Series& x) {
+double ComplexityEstimate(tseries::SeriesView x) {
   KSHAPE_CHECK(x.size() >= 1);
   double sum = 0.0;
   for (std::size_t t = 1; t < x.size(); ++t) {
@@ -109,7 +109,7 @@ double ComplexityEstimate(const tseries::Series& x) {
   return std::sqrt(sum);
 }
 
-double CidDistance(const tseries::Series& x, const tseries::Series& y) {
+double CidDistance(tseries::SeriesView x, tseries::SeriesView y) {
   KSHAPE_CHECK_MSG(x.size() == y.size(), "CID requires equal lengths");
   double ed = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -127,7 +127,7 @@ double CidDistance(const tseries::Series& x, const tseries::Series& y) {
   return ed * factor;
 }
 
-double MinkowskiDistance(const tseries::Series& x, const tseries::Series& y,
+double MinkowskiDistance(tseries::SeriesView x, tseries::SeriesView y,
                          double p) {
   KSHAPE_CHECK_MSG(x.size() == y.size(), "Minkowski requires equal lengths");
   KSHAPE_CHECK(p >= 1.0);
@@ -138,7 +138,7 @@ double MinkowskiDistance(const tseries::Series& x, const tseries::Series& y,
   return std::pow(sum, 1.0 / p);
 }
 
-double ChebyshevDistance(const tseries::Series& x, const tseries::Series& y) {
+double ChebyshevDistance(tseries::SeriesView x, tseries::SeriesView y) {
   KSHAPE_CHECK_MSG(x.size() == y.size(), "Chebyshev requires equal lengths");
   double best = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {

@@ -16,7 +16,7 @@ namespace kshape::distance {
 /// an edit distance whose insert/delete operations are charged the distance
 /// to the constant g (default 0). A metric; handles local time shifting.
 /// O(m^2) time, O(m) memory.
-double ErpDistance(const tseries::Series& x, const tseries::Series& y,
+double ErpDistance(tseries::SeriesView x, tseries::SeriesView y,
                    double gap_value = 0.0);
 
 /// Edit Distance on Real sequences (Chen, Ozsu & Oria, SIGMOD 2005) with
@@ -24,39 +24,39 @@ double ErpDistance(const tseries::Series& x, const tseries::Series& y,
 /// everything else (substitute/insert/delete) costs 1. Robust to noise and
 /// outliers; not a metric. For z-normalized data the customary threshold is
 /// 0.25 (a quarter standard deviation). O(m^2) time, O(m) memory.
-double EdrDistance(const tseries::Series& x, const tseries::Series& y,
+double EdrDistance(tseries::SeriesView x, tseries::SeriesView y,
                    double epsilon = 0.25);
 
 /// Move-Split-Merge (Stefan, Athitsos & Das, TKDE 2013) with split/merge
 /// cost c: a metric whose edit operations are value moves (cost = value
 /// difference) and splits/merges (cost c, plus the overshoot when the new
 /// value is not between its neighbors). O(m^2) time, O(m) memory.
-double MsmDistance(const tseries::Series& x, const tseries::Series& y,
+double MsmDistance(tseries::SeriesView x, tseries::SeriesView y,
                    double cost = 0.5);
 
 /// Complexity-Invariant Distance (Batista et al., DMKD 2013, the paper's
 /// reference [7]): ED scaled by the ratio of the series' complexity
 /// estimates CE(x) = sqrt(sum (x_t+1 - x_t)^2), penalizing pairs of very
 /// different complexity (§2.2, complexity invariance).
-double CidDistance(const tseries::Series& x, const tseries::Series& y);
+double CidDistance(tseries::SeriesView x, tseries::SeriesView y);
 
 /// The complexity estimate used by CID.
-double ComplexityEstimate(const tseries::Series& x);
+double ComplexityEstimate(tseries::SeriesView x);
 
 /// Minkowski (L_p) distance; p = 1 Manhattan, p = 2 Euclidean, and
 /// p = infinity is available as ChebyshevDistance.
-double MinkowskiDistance(const tseries::Series& x, const tseries::Series& y,
+double MinkowskiDistance(tseries::SeriesView x, tseries::SeriesView y,
                          double p);
 
 /// L_infinity (maximum coordinate difference).
-double ChebyshevDistance(const tseries::Series& x, const tseries::Series& y);
+double ChebyshevDistance(tseries::SeriesView x, tseries::SeriesView y);
 
 /// DistanceMeasure adapters.
 class ErpMeasure : public DistanceMeasure {
  public:
   explicit ErpMeasure(double gap_value = 0.0) : gap_value_(gap_value) {}
-  double Distance(const tseries::Series& x,
-                  const tseries::Series& y) const override {
+  double Distance(tseries::SeriesView x,
+                  tseries::SeriesView y) const override {
     return ErpDistance(x, y, gap_value_);
   }
   std::string Name() const override { return "ERP"; }
@@ -68,8 +68,8 @@ class ErpMeasure : public DistanceMeasure {
 class EdrMeasure : public DistanceMeasure {
  public:
   explicit EdrMeasure(double epsilon = 0.25) : epsilon_(epsilon) {}
-  double Distance(const tseries::Series& x,
-                  const tseries::Series& y) const override {
+  double Distance(tseries::SeriesView x,
+                  tseries::SeriesView y) const override {
     return EdrDistance(x, y, epsilon_);
   }
   std::string Name() const override { return "EDR"; }
@@ -81,8 +81,8 @@ class EdrMeasure : public DistanceMeasure {
 class MsmMeasure : public DistanceMeasure {
  public:
   explicit MsmMeasure(double cost = 0.5) : cost_(cost) {}
-  double Distance(const tseries::Series& x,
-                  const tseries::Series& y) const override {
+  double Distance(tseries::SeriesView x,
+                  tseries::SeriesView y) const override {
     return MsmDistance(x, y, cost_);
   }
   std::string Name() const override { return "MSM"; }
@@ -93,8 +93,8 @@ class MsmMeasure : public DistanceMeasure {
 
 class CidMeasure : public DistanceMeasure {
  public:
-  double Distance(const tseries::Series& x,
-                  const tseries::Series& y) const override {
+  double Distance(tseries::SeriesView x,
+                  tseries::SeriesView y) const override {
     return CidDistance(x, y);
   }
   std::string Name() const override { return "CID"; }

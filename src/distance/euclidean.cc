@@ -6,8 +6,7 @@
 
 namespace kshape::distance {
 
-double SquaredEuclideanDistance(const tseries::Series& x,
-                                const tseries::Series& y) {
+double SquaredEuclideanDistance(tseries::SeriesView x, tseries::SeriesView y) {
   KSHAPE_CHECK_MSG(x.size() == y.size(), "ED requires equal lengths");
   double sum = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -17,8 +16,7 @@ double SquaredEuclideanDistance(const tseries::Series& x,
   return sum;
 }
 
-double EuclideanDistanceValue(const tseries::Series& x,
-                              const tseries::Series& y) {
+double EuclideanDistanceValue(tseries::SeriesView x, tseries::SeriesView y) {
   return std::sqrt(SquaredEuclideanDistance(x, y));
 }
 

@@ -9,19 +9,17 @@ namespace kshape::distance {
 
 /// Euclidean distance between two equal-length series (Equation 3 of the
 /// paper). Free function for hot paths.
-double EuclideanDistanceValue(const tseries::Series& x,
-                              const tseries::Series& y);
+double EuclideanDistanceValue(tseries::SeriesView x, tseries::SeriesView y);
 
 /// Squared Euclidean distance (avoids the sqrt when only comparisons are
 /// needed, e.g. inside k-means assignment).
-double SquaredEuclideanDistance(const tseries::Series& x,
-                                const tseries::Series& y);
+double SquaredEuclideanDistance(tseries::SeriesView x, tseries::SeriesView y);
 
 /// DistanceMeasure wrapper around ED.
 class EuclideanDistance : public DistanceMeasure {
  public:
-  double Distance(const tseries::Series& x,
-                  const tseries::Series& y) const override {
+  double Distance(tseries::SeriesView x,
+                  tseries::SeriesView y) const override {
     return EuclideanDistanceValue(x, y);
   }
   std::string Name() const override { return "ED"; }

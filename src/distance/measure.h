@@ -24,7 +24,7 @@ class BatchScanner {
 
   /// Fills out[i] = Distance(query, candidate_i) for every candidate, in
   /// candidate order. Resizes `out` as needed.
-  virtual void DistancesToAll(const tseries::Series& query,
+  virtual void DistancesToAll(tseries::SeriesView query,
                               std::vector<double>* out) const = 0;
 };
 
@@ -48,8 +48,10 @@ class DistanceMeasure {
   virtual ~DistanceMeasure() = default;
 
   /// Dissimilarity between x and y. Requires x.size() == y.size().
-  virtual double Distance(const tseries::Series& x,
-                          const tseries::Series& y) const = 0;
+  /// Views may point into a contiguous SeriesStore row or an owned Series;
+  /// implementations must not retain them past the call.
+  virtual double Distance(tseries::SeriesView x,
+                          tseries::SeriesView y) const = 0;
 
   /// Short display name, e.g. "ED", "cDTW5", "SBD".
   virtual std::string Name() const = 0;
@@ -64,7 +66,7 @@ class DistanceMeasure {
   /// with Distance() within a tight tolerance but need not be bitwise equal
   /// (the cached SBD pipeline rounds differently); they must themselves be
   /// bit-identical at every thread count.
-  virtual bool BatchedPairwise(const std::vector<tseries::Series>& series,
+  virtual bool BatchedPairwise(const tseries::SeriesBatch& series,
                                std::vector<double>* flat) const {
     (void)series;
     (void)flat;
@@ -73,10 +75,10 @@ class DistanceMeasure {
 
   /// Optional factory for a scanner bound to `candidates` (see BatchScanner).
   /// Returns nullptr when the measure has no accelerated scan; callers fall
-  /// back to per-pair Distance() calls. The scanner may reference
-  /// `candidates`, which must outlive it.
+  /// back to per-pair Distance() calls. The scanner may reference the storage
+  /// behind `candidates`, which must outlive it.
   virtual std::unique_ptr<BatchScanner> NewBatchScanner(
-      const std::vector<tseries::Series>& candidates) const {
+      const tseries::SeriesBatch& candidates) const {
     (void)candidates;
     return nullptr;
   }

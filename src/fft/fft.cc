@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <span>
 #include <mutex>
 
 #include "common/check.h"
@@ -197,7 +198,7 @@ void Inverse(std::vector<Complex>* data) {
   for (auto& v : *data) v = std::conj(v) * scale;
 }
 
-std::vector<Complex> RealForward(const std::vector<double>& x, std::size_t n) {
+std::vector<Complex> RealForward(std::span<const double> x, std::size_t n) {
   KSHAPE_CHECK(n >= 1);
   std::vector<Complex> data(n, Complex(0, 0));
   const std::size_t copy = std::min(n, x.size());
@@ -206,7 +207,7 @@ std::vector<Complex> RealForward(const std::vector<double>& x, std::size_t n) {
   return data;
 }
 
-std::vector<Complex> Spectrum(const std::vector<double>& x,
+std::vector<Complex> Spectrum(std::span<const double> x,
                               std::size_t fft_len) {
   KSHAPE_CHECK(fft_len >= 1);
   KSHAPE_CHECK_MSG(x.size() <= fft_len,
@@ -264,8 +265,8 @@ namespace {
 // thread_local: every ParallelFor worker gets its own scratch, so concurrent
 // SBD evaluations never share FFT buffers (a requirement of the library's
 // thread-count-invariance guarantee).
-std::vector<double> CrossCorrelationImpl(const std::vector<double>& x,
-                                         const std::vector<double>& y,
+std::vector<double> CrossCorrelationImpl(std::span<const double> x,
+                                         std::span<const double> y,
                                          std::size_t fft_len) {
   const std::size_t m = x.size();
   KSHAPE_CHECK_MSG(y.size() == m, "cross-correlation requires equal lengths");
@@ -316,22 +317,22 @@ std::vector<double> CrossCorrelationImpl(const std::vector<double>& x,
 
 }  // namespace
 
-std::vector<double> CrossCorrelationFft(const std::vector<double>& x,
-                                        const std::vector<double>& y) {
+std::vector<double> CrossCorrelationFft(std::span<const double> x,
+                                        std::span<const double> y) {
   const std::size_t m = x.size();
   KSHAPE_CHECK(m >= 1);
   return CrossCorrelationImpl(x, y, NextPowerOfTwo(2 * m - 1));
 }
 
-std::vector<double> CrossCorrelationFftNoPow2(const std::vector<double>& x,
-                                              const std::vector<double>& y) {
+std::vector<double> CrossCorrelationFftNoPow2(std::span<const double> x,
+                                              std::span<const double> y) {
   const std::size_t m = x.size();
   KSHAPE_CHECK(m >= 1);
   return CrossCorrelationImpl(x, y, 2 * m - 1);
 }
 
-std::vector<double> CrossCorrelationNaive(const std::vector<double>& x,
-                                          const std::vector<double>& y) {
+std::vector<double> CrossCorrelationNaive(std::span<const double> x,
+                                          std::span<const double> y) {
   const std::size_t m = x.size();
   KSHAPE_CHECK_MSG(y.size() == m, "cross-correlation requires equal lengths");
   KSHAPE_CHECK(m >= 1);
@@ -355,8 +356,8 @@ std::vector<double> CrossCorrelationNaive(const std::vector<double>& x,
   return cc;
 }
 
-std::vector<double> Convolve(const std::vector<double>& a,
-                             const std::vector<double>& b) {
+std::vector<double> Convolve(std::span<const double> a,
+                             std::span<const double> b) {
   KSHAPE_CHECK(!a.empty() && !b.empty());
   const std::size_t out_len = a.size() + b.size() - 1;
   const std::size_t fft_len = NextPowerOfTwo(out_len);

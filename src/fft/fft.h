@@ -3,6 +3,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <span>
 #include <memory>
 #include <vector>
 
@@ -64,7 +65,7 @@ void Inverse(std::vector<Complex>* data);
 
 /// Computes the `n`-point forward DFT of the real sequence `x` (zero-padded
 /// or truncated to length n). Requires n to be a power of two.
-std::vector<Complex> RealForward(const std::vector<double>& x, std::size_t n);
+std::vector<Complex> RealForward(std::span<const double> x, std::size_t n);
 
 /// The padded forward spectrum of one real series: the `fft_len`-point DFT of
 /// x zero-padded to fft_len (any length >= x.size(); radix-2 when possible,
@@ -72,7 +73,7 @@ std::vector<Complex> RealForward(const std::vector<double>& x, std::size_t n);
 /// SBD path: compute each series' spectrum once, and every pairwise
 /// cross-correlation against it becomes a single inverse transform
 /// (CrossCorrelationFromSpectra) instead of two forwards plus an inverse.
-std::vector<Complex> Spectrum(const std::vector<double>& x,
+std::vector<Complex> Spectrum(std::span<const double> x,
                               std::size_t fft_len);
 
 /// Cross-correlation sequence from two cached spectra: given the fft_len
@@ -99,24 +100,24 @@ void CrossCorrelationFromSpectra(const std::vector<Complex>& x_spectrum,
 /// the left (equivalently, align y by delaying it). Computed with one complex
 /// FFT of the packed sequence x + i*y plus one inverse FFT at the next power
 /// of two >= 2m-1: O(m log m).
-std::vector<double> CrossCorrelationFft(const std::vector<double>& x,
-                                        const std::vector<double>& y);
+std::vector<double> CrossCorrelationFft(std::span<const double> x,
+                                        std::span<const double> y);
 
 /// Same as CrossCorrelationFft but transforms at exactly length 2m-1 using
 /// Bluestein's algorithm when that length is not a power of two. This is the
 /// "SBD_NoPow2" ablation of Table 2 in the paper.
-std::vector<double> CrossCorrelationFftNoPow2(const std::vector<double>& x,
-                                              const std::vector<double>& y);
+std::vector<double> CrossCorrelationFftNoPow2(std::span<const double> x,
+                                              std::span<const double> y);
 
 /// Reference O(m^2) direct evaluation of the same cross-correlation sequence.
 /// This is the "SBD_NoFFT" ablation of Table 2 in the paper and the oracle
 /// used by the FFT tests.
-std::vector<double> CrossCorrelationNaive(const std::vector<double>& x,
-                                          const std::vector<double>& y);
+std::vector<double> CrossCorrelationNaive(std::span<const double> x,
+                                          std::span<const double> y);
 
 /// Linear convolution of a and b (length |a|+|b|-1) via FFT.
-std::vector<double> Convolve(const std::vector<double>& a,
-                             const std::vector<double>& b);
+std::vector<double> Convolve(std::span<const double> a,
+                             std::span<const double> b);
 
 }  // namespace kshape::fft
 

@@ -105,7 +105,7 @@ void PrintAverageRanks(const std::vector<MethodScores>& methods,
 }
 
 double AverageRandIndex(const cluster::ClusteringAlgorithm& algorithm,
-                        const std::vector<tseries::Series>& series,
+                        const tseries::SeriesBatch& series,
                         const std::vector<int>& labels, int k, int runs,
                         uint64_t seed) {
   KSHAPE_CHECK(runs >= 1);
@@ -139,16 +139,15 @@ common::StatusOr<double> TryAverageRandIndex(
                                   conditioning);
   if (!conditioned.ok()) return conditioned.status();
 
-  common::Status valid =
-      cluster::ValidateClusteringInputs(conditioned.value().series(), k);
+  const tseries::SeriesBatch batch = conditioned.value().batch();
+  common::Status valid = cluster::ValidateClusteringInputs(batch, k);
   if (!valid.ok()) return valid;
 
   common::Rng seeder(seed);
   double total = 0.0;
   for (int run = 0; run < runs; ++run) {
     common::Rng rng = seeder.Fork();
-    const cluster::ClusteringResult result =
-        algorithm.Cluster(conditioned.value().series(), k, &rng);
+    const cluster::ClusteringResult result = algorithm.Cluster(batch, k, &rng);
     total += eval::RandIndex(labels, result.assignments);
   }
   return total / static_cast<double>(runs);

@@ -46,7 +46,7 @@ void PrintAverageRanks(const std::vector<MethodScores>& methods,
 /// Rand index against the gold labels — the paper's protocol for partitional
 /// (10 runs) and spectral (100 runs) methods.
 double AverageRandIndex(const cluster::ClusteringAlgorithm& algorithm,
-                        const std::vector<tseries::Series>& series,
+                        const tseries::SeriesBatch& series,
                         const std::vector<int>& labels, int k, int runs,
                         uint64_t seed);
 

@@ -1,6 +1,7 @@
 #include "linalg/matrix.h"
 
 #include <cmath>
+#include <span>
 
 #include "common/check.h"
 
@@ -62,7 +63,7 @@ Matrix Matrix::Multiply(const Matrix& other) const {
   return out;
 }
 
-std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
+std::vector<double> Matrix::MultiplyVector(std::span<const double> v) const {
   KSHAPE_CHECK_MSG(cols_ == v.size(), "matvec dimension mismatch");
   std::vector<double> out(rows_, 0.0);
   for (std::size_t i = 0; i < rows_; ++i) {
@@ -74,7 +75,7 @@ std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
   return out;
 }
 
-void Matrix::AddOuterProduct(const std::vector<double>& v, double scale) {
+void Matrix::AddOuterProduct(std::span<const double> v, double scale) {
   KSHAPE_CHECK_MSG(rows_ == cols_ && rows_ == v.size(),
                    "outer product dimension mismatch");
   for (std::size_t i = 0; i < rows_; ++i) {
@@ -100,26 +101,26 @@ double Matrix::FrobeniusNorm() const {
   return std::sqrt(sum);
 }
 
-double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+double Dot(std::span<const double> a, std::span<const double> b) {
   KSHAPE_CHECK_MSG(a.size() == b.size(), "dot dimension mismatch");
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
   return sum;
 }
 
-double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+double Norm(std::span<const double> v) { return std::sqrt(Dot(v, v)); }
 
-void Scale(std::vector<double>* v, double s) {
-  for (double& x : *v) x *= s;
+void Scale(std::span<double> v, double s) {
+  for (double& x : v) x *= s;
 }
 
-void Axpy(double a, const std::vector<double>& x, std::vector<double>* y) {
-  KSHAPE_CHECK_MSG(x.size() == y->size(), "axpy dimension mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += a * x[i];
+void Axpy(double a, std::span<const double> x, std::span<double> y) {
+  KSHAPE_CHECK_MSG(x.size() == y.size(), "axpy dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
 }
 
-double NormalizeInPlace(std::vector<double>* v) {
-  const double n = Norm(*v);
+double NormalizeInPlace(std::span<double> v) {
+  const double n = Norm(v);
   if (n > 0.0) Scale(v, 1.0 / n);
   return n;
 }

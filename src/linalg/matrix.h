@@ -2,6 +2,7 @@
 #define KSHAPE_LINALG_MATRIX_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace kshape::linalg {
@@ -42,6 +43,11 @@ class Matrix {
   double* Row(std::size_t i) { return data_.data() + i * cols_; }
   const double* Row(std::size_t i) const { return data_.data() + i * cols_; }
 
+  /// Read-only span over row i (the matrix is row-major, so this is free).
+  std::span<const double> RowSpan(std::size_t i) const {
+    return std::span<const double>(Row(i), cols_);
+  }
+
   /// Copies row i into a vector.
   std::vector<double> RowVector(std::size_t i) const;
 
@@ -55,10 +61,10 @@ class Matrix {
   Matrix Multiply(const Matrix& other) const;
 
   /// Returns this * v. Requires cols() == v.size().
-  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+  std::vector<double> MultiplyVector(std::span<const double> v) const;
 
   /// Adds scale * v v^T to this matrix. Requires square with n == v.size().
-  void AddOuterProduct(const std::vector<double>& v, double scale = 1.0);
+  void AddOuterProduct(std::span<const double> v, double scale = 1.0);
 
   /// Returns true iff the matrix is square and symmetric to within tol.
   bool IsSymmetric(double tol = 1e-9) const;
@@ -73,20 +79,29 @@ class Matrix {
 };
 
 /// Dot product. Requires equal sizes.
-double Dot(const std::vector<double>& a, const std::vector<double>& b);
+double Dot(std::span<const double> a, std::span<const double> b);
 
 /// Euclidean norm.
-double Norm(const std::vector<double>& v);
+double Norm(std::span<const double> v);
 
 /// Scales v in place by s.
-void Scale(std::vector<double>* v, double s);
+void Scale(std::span<double> v, double s);
+inline void Scale(std::vector<double>* v, double s) {
+  Scale(std::span<double>(*v), s);
+}
 
 /// y += a * x. Requires equal sizes.
-void Axpy(double a, const std::vector<double>& x, std::vector<double>* y);
+void Axpy(double a, std::span<const double> x, std::span<double> y);
+inline void Axpy(double a, std::span<const double> x, std::vector<double>* y) {
+  Axpy(a, x, std::span<double>(*y));
+}
 
 /// Normalizes v to unit Euclidean norm in place; leaves an all-zero vector
 /// unchanged. Returns the original norm.
-double NormalizeInPlace(std::vector<double>* v);
+double NormalizeInPlace(std::span<double> v);
+inline double NormalizeInPlace(std::vector<double>* v) {
+  return NormalizeInPlace(std::span<double>(*v));
+}
 
 }  // namespace kshape::linalg
 

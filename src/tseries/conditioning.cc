@@ -33,14 +33,14 @@ const char* MissingPolicyName(MissingPolicy policy) {
   return "?";
 }
 
-bool HasMissing(const Series& x) {
+bool HasMissing(SeriesView x) {
   for (double v : x) {
     if (!std::isfinite(v)) return true;
   }
   return false;
 }
 
-std::size_t CountMissing(const Series& x) {
+std::size_t CountMissing(SeriesView x) {
   std::size_t count = 0;
   for (double v : x) {
     if (!std::isfinite(v)) ++count;
@@ -48,7 +48,7 @@ std::size_t CountMissing(const Series& x) {
   return count;
 }
 
-bool IsConstant(const Series& x) {
+bool IsConstant(SeriesView x) {
   bool seen = false;
   double first = 0.0;
   for (double v : x) {
@@ -63,30 +63,29 @@ bool IsConstant(const Series& x) {
   return true;
 }
 
-common::Status FillMissingInPlace(Series* x, MissingPolicy policy) {
-  KSHAPE_CHECK(x != nullptr);
-  if (x->empty()) {
+common::Status FillMissingInPlace(MutableSeriesView x, MissingPolicy policy) {
+  if (x.empty()) {
     return common::Status::InvalidArgument("cannot repair an empty series");
   }
-  const std::size_t missing = CountMissing(*x);
+  const std::size_t missing = CountMissing(x);
   if (missing == 0) return common::Status::OK();
   if (policy == MissingPolicy::kReject) {
     return common::Status::InvalidArgument(
         std::to_string(missing) + " missing value(s) under the reject policy");
   }
-  if (missing == x->size()) {
+  if (missing == x.size()) {
     return common::Status::InvalidArgument(
         "all " + std::to_string(missing) + " values are missing");
   }
-  const std::size_t m = x->size();
+  const std::size_t m = x.size();
 
   if (policy == MissingPolicy::kMeanFill) {
     double sum = 0.0;
-    for (double v : *x) {
+    for (double v : x) {
       if (std::isfinite(v)) sum += v;
     }
     const double mean = sum / static_cast<double>(m - missing);
-    for (double& v : *x) {
+    for (double& v : x) {
       if (!std::isfinite(v)) v = mean;
     }
     return common::Status::OK();
@@ -96,35 +95,35 @@ common::Status FillMissingInPlace(Series* x, MissingPolicy policy) {
   // extend boundary gaps from the nearest finite value.
   std::size_t i = 0;
   while (i < m) {
-    if (std::isfinite((*x)[i])) {
+    if (std::isfinite(x[i])) {
       ++i;
       continue;
     }
     std::size_t gap_end = i;  // One past the last missing index of this gap.
-    while (gap_end < m && !std::isfinite((*x)[gap_end])) ++gap_end;
+    while (gap_end < m && !std::isfinite(x[gap_end])) ++gap_end;
     const bool has_left = i > 0;
     const bool has_right = gap_end < m;
     if (has_left && has_right) {
-      const double left = (*x)[i - 1];
-      const double right = (*x)[gap_end];
+      const double left = x[i - 1];
+      const double right = x[gap_end];
       const double span = static_cast<double>(gap_end - i + 1);
       for (std::size_t t = i; t < gap_end; ++t) {
         const double w = static_cast<double>(t - i + 1) / span;
-        (*x)[t] = left + w * (right - left);
+        x[t] = left + w * (right - left);
       }
     } else {
-      const double fill = has_left ? (*x)[i - 1] : (*x)[gap_end];
-      for (std::size_t t = i; t < gap_end; ++t) (*x)[t] = fill;
+      const double fill = has_left ? x[i - 1] : x[gap_end];
+      for (std::size_t t = i; t < gap_end; ++t) x[t] = fill;
     }
     i = gap_end;
   }
   return common::Status::OK();
 }
 
-Series ResampleLinear(const Series& x, std::size_t target_length) {
+Series ResampleLinear(SeriesView x, std::size_t target_length) {
   KSHAPE_CHECK_MSG(!x.empty(), "cannot resample an empty series");
   KSHAPE_CHECK_MSG(target_length >= 1, "resample target must be >= 1");
-  if (x.size() == target_length) return x;
+  if (x.size() == target_length) return Series(x.begin(), x.end());
   const std::size_t m = x.size();
   Series out(target_length);
   if (m == 1 || target_length == 1) {
@@ -155,14 +154,14 @@ std::size_t ResolveTargetLength(const std::vector<Series>& series,
   return options.length_policy == LengthPolicy::kTruncate ? lo : hi;
 }
 
-common::StatusOr<Series> ConditionSeries(const Series& x,
+common::StatusOr<Series> ConditionSeries(SeriesView x,
                                          std::size_t target_length,
                                          const ConditioningOptions& options) {
   if (x.empty()) {
     return common::Status::InvalidArgument("cannot condition an empty series");
   }
   KSHAPE_CHECK_MSG(target_length >= 1, "target length must be >= 1");
-  Series out = x;
+  Series out(x.begin(), x.end());
   common::Status status = FillMissingInPlace(&out, options.missing_policy);
   if (!status.ok()) return status;
   if (out.size() == target_length) return out;
@@ -231,9 +230,13 @@ common::Status ConditionDatasetInPlace(Dataset* dataset,
   if (dataset->empty()) {
     return common::Status::InvalidArgument("cannot condition an empty dataset");
   }
+  std::vector<Series> rows;
+  rows.reserve(dataset->size());
+  for (std::size_t i = 0; i < dataset->size(); ++i) {
+    rows.push_back(dataset->series(i));
+  }
   common::StatusOr<Dataset> conditioned =
-      ConditionToDataset(dataset->series(), dataset->labels(),
-                         dataset->name(), options);
+      ConditionToDataset(rows, dataset->labels(), dataset->name(), options);
   if (!conditioned.ok()) return conditioned.status();
   *dataset = std::move(conditioned).value();
   return common::Status::OK();

@@ -77,25 +77,28 @@ struct ConditioningOptions {
 };
 
 /// True when the series contains any non-finite (NaN or infinite) value.
-bool HasMissing(const Series& x);
+bool HasMissing(SeriesView x);
 
 /// Number of non-finite values in the series.
-std::size_t CountMissing(const Series& x);
+std::size_t CountMissing(SeriesView x);
 
 /// True when every finite value equals the first finite value (degenerate
 /// under z-normalization: such a series maps to all zeros). An empty or
 /// all-missing series counts as constant.
-bool IsConstant(const Series& x);
+bool IsConstant(SeriesView x);
 
 /// Replaces non-finite values in place under `policy`. Errors: empty input,
 /// all values missing, or any missing value under kReject.
-common::Status FillMissingInPlace(Series* x, MissingPolicy policy);
+common::Status FillMissingInPlace(MutableSeriesView x, MissingPolicy policy);
+inline common::Status FillMissingInPlace(Series* x, MissingPolicy policy) {
+  return FillMissingInPlace(MutableSeriesView(*x), policy);
+}
 
 /// Linearly resamples `x` onto `target_length` equally spaced points over the
 /// same time span. Exact no-op (returns a copy) when the length already
 /// matches. Requires a non-empty input and target_length >= 1; a length-1
 /// input is extended as a constant.
-Series ResampleLinear(const Series& x, std::size_t target_length);
+Series ResampleLinear(SeriesView x, std::size_t target_length);
 
 /// The target length `options` resolves to for this batch (see
 /// ConditioningOptions::target_length). Returns 0 for an empty batch.
@@ -105,7 +108,7 @@ std::size_t ResolveTargetLength(const std::vector<Series>& series,
 /// Conditions one series to `target_length` under `options`: missing values
 /// are repaired first, then the length policy is applied. Errors follow the
 /// policy contracts above.
-common::StatusOr<Series> ConditionSeries(const Series& x,
+common::StatusOr<Series> ConditionSeries(SeriesView x,
                                          std::size_t target_length,
                                          const ConditioningOptions& options);
 

@@ -182,7 +182,7 @@ common::Status WriteUcrFile(const Dataset& dataset, const std::string& path) {
   file.precision(17);
   for (std::size_t i = 0; i < dataset.size(); ++i) {
     file << dataset.label(i);
-    for (double v : dataset.series(i)) file << ',' << v;
+    for (double v : dataset.view(i)) file << ',' << v;
     file << '\n';
   }
   if (!file) {

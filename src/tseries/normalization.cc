@@ -7,61 +7,59 @@
 
 namespace kshape::tseries {
 
-double Mean(const Series& x) {
+double Mean(SeriesView x) {
   KSHAPE_CHECK(!x.empty());
   double sum = 0.0;
   for (double v : x) sum += v;
   return sum / static_cast<double>(x.size());
 }
 
-double StdDev(const Series& x) {
+double StdDev(SeriesView x) {
   const double mu = Mean(x);
   double sum = 0.0;
   for (double v : x) sum += (v - mu) * (v - mu);
   return std::sqrt(sum / static_cast<double>(x.size()));
 }
 
-void ZNormalizeInPlace(Series* x) {
-  const double mu = Mean(*x);
-  const double sigma = StdDev(*x);
+void ZNormalizeInPlace(MutableSeriesView x) {
+  const double mu = Mean(x);
+  const double sigma = StdDev(x);
   if (sigma == 0.0) {
-    std::fill(x->begin(), x->end(), 0.0);
+    std::fill(x.begin(), x.end(), 0.0);
     return;
   }
-  for (double& v : *x) v = (v - mu) / sigma;
+  for (double& v : x) v = (v - mu) / sigma;
 }
 
-Series ZNormalized(const Series& x) {
-  Series out = x;
+Series ZNormalized(SeriesView x) {
+  Series out(x.begin(), x.end());
   ZNormalizeInPlace(&out);
   return out;
 }
 
 void ZNormalizeDataset(Dataset* dataset) {
-  for (std::size_t i = 0; i < dataset->size(); ++i) {
-    ZNormalizeInPlace(dataset->mutable_series(i));
-  }
+  dataset->ApplyInPlace([](MutableSeriesView row) { ZNormalizeInPlace(row); });
 }
 
-void MinMaxNormalizeInPlace(Series* x) {
-  KSHAPE_CHECK(!x->empty());
-  const auto [lo_it, hi_it] = std::minmax_element(x->begin(), x->end());
+void MinMaxNormalizeInPlace(MutableSeriesView x) {
+  KSHAPE_CHECK(!x.empty());
+  const auto [lo_it, hi_it] = std::minmax_element(x.begin(), x.end());
   const double lo = *lo_it;
   const double hi = *hi_it;
   if (hi == lo) {
-    std::fill(x->begin(), x->end(), 0.0);
+    std::fill(x.begin(), x.end(), 0.0);
     return;
   }
-  for (double& v : *x) v = (v - lo) / (hi - lo);
+  for (double& v : x) v = (v - lo) / (hi - lo);
 }
 
-Series MinMaxNormalized(const Series& x) {
-  Series out = x;
+Series MinMaxNormalized(SeriesView x) {
+  Series out(x.begin(), x.end());
   MinMaxNormalizeInPlace(&out);
   return out;
 }
 
-double OptimalScalingCoefficient(const Series& x, const Series& y) {
+double OptimalScalingCoefficient(SeriesView x, SeriesView y) {
   KSHAPE_CHECK_MSG(x.size() == y.size(), "length mismatch");
   double num = 0.0;
   double den = 0.0;
@@ -73,9 +71,9 @@ double OptimalScalingCoefficient(const Series& x, const Series& y) {
   return num / den;
 }
 
-Series OptimallyScaled(const Series& x, const Series& y) {
+Series OptimallyScaled(SeriesView x, SeriesView y) {
   const double c = OptimalScalingCoefficient(x, y);
-  Series out = y;
+  Series out(y.begin(), y.end());
   for (double& v : out) v *= c;
   return out;
 }
@@ -83,13 +81,13 @@ Series OptimallyScaled(const Series& x, const Series& y) {
 void RandomlyRescaleDataset(Dataset* dataset, common::Rng* rng, double lo,
                             double hi) {
   KSHAPE_CHECK(rng != nullptr);
-  for (std::size_t i = 0; i < dataset->size(); ++i) {
+  dataset->ApplyInPlace([&](MutableSeriesView row) {
     const double factor = rng->Uniform(lo, hi);
-    for (double& v : *dataset->mutable_series(i)) v *= factor;
-  }
+    for (double& v : row) v *= factor;
+  });
 }
 
-Series ShiftWithZeroFill(const Series& x, int shift) {
+Series ShiftWithZeroFill(SeriesView x, int shift) {
   const int m = static_cast<int>(x.size());
   KSHAPE_CHECK_MSG(shift > -m && shift < m, "shift out of range");
   Series out(x.size(), 0.0);
@@ -101,7 +99,7 @@ Series ShiftWithZeroFill(const Series& x, int shift) {
   return out;
 }
 
-Series DerivativeTransform(const Series& x) {
+Series DerivativeTransform(SeriesView x) {
   const std::size_t m = x.size();
   KSHAPE_CHECK_MSG(m >= 2, "derivative needs length >= 2");
   Series d(m);

@@ -7,19 +7,23 @@
 namespace kshape::tseries {
 
 /// Arithmetic mean of the series. Requires non-empty input.
-double Mean(const Series& x);
+double Mean(SeriesView x);
 
 /// Population standard deviation (divides by m, matching MATLAB's std(x,1)
 /// convention used by the reference k-Shape implementation).
-double StdDev(const Series& x);
+double StdDev(SeriesView x);
 
 /// Z-normalizes in place: (x - mean) / stddev, giving the scaling and
 /// translation invariances of §2.2 of the paper. A constant series (stddev 0)
-/// is mapped to all zeros.
-void ZNormalizeInPlace(Series* x);
+/// is mapped to all zeros. Takes a mutable view, so it applies equally to an
+/// owned Series and to a SeriesStore row.
+void ZNormalizeInPlace(MutableSeriesView x);
+inline void ZNormalizeInPlace(Series* x) {
+  ZNormalizeInPlace(MutableSeriesView(*x));
+}
 
 /// Returns a z-normalized copy.
-Series ZNormalized(const Series& x);
+Series ZNormalized(SeriesView x);
 
 /// Z-normalizes every series of the dataset in place (§4: "our experiments
 /// start with a z-normalization step for all datasets").
@@ -28,17 +32,20 @@ void ZNormalizeDataset(Dataset* dataset);
 /// Min-max normalizes in place so values fall in [0, 1] (the
 /// "ValuesBetween0-1" normalization of Appendix A). A constant series is
 /// mapped to all zeros.
-void MinMaxNormalizeInPlace(Series* x);
+void MinMaxNormalizeInPlace(MutableSeriesView x);
+inline void MinMaxNormalizeInPlace(Series* x) {
+  MinMaxNormalizeInPlace(MutableSeriesView(*x));
+}
 
 /// Returns a min-max normalized copy.
-Series MinMaxNormalized(const Series& x);
+Series MinMaxNormalized(SeriesView x);
 
 /// Optimal scaling coefficient c = (x . y) / (y . y) of Appendix A: the least
 /// squares amplitude match of y towards x. Returns 0 for an all-zero y.
-double OptimalScalingCoefficient(const Series& x, const Series& y);
+double OptimalScalingCoefficient(SeriesView x, SeriesView y);
 
 /// Returns c * y with c = OptimalScalingCoefficient(x, y).
-Series OptimallyScaled(const Series& x, const Series& y);
+Series OptimallyScaled(SeriesView x, SeriesView y);
 
 /// Multiplies every series of the dataset by an independent random factor
 /// drawn uniformly from [lo, hi] (Appendix A's construction of unnormalized
@@ -50,13 +57,13 @@ void RandomlyRescaleDataset(Dataset* dataset, common::Rng* rng,
 /// Shifts the series circularly by `shift` positions with zero fill (the
 /// paper's Equation 5): shift >= 0 delays the series (prepends zeros),
 /// shift < 0 advances it (appends zeros).
-Series ShiftWithZeroFill(const Series& x, int shift);
+Series ShiftWithZeroFill(SeriesView x, int shift);
 
 /// Keogh-Pazzani derivative estimate, the transform behind derivative DTW:
 /// d_i = ((x_i - x_{i-1}) + (x_{i+1} - x_{i-1}) / 2) / 2 for interior points,
 /// with the boundary values replicated from their neighbors. Requires
 /// length >= 2.
-Series DerivativeTransform(const Series& x);
+Series DerivativeTransform(SeriesView x);
 
 }  // namespace kshape::tseries
 

@@ -6,10 +6,10 @@
 
 namespace kshape::tseries {
 
-Series Paa(const Series& x, std::size_t segments) {
+Series Paa(SeriesView x, std::size_t segments) {
   const std::size_t m = x.size();
   KSHAPE_CHECK(segments >= 1 && segments <= m);
-  if (segments == m) return x;
+  if (segments == m) return Series(x.begin(), x.end());
 
   // Generalized PAA: segment s covers the real interval
   // [s * m / segments, (s + 1) * m / segments); samples straddling a
@@ -31,7 +31,7 @@ Series Paa(const Series& x, std::size_t segments) {
   return sketch;
 }
 
-Series PaaReconstruct(const Series& sketch, std::size_t length) {
+Series PaaReconstruct(SeriesView sketch, std::size_t length) {
   const std::size_t segments = sketch.size();
   KSHAPE_CHECK(segments >= 1 && segments <= length);
   Series out(length);
@@ -47,8 +47,9 @@ Series PaaReconstruct(const Series& sketch, std::size_t length) {
 
 Dataset PaaDataset(const Dataset& dataset, std::size_t segments) {
   Dataset out(dataset.name() + "-PAA" + std::to_string(segments));
+  if (!dataset.empty()) out.Reserve(dataset.size(), segments);
   for (std::size_t i = 0; i < dataset.size(); ++i) {
-    out.Add(Paa(dataset.series(i), segments), dataset.label(i));
+    out.Add(Paa(dataset.view(i), segments), dataset.label(i));
   }
   return out;
 }

@@ -14,12 +14,12 @@ namespace kshape::tseries {
 /// first, cluster the sketches. Handles m not divisible by `segments` by
 /// weighting boundary samples fractionally (the standard generalized PAA).
 /// Requires 1 <= segments <= x.size().
-Series Paa(const Series& x, std::size_t segments);
+Series Paa(SeriesView x, std::size_t segments);
 
 /// Reconstructs a length-`length` series from a PAA sketch by holding each
 /// segment value constant over its frame (the usual PAA inverse; useful for
 /// visual checks and error measurement).
-Series PaaReconstruct(const Series& sketch, std::size_t length);
+Series PaaReconstruct(SeriesView sketch, std::size_t length);
 
 /// Applies Paa to every series of a dataset, preserving labels and name.
 Dataset PaaDataset(const Dataset& dataset, std::size_t segments);

@@ -7,16 +7,46 @@
 
 namespace kshape::tseries {
 
-void Dataset::Add(Series series, int label) {
-  KSHAPE_CHECK_MSG(!series.empty(), "empty series");
-  if (series_.empty()) {
-    length_ = series.size();
+void SeriesStore::Reserve(std::size_t rows, std::size_t length) {
+  KSHAPE_CHECK_MSG(length > 0, "empty series");
+  if (length_ == 0 && rows_ == 0) {
+    length_ = length;
   } else {
-    KSHAPE_CHECK_MSG(series.size() == length_,
-                     "all series in a dataset must share one length");
+    KSHAPE_CHECK_MSG(length == length_,
+                     "all series in a store must share one length");
   }
-  series_.push_back(std::move(series));
+  data_.reserve(data_.size() + rows * length);
+}
+
+void SeriesStore::Append(SeriesView row) {
+  KSHAPE_CHECK_MSG(!row.empty(), "empty series");
+  if (rows_ == 0 && length_ == 0) {
+    length_ = row.size();
+  } else {
+    KSHAPE_CHECK_MSG(row.size() == length_,
+                     "all series in a store must share one length");
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+SeriesBatch::SeriesBatch(const std::vector<Series>& rows) : nested_(&rows) {
+  n_ = rows.size();
+  m_ = rows.empty() ? 0 : rows[0].size();
+  for (const Series& row : rows) {
+    KSHAPE_CHECK_MSG(row.size() == m_,
+                     "all series in a batch must share one length");
+  }
+}
+
+void Dataset::Add(SeriesView series, int label) {
+  store_.Append(series);
   labels_.push_back(label);
+}
+
+void Dataset::Reserve(std::size_t rows, std::size_t length) {
+  store_.Reserve(rows, length);
+  labels_.reserve(labels_.size() + rows);
 }
 
 int Dataset::NumClasses() const {
@@ -31,21 +61,27 @@ std::vector<int> Dataset::DistinctLabels() const {
 Dataset Dataset::Subset(const std::vector<std::size_t>& indices,
                         std::string name) const {
   Dataset out(std::move(name));
+  if (!indices.empty()) out.Reserve(indices.size(), length());
   for (std::size_t idx : indices) {
-    KSHAPE_CHECK(idx < series_.size());
-    out.Add(series_[idx], labels_[idx]);
+    KSHAPE_CHECK(idx < store_.size());
+    out.Add(store_.view(idx), labels_[idx]);
   }
   return out;
 }
 
 void Dataset::Append(const Dataset& other) {
+  if (other.empty()) return;
+  Reserve(other.size(), other.length());
   for (std::size_t i = 0; i < other.size(); ++i) {
-    Add(other.series(i), other.label(i));
+    Add(other.view(i), other.label(i));
   }
 }
 
 Dataset SplitDataset::Fused() const {
   Dataset fused(train.name());
+  const std::size_t rows = train.size() + test.size();
+  const std::size_t length = train.empty() ? test.length() : train.length();
+  if (rows > 0) fused.Reserve(rows, length);
   fused.Append(train);
   fused.Append(test);
   return fused;

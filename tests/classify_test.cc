@@ -35,8 +35,8 @@ TEST(OneNnTest, ClassifiesByNearestTrainingSeries) {
   train.Add({0.0, 0.0, 0.0}, 0);
   train.Add({5.0, 5.0, 5.0}, 1);
   const distance::EuclideanDistance ed;
-  EXPECT_EQ(OneNnClassify(train, {0.2, -0.1, 0.1}, ed), 0);
-  EXPECT_EQ(OneNnClassify(train, {4.5, 5.5, 5.0}, ed), 1);
+  EXPECT_EQ(OneNnClassify(train, Series{0.2, -0.1, 0.1}, ed), 0);
+  EXPECT_EQ(OneNnClassify(train, Series{4.5, 5.5, 5.0}, ed), 1);
 }
 
 TEST(OneNnTest, PerfectAccuracyOnSeparableData) {
@@ -147,7 +147,7 @@ TEST(KnnTest, KLargerThanTrainIsClamped) {
   const distance::EuclideanDistance ed;
   // k = 10 with 2 training points must not crash; tie of 1 vote each goes
   // to the class of the closest member.
-  EXPECT_EQ(KnnClassify(train, {0.1, 0.1}, ed, 10), 0);
+  EXPECT_EQ(KnnClassify(train, Series{0.1, 0.1}, ed, 10), 0);
 }
 
 TEST(EarlyAbandonTest, MatchesExhaustiveEdSearch) {

@@ -52,7 +52,7 @@ TEST(EuclideanTest, TriangleInequality) {
 TEST(EuclideanTest, MeasureWrapperNameAndValue) {
   const distance::EuclideanDistance ed;
   EXPECT_EQ(ed.Name(), "ED");
-  EXPECT_DOUBLE_EQ(ed.Distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ed.Distance(Series{1.0, 1.0}, Series{1.0, 1.0}), 0.0);
 }
 
 TEST(DtwTest, EqualSeriesHaveZeroDistance) {

@@ -147,7 +147,7 @@ TEST(PipelineTest, GenerateWriteReadClusterEvaluate) {
   const core::KShape kshape;
   common::Rng cluster_rng(5);
   const cluster::ClusteringResult result =
-      kshape.Cluster(dataset.series(), 3, &cluster_rng);
+      kshape.Cluster(dataset.batch(), 3, &cluster_rng);
 
   const double rand_index =
       eval::RandIndex(dataset.labels(), result.assignments);

@@ -72,8 +72,10 @@ TEST(MatrixTest, MultiplyVector) {
 
 TEST(MatrixTest, AddOuterProductBuildsGramMatrix) {
   Matrix s(2, 2);
-  s.AddOuterProduct({1.0, 2.0});
-  s.AddOuterProduct({3.0, -1.0}, 0.5);
+  const std::vector<double> v1 = {1.0, 2.0};
+  const std::vector<double> v2 = {3.0, -1.0};
+  s.AddOuterProduct(v1);
+  s.AddOuterProduct(v2, 0.5);
   EXPECT_DOUBLE_EQ(s(0, 0), 1.0 + 0.5 * 9.0);
   EXPECT_DOUBLE_EQ(s(0, 1), 2.0 + 0.5 * -3.0);
   EXPECT_DOUBLE_EQ(s(1, 0), s(0, 1));

@@ -238,9 +238,8 @@ tseries::Dataset MakeConditionedCorruptedDataset(uint64_t seed) {
                                              corpus.name, options);
   EXPECT_TRUE(dataset.ok()) << dataset.status().ToString();
   tseries::Dataset out = std::move(dataset).value();
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    tseries::ZNormalizeInPlace(out.mutable_series(i));
-  }
+  out.ApplyInPlace(
+      [](tseries::MutableSeriesView row) { tseries::ZNormalizeInPlace(row); });
   return out;
 }
 
@@ -250,7 +249,7 @@ TEST(ParallelInvarianceTest, KShapeOnConditionedCorruptedCorpus) {
   ExpectInvariant<cluster::ClusteringResult>(
       [&] {
         common::Rng rng(9);
-        auto result = algorithm.TryCluster(dataset.series(), 3, &rng);
+        auto result = algorithm.TryCluster(dataset.batch(), 3, &rng);
         EXPECT_TRUE(result.ok()) << result.status().ToString();
         return std::move(result).value();
       },
@@ -272,14 +271,14 @@ TEST(ParallelInvarianceTest, CachedAndUncachedSbdAgreeOnConditionedLabels) {
   common::SetThreadCount(1);
   common::Rng reference_rng(17);
   const cluster::ClusteringResult reference =
-      uncached.Cluster(dataset.series(), 3, &reference_rng);
+      uncached.Cluster(dataset.batch(), 3, &reference_rng);
 
   for (const int threads : kThreadCounts) {
     common::SetThreadCount(threads);
     for (const core::KShape* algorithm : {&cached, &uncached}) {
       common::Rng rng(17);
       const cluster::ClusteringResult result =
-          algorithm->Cluster(dataset.series(), 3, &rng);
+          algorithm->Cluster(dataset.batch(), 3, &rng);
       EXPECT_EQ(result.assignments, reference.assignments)
           << "threads=" << threads;
       EXPECT_EQ(result.iterations, reference.iterations)

@@ -212,7 +212,8 @@ TEST(SbdCacheTest, CachedOneNnMatchesUncachedMeasure) {
   // SbdDistance routes through the scanner. Predictions must agree.
   class PlainSbd : public distance::DistanceMeasure {
    public:
-    double Distance(const Series& x, const Series& y) const override {
+    double Distance(tseries::SeriesView x,
+                    tseries::SeriesView y) const override {
       return core::Sbd(x, y).distance;
     }
     std::string Name() const override { return "SBD_plain"; }

@@ -115,8 +115,8 @@ TEST(ShapeExtractionTest, IndexedOverloadMatchesDirectCall) {
   }
   common::Rng rng_a(9);
   common::Rng rng_b(9);
-  const Series direct = ExtractShape({pool[1], pool[3], pool[5]},
-                                     Series(24, 0.0), &rng_a);
+  const std::vector<Series> selected = {pool[1], pool[3], pool[5]};
+  const Series direct = ExtractShape(selected, Series(24, 0.0), &rng_a);
   const Series indexed =
       ExtractShapeIndexed(pool, {1, 3, 5}, Series(24, 0.0), &rng_b);
   for (std::size_t t = 0; t < 24; ++t) {
