@@ -16,6 +16,8 @@
 #include "distance/dtw.h"
 #include "distance/euclidean.h"
 #include "fft/fft.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 #include "tseries/normalization.h"
 
 namespace {
@@ -121,6 +123,73 @@ void BM_LbKeogh(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LbKeogh)->Arg(128)->Arg(512)->Arg(1024);
+
+// SIMD kernel layer: the same kernel driven through the scalar reference
+// table and the runtime-dispatched table (bench/simd_kernels.cc has the full
+// per-kernel sweep with JSON output; these entries put the headline kernels
+// alongside the distance benchmarks above for quick comparison runs).
+template <kshape::simd::Backend kBackend>
+void BM_SimdSquaredEd(benchmark::State& state) {
+  if (kBackend == kshape::simd::Backend::kAvx2 &&
+      !kshape::simd::Avx2Available()) {
+    state.SkipWithError("AVX2 backend unavailable");
+    return;
+  }
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  kshape::common::Rng rng(9);
+  const Series x = RandomSeries(m, &rng);
+  const Series y = RandomSeries(m, &rng);
+  const kshape::simd::KernelTable& kt = kshape::simd::Kernels(kBackend);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kt.squared_ed(x.data(), y.data(), m));
+  }
+}
+BENCHMARK(BM_SimdSquaredEd<kshape::simd::Backend::kScalar>)
+    ->Name("BM_SimdSquaredEd_Scalar")->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK(BM_SimdSquaredEd<kshape::simd::Backend::kAvx2>)
+    ->Name("BM_SimdSquaredEd_Avx2")->Arg(128)->Arg(512)->Arg(2048);
+
+template <kshape::simd::Backend kBackend>
+void BM_SimdMeanVar(benchmark::State& state) {
+  if (kBackend == kshape::simd::Backend::kAvx2 &&
+      !kshape::simd::Avx2Available()) {
+    state.SkipWithError("AVX2 backend unavailable");
+    return;
+  }
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  kshape::common::Rng rng(10);
+  const Series x = RandomSeries(m, &rng);
+  const kshape::simd::KernelTable& kt = kshape::simd::Kernels(kBackend);
+  for (auto _ : state) {
+    const kshape::simd::MeanVar mv = kt.mean_var(x.data(), m);
+    benchmark::DoNotOptimize(mv.mean + mv.variance);
+  }
+}
+BENCHMARK(BM_SimdMeanVar<kshape::simd::Backend::kScalar>)
+    ->Name("BM_SimdMeanVar_Scalar")->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK(BM_SimdMeanVar<kshape::simd::Backend::kAvx2>)
+    ->Name("BM_SimdMeanVar_Avx2")->Arg(128)->Arg(512)->Arg(2048);
+
+template <kshape::simd::Backend kBackend>
+void BM_SimdPeakScan(benchmark::State& state) {
+  if (kBackend == kshape::simd::Backend::kAvx2 &&
+      !kshape::simd::Avx2Available()) {
+    state.SkipWithError("AVX2 backend unavailable");
+    return;
+  }
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  kshape::common::Rng rng(11);
+  const Series x = RandomSeries(m, &rng);
+  const kshape::simd::KernelTable& kt = kshape::simd::Kernels(kBackend);
+  for (auto _ : state) {
+    const kshape::simd::Peak p = kt.peak_scan(x.data(), m);
+    benchmark::DoNotOptimize(p.value + static_cast<double>(p.index));
+  }
+}
+BENCHMARK(BM_SimdPeakScan<kshape::simd::Backend::kScalar>)
+    ->Name("BM_SimdPeakScan_Scalar")->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK(BM_SimdPeakScan<kshape::simd::Backend::kAvx2>)
+    ->Name("BM_SimdPeakScan_Avx2")->Arg(128)->Arg(512)->Arg(2048);
 
 template <bool kUsePowerIteration>
 void BM_ShapeExtraction(benchmark::State& state) {

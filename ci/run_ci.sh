@@ -6,17 +6,24 @@
 #    and KSHAPE_THREADS=4 (the suites assert bit-identical results across
 #    thread counts, so running the whole tier at two settings catches
 #    scheduling-dependent output anywhere in the library, not just in
-#    parallel_test); then the storage-layout microbench in --smoke mode as a
-#    release-stage smoke test (it cross-checks that the contiguous and
-#    nested layouts produce bit-identical kernel outputs and writes
-#    BENCH_storage_layout.json).
-# 2. ThreadSanitizer build; parallel_test, thread_pool_test, and
-#    sbd_cache_test run under TSan to catch data races in the pool, the FFT
-#    plan caches, and the spectrum-cached SBD pipeline (engine construction
-#    pre-pass, batched pairwise fills, concurrent batch-scanner queries).
-# 3. AddressSanitizer+UBSan build; the robustness suites (degenerate inputs,
-#    property sweeps over hostile data, conditioning) run under ASan+UBSan so
-#    every repair/fallback path is also checked for memory errors and UB.
+#    parallel_test), plus a KSHAPE_SIMD=scalar leg that forces the reference
+#    kernel backend through the whole tier (the SIMD determinism contract
+#    says results cannot change, so any diff is a backend bug); then the
+#    storage-layout and simd-kernels microbenches in --smoke mode as
+#    release-stage smoke tests (both cross-check bit-identity and write
+#    their BENCH_*.json files).
+# 2. -march=native release build: the strictest determinism setting — the
+#    compiler is free to fuse/vectorize everything OUTSIDE the pinned kernel
+#    TUs, so tier-1 passing here proves the -ffp-contract=off firewalls
+#    around src/simd/ actually hold.
+# 3. ThreadSanitizer build; parallel_test, thread_pool_test, sbd_cache_test,
+#    and simd_kernels_test run under TSan to catch data races in the pool,
+#    the FFT plan caches, the spectrum-cached SBD pipeline, and the kernel
+#    dispatch cache (atomic table pointer + SetBackendForTesting).
+# 4. AddressSanitizer+UBSan build; the robustness suites (degenerate inputs,
+#    property sweeps over hostile data, conditioning) plus simd_kernels_test
+#    (unaligned loads, length-1..67 tails) run under ASan+UBSan so every
+#    repair/fallback path is also checked for memory errors and UB.
 #
 # Usage: ci/run_ci.sh [build-dir-prefix]   (default: build-ci)
 
@@ -44,16 +51,35 @@ for threads in 1 4; do
    KSHAPE_THREADS="${threads}" ctest -L tier1 --output-on-failure -j "${JOBS}")
 done
 
+echo "==> tier1 tests, KSHAPE_SIMD=scalar (forced reference kernel backend)"
+(cd "${RELEASE_DIR}" &&
+ KSHAPE_SIMD=scalar ctest -L tier1 --output-on-failure -j "${JOBS}")
+
 echo "==> storage-layout smoke test (contiguous vs nested bit-identity)"
 (cd "${RELEASE_DIR}" && ./bench/storage_layout --smoke)
+
+echo "==> simd-kernels smoke test (scalar vs dispatched bit-identity)"
+(cd "${RELEASE_DIR}" && ./bench/simd_kernels --smoke)
+
+NATIVE_DIR="${PREFIX}-native"
+echo "==> -march=native release build (${NATIVE_DIR})"
+cmake -B "${NATIVE_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
+      -DKSHAPE_MARCH_NATIVE=ON
+cmake --build "${NATIVE_DIR}" -j "${JOBS}"
+
+echo "==> tier1 tests under -march=native (kernel TU contract firewall)"
+(cd "${NATIVE_DIR}" && ctest -L tier1 --output-on-failure -j "${JOBS}")
+
+echo "==> simd-kernels smoke under -march=native"
+(cd "${NATIVE_DIR}" && ./bench/simd_kernels --smoke)
 
 echo "==> ThreadSanitizer build (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DKSHAPE_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-      --target parallel_test thread_pool_test sbd_cache_test
+      --target parallel_test thread_pool_test sbd_cache_test simd_kernels_test
 
-echo "==> race check: parallel_test + thread_pool_test + sbd_cache_test under TSan"
+echo "==> race check: parallel + thread_pool + sbd_cache + simd_kernels under TSan"
 # Run the parallel paths at a thread count high enough to force real
 # interleaving even on small CI machines.
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
@@ -62,12 +88,15 @@ KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/thread_pool_test"
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/sbd_cache_test"
+KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    "${TSAN_DIR}/tests/simd_kernels_test"
 
 echo "==> ASan+UBSan build (${ASAN_DIR})"
 cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DKSHAPE_SANITIZE=address,undefined
 cmake --build "${ASAN_DIR}" -j "${JOBS}" \
-      --target degenerate_input_test robustness_properties_test tseries_test
+      --target degenerate_input_test robustness_properties_test tseries_test \
+               simd_kernels_test
 
 echo "==> hostile-input check: robustness suites under ASan+UBSan"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
@@ -79,5 +108,8 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     "${ASAN_DIR}/tests/tseries_test"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "${ASAN_DIR}/tests/simd_kernels_test"
 
 echo "==> CI OK"

@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "distance/dtw.h"
+#include "simd/dispatch.h"
 
 namespace kshape::classify {
 
@@ -234,18 +235,13 @@ double OneNnAccuracyEdEarlyAbandon(const tseries::Dataset& train,
     double best_sq = std::numeric_limits<double>::infinity();
     int label = train.label(0);
     for (std::size_t i = 0; i < train.size(); ++i) {
-      const tseries::SeriesView candidate = train.view(i);
-      double sum = 0.0;
-      bool abandoned = false;
-      for (std::size_t t = 0; t < query.size(); ++t) {
-        const double d = query[t] - candidate[t];
-        sum += d * d;
-        if (sum >= best_sq) {
-          abandoned = true;
-          break;
-        }
-      }
-      if (!abandoned && sum < best_sq) {
+      // The kernel checks the running sum against the threshold on a fixed
+      // 16-element cadence and returns a partial sum >= best_sq when it
+      // abandons, so "sum < best_sq" below is exactly the not-abandoned,
+      // strictly-better update.
+      const double sum =
+          simd::SquaredEdAbandon(query, train.view(i), best_sq);
+      if (sum < best_sq) {
         best_sq = sum;
         label = train.label(i);
       }

@@ -1,6 +1,7 @@
 #include "cluster/averaging.h"
 
 #include "common/check.h"
+#include "simd/dispatch.h"
 
 namespace kshape::cluster {
 
@@ -16,10 +17,9 @@ tseries::Series ArithmeticMeanAveraging::Average(
     KSHAPE_CHECK(idx < pool.size());
     const tseries::SeriesView x = pool[idx];
     KSHAPE_CHECK_MSG(x.size() == m, "member length mismatch");
-    for (std::size_t t = 0; t < m; ++t) mean[t] += x[t];
+    simd::Axpy(1.0, x, mean);
   }
-  const double inv = 1.0 / static_cast<double>(member_indices.size());
-  for (double& v : mean) v *= inv;
+  simd::Scale(mean, 1.0 / static_cast<double>(member_indices.size()));
   return mean;
 }
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
+#include "simd/dispatch.h"
 #include "tseries/normalization.h"
 
 namespace kshape::cluster {
@@ -22,20 +23,20 @@ KscAlignment KscAlign(tseries::SeriesView x, tseries::SeriesView y) {
   }
 
   best.distance = std::numeric_limits<double>::infinity();
+  const simd::KernelTable& kt = simd::Active();
   for (int q = -(m - 1); q <= m - 1; ++q) {
-    // Zero-filled shift of y by q: overlap of y[0..m-1-|q|] against x.
-    double xy = 0.0;
-    double yy = 0.0;
+    // Zero-filled shift of y by q: overlap of y[0..m-1-|q|] against x. The
+    // overlap windows are contiguous in both inputs, so each shift is one
+    // dot plus one sum-of-squares kernel call over the overlap.
+    const std::size_t overlap = static_cast<std::size_t>(m - std::abs(q));
+    double xy;
+    double yy;
     if (q >= 0) {
-      for (int t = 0; t + q < m; ++t) {
-        xy += x[t + q] * y[t];
-        yy += y[t] * y[t];
-      }
+      xy = kt.dot(x.data() + q, y.data(), overlap);
+      yy = kt.sum_squares(y.data(), overlap);
     } else {
-      for (int t = -q; t < m; ++t) {
-        xy += x[t + q] * y[t];
-        yy += y[t] * y[t];
-      }
+      xy = kt.dot(x.data(), y.data() - q, overlap);
+      yy = kt.sum_squares(y.data() - q, overlap);
     }
     double alpha = 0.0;
     double residual_sq = x_norm_sq;

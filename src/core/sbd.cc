@@ -8,6 +8,7 @@
 #include "core/sbd_engine.h"
 #include "fft/fft.h"
 #include "linalg/matrix.h"
+#include "simd/dispatch.h"
 #include "tseries/normalization.h"
 
 namespace kshape::core {
@@ -81,16 +82,10 @@ NccPeak MaxNcc(tseries::SeriesView x, tseries::SeriesView y,
                NccNormalization norm, CrossCorrelationImpl impl) {
   const std::vector<double> ncc = NccSequence(x, y, norm, impl);
   const int m = static_cast<int>(x.size());
+  const simd::Peak p = simd::PeakScan(ncc);
   NccPeak peak;
-  peak.value = ncc[0];
-  int best = 0;
-  for (int i = 1; i < static_cast<int>(ncc.size()); ++i) {
-    if (ncc[i] > peak.value) {
-      peak.value = ncc[i];
-      best = i;
-    }
-  }
-  peak.shift = best - (m - 1);
+  peak.value = p.value;
+  peak.shift = static_cast<int>(p.index) - (m - 1);
   return peak;
 }
 
@@ -111,13 +106,10 @@ SbdResult Sbd(tseries::SeriesView x, tseries::SeriesView y,
   // in hand — going through NccSequence(kCoefficient) here would recompute
   // both norms a second time per distance evaluation.
   const std::vector<double> cc = RawCrossCorrelation(x, y, impl);
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < cc.size(); ++i) {
-    if (cc[i] > cc[best]) best = i;
-  }
+  const simd::Peak peak = simd::PeakScan(cc);
   const std::size_t m = x.size();
-  result.distance = 1.0 - cc[best] * (1.0 / den);
-  result.shift = static_cast<int>(best) - static_cast<int>(m - 1);
+  result.distance = 1.0 - peak.value * (1.0 / den);
+  result.shift = static_cast<int>(peak.index) - static_cast<int>(m - 1);
   result.aligned_y = tseries::ShiftWithZeroFill(y, result.shift);
   return result;
 }

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "linalg/matrix.h"
+#include "simd/dispatch.h"
 
 namespace kshape::core {
 
@@ -20,14 +21,10 @@ RawPeak PeakFromSpectra(const std::vector<fft::Complex>& x_spectrum,
                         std::size_t m) {
   static thread_local std::vector<double> cc;
   fft::CrossCorrelationFromSpectra(x_spectrum, y_spectrum, m, &cc);
+  const simd::Peak p = simd::PeakScan(cc);
   RawPeak peak;
-  peak.value = cc[0];
-  for (std::size_t i = 1; i < cc.size(); ++i) {
-    if (cc[i] > peak.value) {
-      peak.value = cc[i];
-      peak.index = i;
-    }
-  }
+  peak.value = p.value;
+  peak.index = p.index;
   return peak;
 }
 

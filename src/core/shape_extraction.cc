@@ -6,6 +6,7 @@
 #include "core/sbd.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
+#include "simd/dispatch.h"
 #include "tseries/normalization.h"
 
 namespace kshape::core {
@@ -19,18 +20,18 @@ linalg::Matrix CenterGramMatrix(const linalg::Matrix& s) {
   const std::size_t m = s.rows();
   std::vector<double> row_mean(m, 0.0);
   std::vector<double> col_mean(m, 0.0);
-  double grand = 0.0;
+  // One kernel pass per row: the row sum reduces the row, the axpy folds it
+  // into the running column sums; the grand sum is the reduction of the row
+  // sums. All three stay within the epsilon contract of the fused legacy
+  // triple accumulation.
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < m; ++j) {
-      const double v = s(i, j);
-      row_mean[i] += v;
-      col_mean[j] += v;
-      grand += v;
-    }
+    row_mean[i] = simd::Active().sum(s.Row(i), m);
+    simd::Active().axpy(1.0, s.Row(i), col_mean.data(), m);
   }
+  double grand = simd::Sum(row_mean);
   const double inv_m = 1.0 / static_cast<double>(m);
-  for (double& v : row_mean) v *= inv_m;
-  for (double& v : col_mean) v *= inv_m;
+  simd::Scale(row_mean, inv_m);
+  simd::Scale(col_mean, inv_m);
   grand *= inv_m * inv_m;
 
   linalg::Matrix centered(m, m);

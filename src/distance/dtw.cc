@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "simd/dispatch.h"
 #include "tseries/normalization.h"
 
 namespace kshape::dtw {
@@ -16,6 +17,14 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Shared banded dynamic program over squared point costs. Returns the total
 // squared cost of the optimal path.
+//
+// Scratch rows are thread_local (concurrent DTW evaluations on the pool never
+// share them) and reused across calls; per row, only the band plus its two
+// boundary guards are reset instead of the whole row. Row i+1 reads prev at
+// [j_lo(i+1)-1, j_hi(i+1)], and since j_lo advances by at most one per row
+// and j_hi by at most one, that window is covered by row i's written band
+// [j_lo(i), j_hi(i)] plus guards at j_lo(i)-1 and j_hi(i)+1 — everything
+// else in the scratch rows is stale and provably never read.
 double BandedDtwSquared(tseries::SeriesView x, tseries::SeriesView y,
                         int window) {
   const int m = static_cast<int>(x.size());
@@ -25,21 +34,24 @@ double BandedDtwSquared(tseries::SeriesView x, tseries::SeriesView y,
   int w = window;
   if (w < std::abs(m - n)) w = std::abs(m - n);
 
-  std::vector<double> prev(static_cast<std::size_t>(n) + 1, kInf);
-  std::vector<double> cur(static_cast<std::size_t>(n) + 1, kInf);
+  static thread_local std::vector<double> prev_scratch;
+  static thread_local std::vector<double> cur_scratch;
+  prev_scratch.assign(static_cast<std::size_t>(n) + 1, kInf);
+  cur_scratch.resize(static_cast<std::size_t>(n) + 1);
+  double* prev = prev_scratch.data();
+  double* cur = cur_scratch.data();
   prev[0] = 0.0;
 
   for (int i = 1; i <= m; ++i) {
-    std::fill(cur.begin(), cur.end(), kInf);
     const int j_lo = std::max(1, i - w);
     const int j_hi = std::min(n, i + w);
-    for (int j = j_lo; j <= j_hi; ++j) {
-      const double d = x[i - 1] - y[j - 1];
-      const double cost = d * d;
-      const double best =
-          std::min(prev[j - 1], std::min(prev[j], cur[j - 1]));
-      cur[j] = cost + best;
-    }
+    // Boundary guards: the only cells outside the written band the next row
+    // (or this row's own cur[j_lo - 1] read) can see.
+    cur[j_lo - 1] = kInf;
+    if (j_hi < n) cur[j_hi + 1] = kInf;
+    simd::DtwRow(prev + j_lo - 1, y.data() + j_lo - 1, x[i - 1],
+                 /*left_seed=*/kInf, cur + j_lo,
+                 static_cast<std::size_t>(j_hi - j_lo + 1));
     std::swap(prev, cur);
   }
   return prev[n];
@@ -73,29 +85,41 @@ WarpingPath DtwWarpingPath(tseries::SeriesView x, tseries::SeriesView y,
   int w = window < 0 ? std::max(m, n) : window;
   if (w < std::abs(m - n)) w = std::abs(m - n);
 
-  // Full (m+1) x (n+1) table; the path itself needs global backtracking.
-  std::vector<std::vector<double>> dp(
-      m + 1, std::vector<double>(static_cast<std::size_t>(n) + 1, kInf));
-  dp[0][0] = 0.0;
+  // Full (m+1) x (n+1) table — the path needs global backtracking — stored as
+  // one row-major buffer (the PR 4 storage convention) instead of a vector of
+  // per-row allocations. Cells outside the band stay kInf and lose every
+  // backtrack comparison, exactly as before.
+  const std::size_t stride = static_cast<std::size_t>(n) + 1;
+  std::vector<double> dp(static_cast<std::size_t>(m + 1) * stride, kInf);
+  dp[0] = 0.0;
   for (int i = 1; i <= m; ++i) {
     const int j_lo = std::max(1, i - w);
     const int j_hi = std::min(n, i + w);
-    for (int j = j_lo; j <= j_hi; ++j) {
-      const double d = x[i - 1] - y[j - 1];
-      dp[i][j] = d * d + std::min(dp[i - 1][j - 1],
-                                  std::min(dp[i - 1][j], dp[i][j - 1]));
-    }
+    double* cur_row = dp.data() + static_cast<std::size_t>(i) * stride;
+    const double* prev_row =
+        dp.data() + static_cast<std::size_t>(i - 1) * stride;
+    // cur_row[j_lo - 1] is kInf from initialization, matching the legacy
+    // nested table's untouched cells; the same banded row kernel as
+    // BandedDtwSquared fills the band.
+    simd::DtwRow(prev_row + j_lo - 1, y.data() + j_lo - 1, x[i - 1],
+                 /*left_seed=*/cur_row[j_lo - 1], cur_row + j_lo,
+                 static_cast<std::size_t>(j_hi - j_lo + 1));
   }
 
+  const auto cell = [&](int i, int j) -> double {
+    return dp[static_cast<std::size_t>(i) * stride +
+              static_cast<std::size_t>(j)];
+  };
+
   WarpingPath path;
-  path.distance = std::sqrt(dp[m][n]);
+  path.distance = std::sqrt(cell(m, n));
   int i = m;
   int j = n;
   while (i > 0 && j > 0) {
     path.pairs.emplace_back(i - 1, j - 1);
-    const double diag = dp[i - 1][j - 1];
-    const double up = dp[i - 1][j];
-    const double left = dp[i][j - 1];
+    const double diag = cell(i - 1, j - 1);
+    const double up = cell(i - 1, j);
+    const double left = cell(i, j - 1);
     if (diag <= up && diag <= left) {
       --i;
       --j;
@@ -147,18 +171,7 @@ double LbKeogh(tseries::SeriesView candidate,
   KSHAPE_CHECK_MSG(candidate.size() == query_lower.size() &&
                        candidate.size() == query_upper.size(),
                    "LB_Keogh length mismatch");
-  double sum = 0.0;
-  for (std::size_t i = 0; i < candidate.size(); ++i) {
-    const double c = candidate[i];
-    if (c > query_upper[i]) {
-      const double d = c - query_upper[i];
-      sum += d * d;
-    } else if (c < query_lower[i]) {
-      const double d = query_lower[i] - c;
-      sum += d * d;
-    }
-  }
-  return std::sqrt(sum);
+  return std::sqrt(simd::LbKeoghSquared(candidate, query_lower, query_upper));
 }
 
 double DtwMeasure::Distance(tseries::SeriesView x,

@@ -3,17 +3,13 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "simd/dispatch.h"
 
 namespace kshape::distance {
 
 double SquaredEuclideanDistance(tseries::SeriesView x, tseries::SeriesView y) {
   KSHAPE_CHECK_MSG(x.size() == y.size(), "ED requires equal lengths");
-  double sum = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    sum += d * d;
-  }
-  return sum;
+  return simd::SquaredEd(x, y);
 }
 
 double EuclideanDistanceValue(tseries::SeriesView x, tseries::SeriesView y) {

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "simd/dispatch.h"
 
 namespace kshape::fft {
 
@@ -232,9 +233,13 @@ void CrossCorrelationFromSpectra(const std::vector<Complex>& x_spectrum,
   static thread_local std::map<std::size_t, std::vector<Complex>> scratch;
   std::vector<Complex>& c = scratch[len];
   c.resize(len);
-  for (std::size_t k = 0; k < len; ++k) {
-    c[k] = x_spectrum[k] * std::conj(y_spectrum[k]);
-  }
+  // Vectorized X[k] * conj(Y[k]) over the packed (re, im) spectra.
+  // std::complex<double> is array-layout-compatible with double[2], so the
+  // kernel streams the buffers directly.
+  simd::Active().complex_mul_conj(
+      reinterpret_cast<const double*>(x_spectrum.data()),
+      reinterpret_cast<const double*>(y_spectrum.data()),
+      reinterpret_cast<double*>(c.data()), len);
   // The hot half of the cached path: one inverse transform per pair. Power-of-
   // two lengths go straight to the plan (skipping the conjugation passes of
   // the generic Inverse); Bluestein lengths reuse the cached chirp plan.

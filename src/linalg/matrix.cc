@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/check.h"
+#include "simd/dispatch.h"
 
 namespace kshape::linalg {
 
@@ -47,17 +48,15 @@ Matrix Matrix::Transposed() const {
 Matrix Matrix::Multiply(const Matrix& other) const {
   KSHAPE_CHECK_MSG(cols_ == other.rows_, "matmul dimension mismatch");
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop contiguous in both inputs.
+  // i-k-j loop order keeps the inner loop contiguous in both inputs; the
+  // inner accumulation is one axpy over the output row.
   for (std::size_t i = 0; i < rows_; ++i) {
     const double* a_row = Row(i);
     double* out_row = out.Row(i);
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a_ik = a_row[k];
       if (a_ik == 0.0) continue;
-      const double* b_row = other.Row(k);
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        out_row[j] += a_ik * b_row[j];
-      }
+      simd::Active().axpy(a_ik, other.Row(k), out_row, other.cols_);
     }
   }
   return out;
@@ -67,10 +66,7 @@ std::vector<double> Matrix::MultiplyVector(std::span<const double> v) const {
   KSHAPE_CHECK_MSG(cols_ == v.size(), "matvec dimension mismatch");
   std::vector<double> out(rows_, 0.0);
   for (std::size_t i = 0; i < rows_; ++i) {
-    const double* row = Row(i);
-    double sum = 0.0;
-    for (std::size_t j = 0; j < cols_; ++j) sum += row[j] * v[j];
-    out[i] = sum;
+    out[i] = simd::Active().dot(Row(i), v.data(), cols_);
   }
   return out;
 }
@@ -79,9 +75,7 @@ void Matrix::AddOuterProduct(std::span<const double> v, double scale) {
   KSHAPE_CHECK_MSG(rows_ == cols_ && rows_ == v.size(),
                    "outer product dimension mismatch");
   for (std::size_t i = 0; i < rows_; ++i) {
-    const double vi = scale * v[i];
-    double* row = Row(i);
-    for (std::size_t j = 0; j < cols_; ++j) row[j] += vi * v[j];
+    simd::Active().axpy(scale * v[i], v.data(), Row(i), cols_);
   }
 }
 
@@ -96,27 +90,23 @@ bool Matrix::IsSymmetric(double tol) const {
 }
 
 double Matrix::FrobeniusNorm() const {
-  double sum = 0.0;
-  for (double v : data_) sum += v * v;
-  return std::sqrt(sum);
+  return std::sqrt(simd::Active().sum_squares(data_.data(), data_.size()));
 }
 
 double Dot(std::span<const double> a, std::span<const double> b) {
   KSHAPE_CHECK_MSG(a.size() == b.size(), "dot dimension mismatch");
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return simd::Dot(a, b);
 }
 
-double Norm(std::span<const double> v) { return std::sqrt(Dot(v, v)); }
-
-void Scale(std::span<double> v, double s) {
-  for (double& x : v) x *= s;
+double Norm(std::span<const double> v) {
+  return std::sqrt(simd::SumSquares(v));
 }
+
+void Scale(std::span<double> v, double s) { simd::Scale(v, s); }
 
 void Axpy(double a, std::span<const double> x, std::span<double> y) {
   KSHAPE_CHECK_MSG(x.size() == y.size(), "axpy dimension mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  simd::Axpy(a, x, y);
 }
 
 double NormalizeInPlace(std::span<double> v) {

@@ -1,0 +1,73 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace kshape::simd {
+
+namespace {
+
+// The active table, resolved lazily. A racing first use resolves the same
+// pointer on every thread (the resolution is a pure function of the
+// environment and CPUID), so the relaxed double-resolve is benign.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* Resolve() {
+  const char* env = std::getenv("KSHAPE_SIMD");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return &ScalarKernels();
+    if (std::strcmp(env, "avx2") == 0) {
+      const KernelTable* avx2 = Avx2Kernels();
+      KSHAPE_CHECK_MSG(avx2 != nullptr,
+                       "KSHAPE_SIMD=avx2 requested but the AVX2 backend is "
+                       "not available (not compiled in, or the CPU lacks "
+                       "AVX2/FMA)");
+      return avx2;
+    }
+    KSHAPE_CHECK_MSG(false, "KSHAPE_SIMD must be 'scalar' or 'avx2'");
+  }
+  const KernelTable* avx2 = Avx2Kernels();
+  return avx2 != nullptr ? avx2 : &ScalarKernels();
+}
+
+}  // namespace
+
+const KernelTable& Active() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = Resolve();
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+Backend ActiveBackend() {
+  return &Active() == &ScalarKernels() ? Backend::kScalar : Backend::kAvx2;
+}
+
+const char* ActiveBackendName() { return Active().name; }
+
+bool Avx2Available() { return Avx2Kernels() != nullptr; }
+
+void SetBackendForTesting(Backend backend) {
+  g_active.store(&Kernels(backend), std::memory_order_release);
+}
+
+const KernelTable& Kernels(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return ScalarKernels();
+    case Backend::kAvx2: {
+      const KernelTable* avx2 = Avx2Kernels();
+      KSHAPE_CHECK_MSG(avx2 != nullptr, "AVX2 backend unavailable");
+      return *avx2;
+    }
+  }
+  KSHAPE_CHECK_MSG(false, "unknown simd backend");
+  return ScalarKernels();
+}
+
+}  // namespace kshape::simd

@@ -1,0 +1,116 @@
+#ifndef KSHAPE_SIMD_KERNELS_H_
+#define KSHAPE_SIMD_KERNELS_H_
+
+#include <cstddef>
+
+namespace kshape::simd {
+
+/// Fused mean + population variance of one pass pair over a buffer.
+struct MeanVar {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// Maximum value and the lowest index attaining it (strict-greater scan).
+struct Peak {
+  double value = 0.0;
+  std::size_t index = 0;
+};
+
+/// One vectorized-kernel backend. Every reduction kernel accumulates into a
+/// **fixed 4-lane virtual accumulator**: lane `l` sums the terms at indices
+/// `i ≡ l (mod 4)` in increasing order, tail elements land in lane `i mod 4`,
+/// and the final reduction is always `(lane0 + lane1) + (lane2 + lane3)`.
+/// One AVX2 register holds exactly four doubles, so the vector backend
+/// realizes the same arithmetic sequence the scalar backend walks explicitly —
+/// which is what makes results **bit-identical** across backends (and, with
+/// the disjoint-write parallel patterns, across thread counts). Fused
+/// multiply-add is never used: every product and sum is rounded separately in
+/// every backend (the kernel translation units compile with
+/// `-ffp-contract=off` so the compiler cannot fuse behind our back).
+///
+/// Elementwise kernels (axpy, scale, apply_znorm, complex_mul_conj, dtw_row)
+/// have no cross-element reduction, so their per-element rounding sequence is
+/// identical by construction.
+struct KernelTable {
+  /// Backend name for logs/benchmarks ("scalar", "avx2").
+  const char* name;
+
+  /// Σ x[i].
+  double (*sum)(const double* x, std::size_t n);
+
+  /// Σ x[i]^2.
+  double (*sum_squares)(const double* x, std::size_t n);
+
+  /// Fused z-normalization statistics: mean = Σx/n in one pass, then
+  /// variance = Σ(x-mean)^2/n in a second pass over the same buffer.
+  /// Requires n >= 1.
+  MeanVar (*mean_var)(const double* x, std::size_t n);
+
+  /// Σ x[i]*y[i].
+  double (*dot)(const double* x, const double* y, std::size_t n);
+
+  /// Σ (x[i]-y[i])^2.
+  double (*squared_ed)(const double* x, const double* y, std::size_t n);
+
+  /// Early-abandoning squared ED: accumulates like squared_ed but checks the
+  /// running total against `threshold` every 16 elements (the same fixed
+  /// cadence in every backend). Returns the full sum if it stayed below the
+  /// threshold at every checkpoint, otherwise the partial sum at the
+  /// abandoning checkpoint (which is >= threshold). Callers must treat any
+  /// return >= threshold as "abandoned".
+  double (*squared_ed_abandon)(const double* x, const double* y,
+                               std::size_t n, double threshold);
+
+  /// Σ of squared envelope violations: (c[i]-upper[i])^2 where c > upper,
+  /// (lower[i]-c[i])^2 where c < lower, 0 inside the envelope. The square of
+  /// LB_Keogh.
+  double (*lb_keogh_squared)(const double* c, const double* lower,
+                             const double* upper, std::size_t n);
+
+  /// out[k] = a[k] * conj(b[k]) over n interleaved (re, im) complex doubles:
+  /// re = a_re*b_re + a_im*b_im, im = a_im*b_re - a_re*b_im, each product
+  /// rounded separately. `out` may not alias `a` or `b`.
+  void (*complex_mul_conj)(const double* a, const double* b, double* out,
+                           std::size_t n);
+
+  /// Max + lowest-index argmax under a strict-greater scan (ties keep the
+  /// earliest index, matching a sequential `if (x[i] > best)` loop exactly).
+  /// Requires n >= 1.
+  Peak (*peak_scan)(const double* x, std::size_t n);
+
+  /// y[i] += a * x[i].
+  void (*axpy)(double a, const double* x, double* y, std::size_t n);
+
+  /// x[i] *= s.
+  void (*scale)(double* x, double s, std::size_t n);
+
+  /// x[i] = (x[i] - mean) * inv_stddev (the z-normalization apply pass).
+  void (*apply_znorm)(double* x, std::size_t n, double mean,
+                      double inv_stddev);
+
+  /// One banded-DTW row combine. For t in [0, count):
+  ///   cost   = (xi - y_jm1[t])^2
+  ///   e      = min(prev_jm1[t], prev_jm1[t+1])
+  ///   cur[t] = cost + min(e, cur[t-1])   with cur[-1] = left_seed.
+  /// `prev_jm1`/`y_jm1` point at the j_lo-1 positions of the previous DP row
+  /// and the y series; `cur` points at the j_lo position of the current row.
+  /// The cur[t-1] recurrence is inherently serial; backends vectorize the
+  /// cost/e precomputation and share the identical serial combine.
+  void (*dtw_row)(const double* prev_jm1, const double* y_jm1, double xi,
+                  double left_seed, double* cur, std::size_t count);
+};
+
+/// The portable reference backend (plain C++, compiled without
+/// auto-vectorization so benchmarks measure a true scalar baseline).
+const KernelTable& ScalarKernels();
+
+/// The x86 AVX2+FMA backend, or nullptr when the binary was built without it
+/// or the CPU lacks AVX2/FMA. (FMA presence is part of the dispatch gate even
+/// though the kernels never fuse — it keeps the backend set predictable on
+/// every AVX2-era machine.)
+const KernelTable* Avx2Kernels();
+
+}  // namespace kshape::simd
+
+#endif  // KSHAPE_SIMD_KERNELS_H_
