@@ -212,6 +212,16 @@ void BenchEnvelopeAndPeakKernels(std::size_t m) {
     }
     g_sink += out[0];
   };
+  // SoA variant over split planes: the first halves of a/b are the real
+  // planes, the second halves imaginary — same element count as the
+  // interleaved kernel above, so the two rows are directly comparable.
+  const auto run_cmul_soa = [&](const KernelTable& kt) {
+    for (std::size_t i = 0; i < iters; ++i) {
+      kt.complex_mul_conj_soa(a.data(), a.data() + m, b.data(), b.data() + m,
+                              out.data(), out.data() + m, m);
+    }
+    g_sink += out[0];
+  };
   const auto run_peak = [&](const KernelTable& kt) {
     double acc = 0.0;
     for (std::size_t i = 0; i < iters; ++i) {
@@ -225,6 +235,8 @@ void BenchEnvelopeAndPeakKernels(std::size_t m) {
   Record("lb_keogh_squared", 0, m, t.scalar_seconds, t.simd_seconds);
   t = TimeBothBackends(run_cmul);
   Record("complex_mul_conj", 0, m, t.scalar_seconds, t.simd_seconds);
+  t = TimeBothBackends(run_cmul_soa);
+  Record("complex_mul_conj_soa", 0, m, t.scalar_seconds, t.simd_seconds);
   t = TimeBothBackends(run_peak);
   Record("peak_scan", 0, m, t.scalar_seconds, t.simd_seconds);
 }

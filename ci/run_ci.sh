@@ -8,22 +8,28 @@
 #    scheduling-dependent output anywhere in the library, not just in
 #    parallel_test), plus a KSHAPE_SIMD=scalar leg that forces the reference
 #    kernel backend through the whole tier (the SIMD determinism contract
-#    says results cannot change, so any diff is a backend bug); then the
-#    storage-layout and simd-kernels microbenches in --smoke mode as
-#    release-stage smoke tests (both cross-check bit-identity and write
-#    their BENCH_*.json files).
+#    says results cannot change, so any diff is a backend bug), and a
+#    KSHAPE_HALF_SPECTRUM=off leg that forces the full-complex spectrum
+#    cache through the whole tier (the half-spectrum equivalence contract
+#    says labels and accuracies cannot change); then the storage-layout,
+#    simd-kernels, and rfft-batch microbenches in --smoke mode as
+#    release-stage smoke tests (all cross-check bit-identity or epsilon
+#    equivalence and write their BENCH_*.json files).
 # 2. -march=native release build: the strictest determinism setting — the
 #    compiler is free to fuse/vectorize everything OUTSIDE the pinned kernel
 #    TUs, so tier-1 passing here proves the -ffp-contract=off firewalls
 #    around src/simd/ actually hold.
 # 3. ThreadSanitizer build; parallel_test, thread_pool_test, sbd_cache_test,
-#    and simd_kernels_test run under TSan to catch data races in the pool,
-#    the FFT plan caches, the spectrum-cached SBD pipeline, and the kernel
-#    dispatch cache (atomic table pointer + SetBackendForTesting).
+#    rfft_test, and simd_kernels_test run under TSan to catch data races in
+#    the pool, the FFT/RFFT plan caches (incl. BatchSpectra parallel fill),
+#    the spectrum-cached SBD pipeline, and the kernel dispatch cache (atomic
+#    table pointer + SetBackendForTesting).
 # 4. AddressSanitizer+UBSan build; the robustness suites (degenerate inputs,
 #    property sweeps over hostile data, conditioning) plus simd_kernels_test
-#    (unaligned loads, length-1..67 tails) run under ASan+UBSan so every
-#    repair/fallback path is also checked for memory errors and UB.
+#    (unaligned loads, length-1..67 tails) and rfft_test (packed-bin
+#    unpack/fold indexing at odd, prime, and power-of-two lengths) run under
+#    ASan+UBSan so every repair/fallback path is also checked for memory
+#    errors and UB.
 #
 # Usage: ci/run_ci.sh [build-dir-prefix]   (default: build-ci)
 
@@ -55,11 +61,18 @@ echo "==> tier1 tests, KSHAPE_SIMD=scalar (forced reference kernel backend)"
 (cd "${RELEASE_DIR}" &&
  KSHAPE_SIMD=scalar ctest -L tier1 --output-on-failure -j "${JOBS}")
 
+echo "==> tier1 tests, KSHAPE_HALF_SPECTRUM=off (forced full-complex spectra)"
+(cd "${RELEASE_DIR}" &&
+ KSHAPE_HALF_SPECTRUM=off ctest -L tier1 --output-on-failure -j "${JOBS}")
+
 echo "==> storage-layout smoke test (contiguous vs nested bit-identity)"
 (cd "${RELEASE_DIR}" && ./bench/storage_layout --smoke)
 
 echo "==> simd-kernels smoke test (scalar vs dispatched bit-identity)"
 (cd "${RELEASE_DIR}" && ./bench/simd_kernels --smoke)
+
+echo "==> rfft-batch smoke test (half-spectrum vs full-complex equivalence)"
+(cd "${RELEASE_DIR}" && ./bench/rfft_batch --smoke)
 
 NATIVE_DIR="${PREFIX}-native"
 echo "==> -march=native release build (${NATIVE_DIR})"
@@ -77,9 +90,10 @@ echo "==> ThreadSanitizer build (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DKSHAPE_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-      --target parallel_test thread_pool_test sbd_cache_test simd_kernels_test
+      --target parallel_test thread_pool_test sbd_cache_test rfft_test \
+               simd_kernels_test
 
-echo "==> race check: parallel + thread_pool + sbd_cache + simd_kernels under TSan"
+echo "==> race check: parallel + thread_pool + sbd_cache + rfft + simd_kernels under TSan"
 # Run the parallel paths at a thread count high enough to force real
 # interleaving even on small CI machines.
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
@@ -89,6 +103,8 @@ KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/sbd_cache_test"
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    "${TSAN_DIR}/tests/rfft_test"
+KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/simd_kernels_test"
 
 echo "==> ASan+UBSan build (${ASAN_DIR})"
@@ -96,7 +112,7 @@ cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DKSHAPE_SANITIZE=address,undefined
 cmake --build "${ASAN_DIR}" -j "${JOBS}" \
       --target degenerate_input_test robustness_properties_test tseries_test \
-               simd_kernels_test
+               rfft_test simd_kernels_test
 
 echo "==> hostile-input check: robustness suites under ASan+UBSan"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
@@ -108,6 +124,9 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     "${ASAN_DIR}/tests/tseries_test"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "${ASAN_DIR}/tests/rfft_test"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     "${ASAN_DIR}/tests/simd_kernels_test"

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "fft/rfft.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
 #include "simd/dispatch.h"
@@ -54,6 +55,49 @@ KscAlignment KscAlign(tseries::SeriesView x, tseries::SeriesView y) {
   return best;
 }
 
+KscAlignment KscAlignFft(tseries::SeriesView x, tseries::SeriesView y) {
+  KSHAPE_CHECK_MSG(x.size() == y.size(), "KSC requires equal lengths");
+  const int m = static_cast<int>(x.size());
+  const double x_norm_sq = linalg::Dot(x, x);
+
+  KscAlignment best;
+  if (x_norm_sq == 0.0) {
+    best.distance = linalg::Dot(y, y) == 0.0 ? 0.0 : 1.0;
+    return best;
+  }
+
+  // Every shifted dot product in one transform: the overlap window of shift
+  // q is exactly the lag-q cross-correlation, so xy(q) = cc[m-1+q] in the
+  // shared lag layout (cc[i] = R_{i-(m-1)}).
+  const std::vector<double> cc = fft::RfftCrossCorrelation(x, y);
+  // ||y(q)||^2 over the overlap from prefix sums of y^2: window y[0..m-1-q]
+  // for q >= 0, y[-q..m-1] for q < 0. Prefix sums of squares are monotone in
+  // exact and floating-point arithmetic alike, so the differences below are
+  // nonnegative.
+  std::vector<double> prefix(static_cast<std::size_t>(m) + 1, 0.0);
+  for (int i = 0; i < m; ++i) prefix[i + 1] = prefix[i] + y[i] * y[i];
+
+  best.distance = std::numeric_limits<double>::infinity();
+  // Identical scan order and strict-less tie-break as KscAlign.
+  for (int q = -(m - 1); q <= m - 1; ++q) {
+    const double xy = cc[static_cast<std::size_t>(m - 1 + q)];
+    const double yy = q >= 0 ? prefix[m - q] : prefix[m] - prefix[-q];
+    double alpha = 0.0;
+    double residual_sq = x_norm_sq;
+    if (yy > 0.0) {
+      alpha = xy / yy;
+      residual_sq = x_norm_sq - alpha * xy;  // ||x||^2 - (x.yq)^2/||yq||^2
+    }
+    const double dist = std::sqrt(std::max(0.0, residual_sq) / x_norm_sq);
+    if (dist < best.distance) {
+      best.distance = dist;
+      best.shift = q;
+      best.alpha = alpha;
+    }
+  }
+  return best;
+}
+
 double KscDistanceValue(tseries::SeriesView x, tseries::SeriesView y) {
   return KscAlign(x, y).distance;
 }
@@ -73,7 +117,7 @@ namespace {
 tseries::Series KscCentroid(const tseries::SeriesBatch& pool,
                             const std::vector<std::size_t>& member_indices,
                             tseries::SeriesView previous,
-                            common::Rng* rng) {
+                            common::Rng* rng, bool fft_align) {
   const std::size_t m = previous.size();
   if (member_indices.empty()) return tseries::Series(m, 0.0);
 
@@ -84,8 +128,9 @@ tseries::Series KscCentroid(const tseries::SeriesBatch& pool,
   for (std::size_t idx : member_indices) {
     const tseries::SeriesView member = pool[idx];
     tseries::Series b =
-        align ? tseries::ShiftWithZeroFill(member,
-                                           KscAlign(previous, member).shift)
+        align ? tseries::ShiftWithZeroFill(
+                    member, fft_align ? KscAlignFft(previous, member).shift
+                                      : KscAlign(previous, member).shift)
               : tseries::Series(member.begin(), member.end());
     const double norm_sq = linalg::Dot(b, b);
     if (norm_sq == 0.0) continue;
@@ -110,6 +155,14 @@ ClusteringResult Ksc::Cluster(const tseries::SeriesBatch& series,
   const std::size_t n = series.size();
   const std::size_t m = series.length();
 
+  // FFT alignment only when both the option and the process-wide gate say
+  // yes, so KSHAPE_HALF_SPECTRUM=off restores the time-domain path globally.
+  const bool fft_align =
+      options_.use_fft_alignment && fft::HalfSpectrumEnabled();
+  const auto distance = [&](tseries::SeriesView x, tseries::SeriesView y) {
+    return fft_align ? KscAlignFft(x, y).distance : KscAlign(x, y).distance;
+  };
+
   ClusteringResult result;
   result.assignments = RandomAssignments(n, k, rng);
   result.centroids.assign(k, tseries::Series(m, 0.0));
@@ -119,15 +172,15 @@ ClusteringResult Ksc::Cluster(const tseries::SeriesBatch& series,
 
     const auto groups = GroupByCluster(result.assignments, k);
     for (int j = 0; j < k; ++j) {
-      result.centroids[j] =
-          KscCentroid(series, groups[j], result.centroids[j], rng);
+      result.centroids[j] = KscCentroid(series, groups[j],
+                                        result.centroids[j], rng, fft_align);
     }
 
     for (std::size_t i = 0; i < n; ++i) {
       double min_dist = std::numeric_limits<double>::infinity();
       int best = result.assignments[i];
       for (int j = 0; j < k; ++j) {
-        const double d = KscDistanceValue(series[i], result.centroids[j]);
+        const double d = distance(series[i], result.centroids[j]);
         if (d < min_dist) {
           min_dist = d;
           best = j;
@@ -142,7 +195,7 @@ ClusteringResult Ksc::Cluster(const tseries::SeriesBatch& series,
     // contract.
     result.empty_cluster_reseeds += RepairEmptyClusters(
         k, &result.assignments, [&](int j, std::size_t i) {
-          return KscDistanceValue(series[i], result.centroids[j]);
+          return distance(series[i], result.centroids[j]);
         });
 
     result.iterations = iter + 1;

@@ -23,8 +23,17 @@ struct KscAlignment {
 };
 
 /// Returns the optimal (shift, scale) of y toward x and the resulting
-/// distance.
+/// distance. Evaluates every shift with time-domain kernel calls: O(m^2).
 KscAlignment KscAlign(tseries::SeriesView x, tseries::SeriesView y);
+
+/// Same alignment in O(m log m): all per-shift dot products x . y(q) come
+/// from ONE half-spectrum FFT cross-correlation (xy(q) = cc[m-1+q] in the
+/// shared lag layout of fft::CrossCorrelationFft), and the per-shift
+/// ||y(q)||^2 from prefix sums of y^2. The scan order and strict-less
+/// tie-break match KscAlign exactly, so the two agree to FFT rounding (a
+/// tight epsilon on distance/alpha; the argmin shift can differ only on
+/// numerical near-ties).
+KscAlignment KscAlignFft(tseries::SeriesView x, tseries::SeriesView y);
 
 /// DistanceMeasure adapter for the KSC distance.
 class KscDistance : public distance::DistanceMeasure {
@@ -39,6 +48,14 @@ class KscDistance : public distance::DistanceMeasure {
 /// Options for the KSC algorithm.
 struct KscOptions {
   int max_iterations = 100;
+
+  /// When true (default), centroid alignment and assignment distances run
+  /// through KscAlignFft — O(m log m) per pair instead of O(m^2) — on the
+  /// half-spectrum transform path. Combined with the process-wide
+  /// KSHAPE_HALF_SPECTRUM gate (fft/rfft.h): KSHAPE_HALF_SPECTRUM=off
+  /// restores the time-domain evaluation everywhere without touching call
+  /// sites. False forces the time-domain path, kept for ablation.
+  bool use_fft_alignment = true;
 };
 
 /// K-Spectral Centroid clustering: a k-means iteration whose assignment uses

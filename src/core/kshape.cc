@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "core/sbd.h"
 #include "core/sbd_engine.h"
+#include "fft/rfft.h"
 
 namespace kshape::core {
 
@@ -107,7 +108,8 @@ cluster::ClusteringResult KShape::Cluster(
   // accelerates SBD) and by the ablation flag.
   std::optional<SbdEngine> engine;
   if (options_.use_spectrum_cache && options_.assignment_distance == nullptr) {
-    engine.emplace(series, CrossCorrelationImpl::kFft);
+    engine.emplace(series, CrossCorrelationImpl::kFft,
+                   options_.use_half_spectrum && fft::HalfSpectrumEnabled());
   }
 
   cluster::ClusteringResult result;

@@ -45,6 +45,14 @@ struct KShapeOptions {
   /// SBD). False forces the per-pair Sbd() path, kept for ablation benches.
   bool use_spectrum_cache = true;
 
+  /// When true (default), the spectrum cache stores packed half spectra
+  /// (fft/rfft.h): half the memory, and half-size transforms at power-of-two
+  /// padding. Combined with the process-wide KSHAPE_HALF_SPECTRUM gate — the
+  /// half path runs only when both say yes. Distances differ from the
+  /// full-complex cache by last-ulp rounding only; labels and telemetry are
+  /// expected to match (enforced by the half-vs-full equivalence tests).
+  bool use_half_spectrum = true;
+
   /// Distance used in the assignment step. Null means SBD (the paper's
   /// k-Shape); pointing this at a DtwMeasure gives the k-Shape+DTW ablation
   /// of Table 3. The pointee must outlive the KShape instance.

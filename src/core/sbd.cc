@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "core/sbd_engine.h"
 #include "fft/fft.h"
+#include "fft/rfft.h"
 #include "linalg/matrix.h"
 #include "simd/dispatch.h"
 #include "tseries/normalization.h"
@@ -32,6 +33,13 @@ std::vector<double> RawCrossCorrelation(tseries::SeriesView x,
                                         CrossCorrelationImpl impl) {
   switch (impl) {
     case CrossCorrelationImpl::kFft:
+      // Half-spectrum path (the default): two packed forward transforms at
+      // half size plus one half-size inverse. The pre-PR full-complex
+      // pack-two-reals trick stays behind KSHAPE_HALF_SPECTRUM=off; the two
+      // agree to a tight epsilon, not bitwise.
+      if (fft::HalfSpectrumEnabled()) {
+        return fft::RfftCrossCorrelation(x, y);
+      }
       return fft::CrossCorrelationFft(x, y);
     case CrossCorrelationImpl::kFftNoPow2:
       return fft::CrossCorrelationFftNoPow2(x, y);

@@ -9,29 +9,30 @@ namespace kshape::core {
 
 namespace {
 
-// Peak of the raw cross-correlation of two cached spectra. The cc buffer is
-// thread_local so concurrent per-pair evaluations write disjoint scratch.
-struct RawPeak {
-  double value = 0.0;
-  std::size_t index = 0;
-};
-
-RawPeak PeakFromSpectra(const std::vector<fft::Complex>& x_spectrum,
-                        const std::vector<fft::Complex>& y_spectrum,
-                        std::size_t m) {
+// Peak of the raw cross-correlation of two cached full-complex spectra. The
+// cc buffer is thread_local so concurrent per-pair evaluations write
+// disjoint scratch.
+simd::Peak PeakFromSpectra(const std::vector<fft::Complex>& x_spectrum,
+                           const std::vector<fft::Complex>& y_spectrum,
+                           std::size_t m) {
   static thread_local std::vector<double> cc;
   fft::CrossCorrelationFromSpectra(x_spectrum, y_spectrum, m, &cc);
-  const simd::Peak p = simd::PeakScan(cc);
-  RawPeak peak;
-  peak.value = p.value;
-  peak.index = p.index;
-  return peak;
+  return simd::PeakScan(cc);
+}
+
+// Half-spectrum counterpart: SoA multiply-conjugate + one inverse real
+// transform on the caller-supplied (batch-amortized) plan.
+simd::Peak PeakFromRfft(const fft::RfftPlan& plan, const fft::RfftView& x,
+                        const fft::RfftView& y, std::size_t m) {
+  static thread_local std::vector<double> cc;
+  fft::CrossCorrelationFromRfft(plan, x, y, m, &cc);
+  return simd::PeakScan(cc);
 }
 
 }  // namespace
 
 SbdEngine::SbdEngine(const tseries::SeriesBatch& series,
-                     CrossCorrelationImpl impl) {
+                     CrossCorrelationImpl impl, bool use_half_spectrum) {
   KSHAPE_CHECK(!series.empty());
   KSHAPE_CHECK_MSG(impl != CrossCorrelationImpl::kNaive,
                    "SbdEngine caches spectra; the naive path has none");
@@ -40,16 +41,27 @@ SbdEngine::SbdEngine(const tseries::SeriesBatch& series,
   fft_len_ = impl == CrossCorrelationImpl::kFft
                  ? fft::NextPowerOfTwo(2 * m_ - 1)
                  : 2 * m_ - 1;
+  half_ = use_half_spectrum;
 
   const std::size_t n = series.size();
-  spectra_.resize(n);
   norms_.resize(n);
+  if (half_) {
+    // One plan lookup for the whole batch, one contiguous SoA pool for all
+    // spectra: the pre-pass below only runs transforms into disjoint slots.
+    batch_.emplace(n, fft_len_);
+  } else {
+    spectra_.resize(n);
+  }
   // Deterministic pre-pass: each index writes only its own spectrum/norm
   // slot, and each per-series FFT is a fixed arithmetic sequence, so the
   // cache contents are bit-identical at every thread count.
   common::ParallelFor(0, n, 1, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      spectra_[i] = fft::Spectrum(series[i], fft_len_);
+      if (half_) {
+        batch_->Transform(i, series[i]);
+      } else {
+        spectra_[i] = fft::Spectrum(series[i], fft_len_);
+      }
       norms_[i] = linalg::Norm(series[i]);
     }
   });
@@ -58,23 +70,46 @@ SbdEngine::SbdEngine(const tseries::SeriesBatch& series,
 SbdEngine::Query SbdEngine::MakeQuery(tseries::SeriesView q) const {
   KSHAPE_CHECK_MSG(q.size() == m_, "query length mismatch");
   Query query;
-  query.spectrum = fft::Spectrum(q, fft_len_);
+  if (half_) {
+    query.rspectrum = fft::RfftForward(q, fft_len_);
+  } else {
+    query.spectrum = fft::Spectrum(q, fft_len_);
+  }
   query.norm = linalg::Norm(q);
   return query;
+}
+
+simd::Peak SbdEngine::RawPeak(std::size_t i, std::size_t j) const {
+  if (half_) {
+    return PeakFromRfft(batch_->plan(), batch_->view(i), batch_->view(j), m_);
+  }
+  return PeakFromSpectra(spectra_[i], spectra_[j], m_);
+}
+
+simd::Peak SbdEngine::RawPeak(const Query& q, std::size_t i) const {
+  if (half_) {
+    KSHAPE_CHECK_MSG(q.rspectrum.fft_len == fft_len_,
+                     "query minted by a different engine configuration");
+    return PeakFromRfft(batch_->plan(), q.rspectrum.view(), batch_->view(i),
+                        m_);
+  }
+  KSHAPE_CHECK_MSG(q.spectrum.size() == fft_len_,
+                   "query minted by a different engine configuration");
+  return PeakFromSpectra(q.spectrum, spectra_[i], m_);
 }
 
 double SbdEngine::Distance(std::size_t i, std::size_t j) const {
   KSHAPE_CHECK(i < size() && j < size());
   const double den = norms_[i] * norms_[j];
   if (den == 0.0) return 1.0;
-  return 1.0 - PeakFromSpectra(spectra_[i], spectra_[j], m_).value * (1.0 / den);
+  return 1.0 - RawPeak(i, j).value * (1.0 / den);
 }
 
 double SbdEngine::Distance(const Query& q, std::size_t i) const {
   KSHAPE_CHECK(i < size());
   const double den = q.norm * norms_[i];
   if (den == 0.0) return 1.0;
-  return 1.0 - PeakFromSpectra(q.spectrum, spectra_[i], m_).value * (1.0 / den);
+  return 1.0 - RawPeak(q, i).value * (1.0 / den);
 }
 
 NccPeak SbdEngine::MaxNcc(const Query& q, std::size_t i) const {
@@ -87,7 +122,7 @@ NccPeak SbdEngine::MaxNcc(const Query& q, std::size_t i) const {
     peak.shift = -static_cast<int>(m_ - 1);
     return peak;
   }
-  const RawPeak raw = PeakFromSpectra(q.spectrum, spectra_[i], m_);
+  const simd::Peak raw = RawPeak(q, i);
   peak.value = raw.value * (1.0 / den);
   peak.shift = static_cast<int>(raw.index) - static_cast<int>(m_ - 1);
   return peak;

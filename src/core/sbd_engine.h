@@ -2,11 +2,14 @@
 #define KSHAPE_CORE_SBD_ENGINE_H_
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "core/sbd.h"
 #include "fft/fft.h"
+#include "fft/rfft.h"
 #include "linalg/matrix.h"
+#include "simd/kernels.h"
 #include "tseries/time_series.h"
 
 namespace kshape::core {
@@ -21,12 +24,22 @@ namespace kshape::core {
 /// + n(n-1)/2 inverses, and a k-Shape assignment iteration costs k forwards
 /// (one per centroid) + n*k inverses.
 ///
+/// Half-spectrum mode (the default; see fft/rfft.h): series are real, so the
+/// engine caches only the packed bins [0, fft_len/2] in one contiguous SoA
+/// pool (fft::BatchSpectra, one plan lookup for the whole batch). That halves
+/// the cache memory — 16*fft_len bytes per series for full complex spectra
+/// versus 8*fft_len + 16 bytes packed — and on power-of-two fft_len the
+/// forward/inverse transforms run at half size too. The full-complex layout
+/// of PR 5 remains behind `use_half_spectrum = false` (or the process-wide
+/// KSHAPE_HALF_SPECTRUM=off gate) for A/B comparison.
+///
 /// Equivalence contract: the cached path agrees with Sbd() to a tight
 /// epsilon, not bitwise — the direct path packs two reals into one complex
 /// transform, which rounds differently from per-series spectra (see
-/// fft::CrossCorrelationFromSpectra). Within the cached pipeline the
-/// arithmetic is fixed per input, so results are bit-identical across runs
-/// and thread counts.
+/// fft::CrossCorrelationFromSpectra); the half- and full-spectrum cached
+/// paths likewise agree to epsilon, not bitwise. Within one configuration the
+/// arithmetic is fixed per input, so results are bit-identical across runs,
+/// SIMD backends, and thread counts.
 ///
 /// Thread-safety: immutable after construction; all const members may be
 /// called concurrently (per-pair scratch is thread_local inside src/fft).
@@ -36,8 +49,11 @@ class SbdEngine {
   /// m >= 1. `impl` selects the padding: kFft transforms at the next power of
   /// two >= 2m-1, kFftNoPow2 at exactly 2m-1 (Bluestein, whose chirp plan is
   /// cached per length). kNaive has no spectra and is rejected.
+  /// `use_half_spectrum` selects the packed SoA cache (default: the
+  /// process-wide gate, i.e. on unless KSHAPE_HALF_SPECTRUM=off).
   explicit SbdEngine(const tseries::SeriesBatch& series,
-                     CrossCorrelationImpl impl = CrossCorrelationImpl::kFft);
+                     CrossCorrelationImpl impl = CrossCorrelationImpl::kFft,
+                     bool use_half_spectrum = fft::HalfSpectrumEnabled());
 
   /// Number of cached series.
   std::size_t size() const { return norms_.size(); }
@@ -48,10 +64,16 @@ class SbdEngine {
   /// The padded transform length.
   std::size_t fft_length() const { return fft_len_; }
 
+  /// True when the engine runs on packed half spectra.
+  bool half_spectrum() const { return half_; }
+
   /// Spectrum + norm of an out-of-set series (e.g. a k-Shape centroid),
-  /// computed once and reusable against every cached series.
+  /// computed once and reusable against every cached series. Exactly one of
+  /// `spectrum` (full-complex mode) / `rspectrum` (half-spectrum mode) is
+  /// populated, matching the engine that minted it.
   struct Query {
     std::vector<fft::Complex> spectrum;
+    fft::RfftSpectrum rspectrum;
     double norm = 0.0;
   };
 
@@ -88,9 +110,18 @@ class SbdEngine {
   void PairwiseFlat(std::vector<double>* flat) const;
 
  private:
+  // Peak of the raw cross-correlation of cached entry i against entry j /
+  // query q, routed through whichever spectrum layout the engine holds.
+  simd::Peak RawPeak(std::size_t i, std::size_t j) const;
+  simd::Peak RawPeak(const Query& q, std::size_t i) const;
+
   std::size_t m_ = 0;
   std::size_t fft_len_ = 0;
+  bool half_ = false;
+  // Full-complex layout (PR 5): one spectrum vector per series.
   std::vector<std::vector<fft::Complex>> spectra_;
+  // Packed half-spectrum layout: contiguous SoA pool + its amortized plan.
+  std::optional<fft::BatchSpectra> batch_;
   std::vector<double> norms_;
 };
 

@@ -73,6 +73,19 @@ std::vector<Complex> RealForward(std::span<const double> x, std::size_t n);
 /// SBD path: compute each series' spectrum once, and every pairwise
 /// cross-correlation against it becomes a single inverse transform
 /// (CrossCorrelationFromSpectra) instead of two forwards plus an inverse.
+///
+/// Padded-length convention — shared by Spectrum, RfftSpectrum (rfft.h), and
+/// CrossCorrelationFromSpectra/CrossCorrelationFromRfft, and enforced by
+/// tests so cached and uncached paths cannot silently disagree:
+///  - A cross-correlation of two length-m series needs fft_len >= 2m-1.
+///  - The kFft implementation (CrossCorrelationFft, SbdEngine's default)
+///    transforms at NextPowerOfTwo(2m-1); kFftNoPow2 transforms at exactly
+///    2m-1 — which is always odd for m >= 2, so it is always a Bluestein
+///    length, never a power of two.
+///  - Series are zero-padded up to fft_len; a series longer than fft_len is
+///    a KSHAPE_CHECK failure (pad, never truncate).
+///  - Spectra are only comparable at equal fft_len: the From* functions check
+///    the lengths match and abort on mismatch rather than resample.
 std::vector<Complex> Spectrum(std::span<const double> x,
                               std::size_t fft_len);
 

@@ -1,0 +1,319 @@
+#include "fft/rfft.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/check.h"
+#include "simd/dispatch.h"
+
+namespace kshape::fft {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Per-thread complex scratch for the generic (non-power-of-two) fallback,
+// keyed by transform size — the same discipline as every other FFT scratch
+// buffer: concurrent workers never share, which the thread-count-invariance
+// guarantee relies on.
+std::vector<Complex>& GenericScratch(std::size_t n) {
+  static thread_local std::map<std::size_t, std::vector<Complex>> scratch;
+  return scratch[n];
+}
+
+// Per-thread packed scratch (length n/2) for the power-of-two path.
+std::vector<Complex>& PackedScratch(std::size_t n) {
+  static thread_local std::map<std::size_t, std::vector<Complex>> scratch;
+  return scratch[n];
+}
+
+}  // namespace
+
+RfftPlan::RfftPlan(std::size_t n) : n_(n) {
+  KSHAPE_CHECK(n >= 1);
+  packed_ = IsPowerOfTwo(n) && n >= 2;
+  half_plan_ = packed_ ? &GetPlan(n / 2) : nullptr;
+  if (packed_) {
+    // Unpack twiddles e^{-2*pi*i*k/n} for k in [0, n/2] — one per packed bin.
+    twiddles_.resize(bins());
+    for (std::size_t k = 0; k < bins(); ++k) {
+      const double angle =
+          -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n_);
+      twiddles_[k] = Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+}
+
+void RfftPlan::Forward(std::span<const double> x, double* out_re,
+                       double* out_im) const {
+  KSHAPE_CHECK_MSG(x.size() <= n_,
+                   "RfftPlan pads, never truncates: n < series length");
+  if (!packed_) {
+    // Generic fallback: full complex transform (radix-2 for n=1, Bluestein
+    // otherwise), then keep bins [0, n/2]. Bin 0 — and bin n/2 when n is
+    // even — is exactly real for a real input, so its imaginary part is
+    // stored as an exact zero rather than the transform's rounding residue;
+    // this is what makes the packed-bin conjugate-symmetry invariant exact.
+    std::vector<Complex>& data = GenericScratch(n_);
+    data.assign(n_, Complex(0, 0));
+    for (std::size_t i = 0; i < x.size(); ++i) data[i] = Complex(x[i], 0.0);
+    fft::Forward(&data);
+    const std::size_t b = bins();
+    for (std::size_t k = 0; k < b; ++k) {
+      out_re[k] = data[k].real();
+      out_im[k] = data[k].imag();
+    }
+    out_im[0] = 0.0;
+    if (n_ % 2 == 0) out_im[n_ / 2] = 0.0;
+    return;
+  }
+
+  // Power-of-two path: pack even/odd samples into one half-size complex
+  // sequence z[j] = x[2j] + i*x[2j+1], transform once at h = n/2, and unpack
+  //   X[k] = E[k] + w^k * O[k],  w = e^{-2*pi*i/n},
+  // where E[k] = (Z[k] + conj(Z[h-k])) / 2 and
+  //       O[k] = (Z[k] - conj(Z[h-k])) / (2i)
+  // are the h-point DFTs of the even and odd subsequences. Bins 0 and h come
+  // straight from Z[0]: X[0] = Re(Z0) + Im(Z0), X[h] = Re(Z0) - Im(Z0), both
+  // exactly real.
+  const std::size_t h = n_ / 2;
+  std::vector<Complex>& z = PackedScratch(n_);
+  z.resize(h);
+  for (std::size_t j = 0; j < h; ++j) {
+    const double re = 2 * j < x.size() ? x[2 * j] : 0.0;
+    const double im = 2 * j + 1 < x.size() ? x[2 * j + 1] : 0.0;
+    z[j] = Complex(re, im);
+  }
+  half_plan_->Forward(z.data());
+
+  out_re[0] = z[0].real() + z[0].imag();
+  out_im[0] = 0.0;
+  out_re[h] = z[0].real() - z[0].imag();
+  out_im[h] = 0.0;
+  for (std::size_t k = 1; k < h; ++k) {
+    const Complex zk = z[k];
+    const Complex zmk = std::conj(z[h - k]);
+    const Complex even = 0.5 * (zk + zmk);
+    const Complex odd = Complex(0, -0.5) * (zk - zmk);
+    const Complex bin = even + twiddles_[k] * odd;
+    out_re[k] = bin.real();
+    out_im[k] = bin.imag();
+  }
+}
+
+void RfftPlan::Inverse(const double* re, const double* im,
+                       double* out) const {
+  if (!packed_) {
+    if (n_ == 1) {
+      out[0] = re[0];
+      return;
+    }
+    // Generic fallback: rebuild the full conjugate-symmetric spectrum from
+    // the packed bins and run the full inverse. Bin 0 (and bin n/2 when n is
+    // even) is treated as real per the packing contract.
+    std::vector<Complex>& data = GenericScratch(n_);
+    data.resize(n_);
+    const std::size_t b = bins();
+    data[0] = Complex(re[0], 0.0);
+    for (std::size_t k = 1; k < b; ++k) data[k] = Complex(re[k], im[k]);
+    if (n_ % 2 == 0) data[n_ / 2] = Complex(re[n_ / 2], 0.0);
+    for (std::size_t k = b; k < n_; ++k) data[k] = std::conj(data[n_ - k]);
+    fft::Inverse(&data);
+    for (std::size_t i = 0; i < n_; ++i) out[i] = data[i].real();
+    return;
+  }
+
+  // Exact algebraic inverse of the packed forward: recover the half-size
+  // spectrum Z[k] = E[k] + i*O[k] from the packed bins C[0..h],
+  //   E[k] = (C[k] + conj(C[h-k])) / 2,
+  //   O[k] = (C[k] - conj(C[h-k])) * conj(w^k) / 2,
+  // (C[k+h] = conj(C[h-k]) by the real-input symmetry), then one half-size
+  // inverse transform — whose built-in 1/h scaling IS the full 1/n real
+  // inverse, because E and O are exactly the h-point DFTs of the even/odd
+  // samples — and deinterleave x[2j] = Re(z[j]), x[2j+1] = Im(z[j]).
+  const std::size_t h = n_ / 2;
+  std::vector<Complex>& z = PackedScratch(n_);
+  z.resize(h);
+  const auto bin = [&](std::size_t k) {
+    // Bins 0 and h are real by the packing contract; ignore stored imag.
+    return Complex(re[k], (k == 0 || k == h) ? 0.0 : im[k]);
+  };
+  for (std::size_t k = 0; k < h; ++k) {
+    const Complex ck = bin(k);
+    const Complex cmk = std::conj(bin(h - k));
+    const Complex even = 0.5 * (ck + cmk);
+    const Complex odd = 0.5 * (ck - cmk) * std::conj(twiddles_[k]);
+    z[k] = even + Complex(0, 1) * odd;
+  }
+  half_plan_->Inverse(z.data());
+  for (std::size_t j = 0; j < h; ++j) {
+    out[2 * j] = z[j].real();
+    out[2 * j + 1] = z[j].imag();
+  }
+}
+
+const RfftPlan& GetRfftPlan(std::size_t n) {
+  // Same never-destroyed, construct-outside-the-lock caching as GetPlan.
+  static auto* cache = new std::map<std::size_t, std::unique_ptr<RfftPlan>>();
+  static auto* mu = new std::mutex();
+  {
+    std::lock_guard<std::mutex> lock(*mu);
+    auto it = cache->find(n);
+    if (it != cache->end()) return *it->second;
+  }
+  auto plan = std::make_unique<RfftPlan>(n);
+  std::lock_guard<std::mutex> lock(*mu);
+  const auto it = cache->emplace(n, std::move(plan)).first;
+  return *it->second;
+}
+
+RfftSpectrum RfftForward(std::span<const double> x, std::size_t fft_len) {
+  KSHAPE_CHECK(fft_len >= 1);
+  KSHAPE_CHECK_MSG(
+      x.size() <= fft_len,
+      "RfftForward pads, never truncates: fft_len < series length");
+  RfftSpectrum spectrum;
+  spectrum.fft_len = fft_len;
+  spectrum.re.resize(RfftBins(fft_len));
+  spectrum.im.resize(RfftBins(fft_len));
+  GetRfftPlan(fft_len).Forward(x, spectrum.re.data(), spectrum.im.data());
+  return spectrum;
+}
+
+BatchSpectra::BatchSpectra(std::size_t count, std::size_t fft_len)
+    : count_(count),
+      fft_len_(fft_len),
+      bins_(RfftBins(fft_len)),
+      plan_(&GetRfftPlan(fft_len)),
+      re_(count * bins_, 0.0),
+      im_(count * bins_, 0.0) {
+  KSHAPE_CHECK(fft_len >= 1);
+}
+
+void BatchSpectra::Transform(std::size_t i, std::span<const double> x) {
+  KSHAPE_CHECK(i < count_);
+  plan_->Forward(x, re_.data() + i * bins_, im_.data() + i * bins_);
+}
+
+RfftView BatchSpectra::view(std::size_t i) const {
+  KSHAPE_CHECK(i < count_);
+  return RfftView{fft_len_, re_.data() + i * bins_, im_.data() + i * bins_};
+}
+
+void CrossCorrelationFromRfft(const RfftPlan& plan, const RfftView& x,
+                              const RfftView& y, std::size_t m,
+                              std::vector<double>* cc) {
+  const std::size_t len = x.fft_len;
+  KSHAPE_CHECK_MSG(y.fft_len == len, "half-spectrum length mismatch");
+  KSHAPE_CHECK_MSG(plan.n() == len, "plan/spectrum length mismatch");
+  KSHAPE_CHECK(m >= 1);
+  KSHAPE_CHECK(len >= 2 * m - 1);
+
+  // Per-thread product planes + time-domain buffer keyed by length, as in
+  // CrossCorrelationFromSpectra.
+  struct Workspace {
+    std::vector<double> prod_re;
+    std::vector<double> prod_im;
+    std::vector<double> time;
+  };
+  static thread_local std::map<std::size_t, Workspace> scratch;
+  Workspace& ws = scratch[len];
+  const std::size_t b = RfftBins(len);
+  ws.prod_re.resize(b);
+  ws.prod_im.resize(b);
+  ws.time.resize(len);
+
+  // C[k] = X[k] * conj(Y[k]) over the packed bins only — the upper half of
+  // the product spectrum is implied by symmetry and never materialized. The
+  // SoA kernel is elementwise, so this product is bit-identical across
+  // backends. On the real bins (0, and len/2 when len is even) both factors
+  // have exact-zero imaginary parts, so the product's imaginary part is an
+  // exact zero too — consistent with Inverse's real-bin contract.
+  simd::Active().complex_mul_conj_soa(x.re, x.im, y.re, y.im,
+                                      ws.prod_re.data(), ws.prod_im.data(), b);
+  // The hot half of the cached path: ONE inverse real transform per pair.
+  plan.Inverse(ws.prod_re.data(), ws.prod_im.data(), ws.time.data());
+
+  // Identical lag layout to CrossCorrelationFft: cc[i] = R_{i-(m-1)},
+  // negative lags at the top of the circular buffer.
+  cc->resize(2 * m - 1);
+  for (std::size_t i = 0; i < 2 * m - 1; ++i) {
+    const long long lag =
+        static_cast<long long>(i) - static_cast<long long>(m - 1);
+    const std::size_t idx = lag >= 0 ? static_cast<std::size_t>(lag)
+                                     : len - static_cast<std::size_t>(-lag);
+    (*cc)[i] = ws.time[idx];
+  }
+}
+
+void CrossCorrelationFromRfft(const RfftView& x, const RfftView& y,
+                              std::size_t m, std::vector<double>* cc) {
+  CrossCorrelationFromRfft(GetRfftPlan(x.fft_len), x, y, m, cc);
+}
+
+std::vector<double> RfftCrossCorrelation(std::span<const double> x,
+                                         std::span<const double> y) {
+  const std::size_t m = x.size();
+  KSHAPE_CHECK_MSG(y.size() == m, "cross-correlation requires equal lengths");
+  KSHAPE_CHECK(m >= 1);
+  const std::size_t fft_len = NextPowerOfTwo(2 * m - 1);
+  const RfftPlan& plan = GetRfftPlan(fft_len);
+
+  // Per-thread forward planes keyed by length (the product/inverse scratch
+  // lives inside CrossCorrelationFromRfft).
+  struct Workspace {
+    std::vector<double> x_re, x_im, y_re, y_im;
+  };
+  static thread_local std::map<std::size_t, Workspace> scratch;
+  Workspace& ws = scratch[fft_len];
+  const std::size_t b = RfftBins(fft_len);
+  ws.x_re.resize(b);
+  ws.x_im.resize(b);
+  ws.y_re.resize(b);
+  ws.y_im.resize(b);
+  plan.Forward(x, ws.x_re.data(), ws.x_im.data());
+  plan.Forward(y, ws.y_re.data(), ws.y_im.data());
+
+  std::vector<double> cc;
+  CrossCorrelationFromRfft(
+      plan, RfftView{fft_len, ws.x_re.data(), ws.x_im.data()},
+      RfftView{fft_len, ws.y_re.data(), ws.y_im.data()}, m, &cc);
+  return cc;
+}
+
+namespace {
+
+// -1 unresolved, 0 off, 1 on. Same lazy atomic resolution as the SIMD
+// dispatch gate: a racing first use resolves the same value on every thread.
+std::atomic<int> g_half_spectrum{-1};
+
+int ResolveHalfSpectrum() {
+  const char* env = std::getenv("KSHAPE_HALF_SPECTRUM");
+  if (env == nullptr || *env == '\0') return 1;
+  if (std::strcmp(env, "on") == 0) return 1;
+  if (std::strcmp(env, "off") == 0) return 0;
+  KSHAPE_CHECK_MSG(false, "KSHAPE_HALF_SPECTRUM must be 'on' or 'off'");
+  return 1;
+}
+
+}  // namespace
+
+bool HalfSpectrumEnabled() {
+  int v = g_half_spectrum.load(std::memory_order_acquire);
+  if (v < 0) {
+    v = ResolveHalfSpectrum();
+    g_half_spectrum.store(v, std::memory_order_release);
+  }
+  return v != 0;
+}
+
+void SetHalfSpectrumEnabledForTesting(bool enabled) {
+  g_half_spectrum.store(enabled ? 1 : 0, std::memory_order_release);
+}
+
+}  // namespace kshape::fft

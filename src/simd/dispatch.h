@@ -82,6 +82,17 @@ inline double LbKeoghSquared(std::span<const double> candidate,
                                    upper.data(), candidate.size());
 }
 
+inline void ComplexMulConjSoa(std::span<const double> a_re,
+                              std::span<const double> a_im,
+                              std::span<const double> b_re,
+                              std::span<const double> b_im,
+                              std::span<double> out_re,
+                              std::span<double> out_im) {
+  Active().complex_mul_conj_soa(a_re.data(), a_im.data(), b_re.data(),
+                                b_im.data(), out_re.data(), out_im.data(),
+                                a_re.size());
+}
+
 inline Peak PeakScan(std::span<const double> x) {
   return Active().peak_scan(x.data(), x.size());
 }

@@ -29,9 +29,9 @@ struct Peak {
 /// every backend (the kernel translation units compile with
 /// `-ffp-contract=off` so the compiler cannot fuse behind our back).
 ///
-/// Elementwise kernels (axpy, scale, apply_znorm, complex_mul_conj, dtw_row)
-/// have no cross-element reduction, so their per-element rounding sequence is
-/// identical by construction.
+/// Elementwise kernels (axpy, scale, apply_znorm, complex_mul_conj,
+/// complex_mul_conj_soa, dtw_row) have no cross-element reduction, so their
+/// per-element rounding sequence is identical by construction.
 struct KernelTable {
   /// Backend name for logs/benchmarks ("scalar", "avx2").
   const char* name;
@@ -73,6 +73,18 @@ struct KernelTable {
   /// rounded separately. `out` may not alias `a` or `b`.
   void (*complex_mul_conj)(const double* a, const double* b, double* out,
                            std::size_t n);
+
+  /// SoA (split-plane) variant of complex_mul_conj over n complex values laid
+  /// out as separate real and imaginary planes:
+  ///   out_re[k] = a_re[k]*b_re[k] + a_im[k]*b_im[k]
+  ///   out_im[k] = a_im[k]*b_re[k] - a_re[k]*b_im[k]
+  /// The same per-element arithmetic as the interleaved kernel (each product
+  /// rounded separately, no FMA), but every load/store is a plain contiguous
+  /// vector op — no shuffles — which is what makes the half-spectrum product
+  /// vectorize cleanly. Output planes may not alias the input planes.
+  void (*complex_mul_conj_soa)(const double* a_re, const double* a_im,
+                               const double* b_re, const double* b_im,
+                               double* out_re, double* out_im, std::size_t n);
 
   /// Max + lowest-index argmax under a strict-greater scan (ties keep the
   /// earliest index, matching a sequential `if (x[i] > best)` loop exactly).

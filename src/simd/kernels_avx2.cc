@@ -197,6 +197,35 @@ void ComplexMulConjAvx2(const double* a, const double* b, double* out,
   }
 }
 
+void ComplexMulConjSoaAvx2(const double* a_re, const double* a_im,
+                           const double* b_re, const double* b_im,
+                           double* out_re, double* out_im, std::size_t n) {
+  // Split planes make this pure vertical arithmetic — four complexes per
+  // iteration with zero shuffles. Separate mul/add/sub (no FMA) keeps each
+  // product rounded exactly as the scalar backend rounds it.
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d ar = _mm256_loadu_pd(a_re + k);
+    const __m256d ai = _mm256_loadu_pd(a_im + k);
+    const __m256d br = _mm256_loadu_pd(b_re + k);
+    const __m256d bi = _mm256_loadu_pd(b_im + k);
+    _mm256_storeu_pd(
+        out_re + k,
+        _mm256_add_pd(_mm256_mul_pd(ar, br), _mm256_mul_pd(ai, bi)));
+    _mm256_storeu_pd(
+        out_im + k,
+        _mm256_sub_pd(_mm256_mul_pd(ai, br), _mm256_mul_pd(ar, bi)));
+  }
+  for (; k < n; ++k) {
+    const double ar = a_re[k];
+    const double ai = a_im[k];
+    const double br = b_re[k];
+    const double bi = b_im[k];
+    out_re[k] = ar * br + ai * bi;
+    out_im[k] = ai * br - ar * bi;
+  }
+}
+
 Peak PeakScanAvx2(const double* x, std::size_t n) {
   // The peak is a max/argmax, not a rounded reduction: comparisons are exact,
   // so ANY index partition yields the sequential scan's result as long as
@@ -335,6 +364,7 @@ const KernelTable* Avx2Kernels() {
       SquaredEdAbandonAvx2,
       LbKeoghSquaredAvx2,
       ComplexMulConjAvx2,
+      ComplexMulConjSoaAvx2,
       PeakScanAvx2,
       AxpyAvx2,
       ScaleAvx2,

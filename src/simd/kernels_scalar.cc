@@ -179,6 +179,19 @@ void ComplexMulConjScalar(const double* a, const double* b, double* out,
   }
 }
 
+void ComplexMulConjSoaScalar(const double* a_re, const double* a_im,
+                             const double* b_re, const double* b_im,
+                             double* out_re, double* out_im, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ar = a_re[k];
+    const double ai = a_im[k];
+    const double br = b_re[k];
+    const double bi = b_im[k];
+    out_re[k] = ar * br + ai * bi;
+    out_im[k] = ai * br - ar * bi;
+  }
+}
+
 Peak PeakScanScalar(const double* x, std::size_t n) {
   // Lane l starts from its first element x[l] (index l) and keeps the lowest
   // index of its lane maximum under a strict-greater scan; lanes past the end
@@ -261,6 +274,7 @@ const KernelTable& ScalarKernels() {
       SquaredEdAbandonScalar,
       LbKeoghSquaredScalar,
       ComplexMulConjScalar,
+      ComplexMulConjSoaScalar,
       PeakScanScalar,
       AxpyScalar,
       ScaleScalar,

@@ -26,6 +26,8 @@
 #include "core/sbd_engine.h"
 #include "data/generators.h"
 #include "distance/measure.h"
+#include "fft/fft.h"
+#include "fft/rfft.h"
 #include "tseries/normalization.h"
 
 namespace kshape {
@@ -252,6 +254,128 @@ TEST(SbdCacheTest, CachedMultivariateMatchesUncached) {
   EXPECT_EQ(a.assignments, b.assignments);
   EXPECT_EQ(a.iterations, b.iterations);
   EXPECT_EQ(a.converged, b.converged);
+}
+
+// ---------------------------------------------------------------------------
+// Half-spectrum vs full-complex cache equivalence (fft/rfft.h).
+// ---------------------------------------------------------------------------
+
+void ExpectHalfMatchesFull(std::size_t m, core::CrossCorrelationImpl impl,
+                           double eps) {
+  const std::vector<Series> series = MakeSeries(12, m, m + 1000);
+  const core::SbdEngine full(series, impl, /*use_half_spectrum=*/false);
+  const core::SbdEngine half(series, impl, /*use_half_spectrum=*/true);
+  EXPECT_FALSE(full.half_spectrum());
+  EXPECT_TRUE(half.half_spectrum());
+
+  // Both layouts share one padded-length convention (see fft/fft.h): kFft
+  // transforms at the next power of two >= 2m-1, kFftNoPow2 at exactly 2m-1.
+  const std::size_t expected_len = impl == core::CrossCorrelationImpl::kFft
+                                       ? fft::NextPowerOfTwo(2 * m - 1)
+                                       : 2 * m - 1;
+  EXPECT_EQ(full.fft_length(), expected_len);
+  EXPECT_EQ(half.fft_length(), expected_len);
+
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      EXPECT_NEAR(half.Distance(i, j), full.Distance(i, j), eps)
+          << "m=" << m << " pair (" << i << "," << j << ")";
+    }
+  }
+
+  // Query path: peak value to epsilon, integer shift exactly.
+  common::Rng rng(m + 2000);
+  const Series query = tseries::ZNormalized(data::MakeCbf(1, m, &rng));
+  const core::SbdEngine::Query fq = full.MakeQuery(query);
+  const core::SbdEngine::Query hq = half.MakeQuery(query);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_NEAR(half.Distance(hq, i), full.Distance(fq, i), eps);
+    const core::NccPeak fp = full.MaxNcc(fq, i);
+    const core::NccPeak hp = half.MaxNcc(hq, i);
+    EXPECT_NEAR(hp.value, fp.value, eps);
+    EXPECT_EQ(hp.shift, fp.shift);
+  }
+}
+
+TEST(SbdCacheTest, HalfSpectrumMatchesFullPowerOfTwoLengths) {
+  for (std::size_t m : {16, 64, 128}) {
+    ExpectHalfMatchesFull(m, core::CrossCorrelationImpl::kFft, kEpsPow2);
+  }
+}
+
+TEST(SbdCacheTest, HalfSpectrumMatchesFullBluesteinLengths) {
+  // 2m-1 is odd for every m >= 2, so the half engine takes the generic
+  // (non-packed) RFFT path here — the conjugate-symmetry fold, not the
+  // half-size transform.
+  for (std::size_t m : {24, 50, 80}) {
+    ExpectHalfMatchesFull(m, core::CrossCorrelationImpl::kFftNoPow2,
+                          kEpsBluestein);
+  }
+}
+
+TEST(SbdCacheDeathTest, QueryFromOtherLayoutIsRejected) {
+  // A Query carries the spectrum layout of the engine that minted it; using
+  // it against an engine with the other layout must abort loudly instead of
+  // reading the wrong member.
+  const std::vector<Series> series = MakeSeries(6, 32, 17);
+  const core::SbdEngine full(series, core::CrossCorrelationImpl::kFft,
+                             /*use_half_spectrum=*/false);
+  const core::SbdEngine half(series, core::CrossCorrelationImpl::kFft,
+                             /*use_half_spectrum=*/true);
+  common::Rng rng(18);
+  const Series query = tseries::ZNormalized(data::MakeCbf(0, 32, &rng));
+  const core::SbdEngine::Query fq = full.MakeQuery(query);
+  const core::SbdEngine::Query hq = half.MakeQuery(query);
+  EXPECT_DEATH(half.Distance(fq, 0), "different engine configuration");
+  EXPECT_DEATH(full.Distance(hq, 0), "different engine configuration");
+}
+
+TEST(SbdCacheTest, DirectSbdGateMatchesFullComplexPath) {
+  // The direct (uncached) kFft path also routes through the half-spectrum
+  // gate; flipping it changes results only at rounding level.
+  const std::vector<Series> series = MakeSeries(8, 48, 19);
+  const bool saved = fft::HalfSpectrumEnabled();
+  fft::SetHalfSpectrumEnabledForTesting(true);
+  std::vector<double> on;
+  for (std::size_t i = 0; i + 1 < series.size(); ++i) {
+    on.push_back(core::Sbd(series[i], series[i + 1]).distance);
+  }
+  fft::SetHalfSpectrumEnabledForTesting(false);
+  for (std::size_t i = 0; i + 1 < series.size(); ++i) {
+    EXPECT_NEAR(core::Sbd(series[i], series[i + 1]).distance, on[i], kEpsPow2);
+  }
+  fft::SetHalfSpectrumEnabledForTesting(saved);
+}
+
+TEST(SbdCacheTest, KShapeHalfSpectrumOptionMatchesFull) {
+  // Same seed, two cache layouts: epsilon-level distance differences never
+  // flip an argmin or alignment shift on this data, so labels, centroids,
+  // and telemetry all match exactly.
+  const std::vector<Series> series = MakeSeries(45, 64, 20);
+  core::KShapeOptions half_options;
+  half_options.init = core::KShapeInit::kPlusPlusSeeding;
+  core::KShapeOptions full_options = half_options;
+  full_options.use_half_spectrum = false;
+  ASSERT_TRUE(half_options.use_half_spectrum);  // Documented default.
+  const core::KShape half(half_options);
+  const core::KShape full(full_options);
+
+  common::Rng rng_a(21);
+  common::Rng rng_b(21);
+  const cluster::ClusteringResult a = half.Cluster(series, 3, &rng_a);
+  const cluster::ClusteringResult b = full.Cluster(series, 3, &rng_b);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.empty_cluster_reseeds, b.empty_cluster_reseeds);
+  EXPECT_EQ(a.degenerate_centroids, b.degenerate_centroids);
+  ASSERT_EQ(a.centroids.size(), b.centroids.size());
+  for (std::size_t j = 0; j < a.centroids.size(); ++j) {
+    ASSERT_EQ(a.centroids[j].size(), b.centroids[j].size());
+    for (std::size_t t = 0; t < a.centroids[j].size(); ++t) {
+      EXPECT_NEAR(a.centroids[j][t], b.centroids[j][t], kEpsPow2);
+    }
+  }
 }
 
 TEST(SbdCacheTest, EngineRepeatedEvaluationIsBitStable) {

@@ -29,7 +29,9 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "core/kshape.h"
+#include "core/sbd.h"
 #include "data/generators.h"
+#include "fft/rfft.h"
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
 #include "tseries/normalization.h"
@@ -70,6 +72,18 @@ class SimdBackendGuard {
 
  private:
   Backend saved_;
+};
+
+// Restores the process-wide half-spectrum gate (fft/rfft.h) that the
+// end-to-end tests below toggle to compare the packed and full-complex
+// spectrum-cache layouts.
+class HalfSpectrumGateGuard {
+ public:
+  HalfSpectrumGateGuard() : saved_(fft::HalfSpectrumEnabled()) {}
+  ~HalfSpectrumGateGuard() { fft::SetHalfSpectrumEnabledForTesting(saved_); }
+
+ private:
+  bool saved_;
 };
 
 // ---------------------------------------------------------------------------
@@ -155,6 +169,26 @@ TEST_F(BitIdentityTest, ComplexMulConj) {
     scalar_.complex_mul_conj(a.data(), b.data(), out_s.data(), n);
     avx2_.complex_mul_conj(a.data(), b.data(), out_v.data(), n);
     EXPECT_EQ(out_s, out_v) << "n=" << n;
+  }
+}
+
+TEST_F(BitIdentityTest, ComplexMulConjSoa) {
+  common::Rng rng(108);
+  for (std::size_t n = 1; n <= kMaxLength; ++n) {
+    const std::vector<double> a_re = RandomBuffer(n, &rng);
+    const std::vector<double> a_im = RandomBuffer(n, &rng);
+    const std::vector<double> b_re = RandomBuffer(n, &rng);
+    const std::vector<double> b_im = RandomBuffer(n, &rng);
+    std::vector<double> re_s(n, 0.0);
+    std::vector<double> im_s(n, 0.0);
+    std::vector<double> re_v(n, 123.0);  // Different garbage on purpose.
+    std::vector<double> im_v(n, 123.0);
+    scalar_.complex_mul_conj_soa(a_re.data(), a_im.data(), b_re.data(),
+                                 b_im.data(), re_s.data(), im_s.data(), n);
+    avx2_.complex_mul_conj_soa(a_re.data(), a_im.data(), b_re.data(),
+                               b_im.data(), re_v.data(), im_v.data(), n);
+    EXPECT_EQ(re_s, re_v) << "n=" << n;
+    EXPECT_EQ(im_s, im_v) << "n=" << n;
   }
 }
 
@@ -325,6 +359,40 @@ TEST(LegacyAgreementTest, ComplexMulConjMatchesStdComplex) {
   }
 }
 
+TEST(LegacyAgreementTest, ComplexMulConjSoaMatchesInterleavedKernel) {
+  // The SoA kernel computes the same two products and one add/sub per
+  // element as the interleaved kernel, each rounded separately (no fusing in
+  // either), so changing the memory layout changes no value: agreement is
+  // exact, not epsilon.
+  common::Rng rng(206);
+  for (const Backend backend : AvailableBackends()) {
+    const KernelTable& kt = simd::Kernels(backend);
+    for (std::size_t n = 1; n <= kMaxLength; ++n) {
+      const std::vector<double> a = RandomBuffer(2 * n, &rng);
+      const std::vector<double> b = RandomBuffer(2 * n, &rng);
+      std::vector<double> interleaved(2 * n, 0.0);
+      kt.complex_mul_conj(a.data(), b.data(), interleaved.data(), n);
+
+      std::vector<double> a_re(n), a_im(n), b_re(n), b_im(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        a_re[k] = a[2 * k];
+        a_im[k] = a[2 * k + 1];
+        b_re[k] = b[2 * k];
+        b_im[k] = b[2 * k + 1];
+      }
+      std::vector<double> out_re(n, 0.0);
+      std::vector<double> out_im(n, 0.0);
+      kt.complex_mul_conj_soa(a_re.data(), a_im.data(), b_re.data(),
+                              b_im.data(), out_re.data(), out_im.data(), n);
+      for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_EQ(out_re[k], interleaved[2 * k]) << "n=" << n << " k=" << k;
+        EXPECT_EQ(out_im[k], interleaved[2 * k + 1])
+            << "n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
 TEST(LegacyAgreementTest, PeakScanMatchesSequentialScan) {
   common::Rng rng(204);
   for (const Backend backend : AvailableBackends()) {
@@ -453,6 +521,75 @@ TEST(EndToEndInvarianceTest, KShapePlusPlusSeeding) {
         return algorithm.Cluster(series, 3, &rng);
       },
       ResultsBitIdentical, "k-Shape (++ init) result");
+}
+
+TEST(EndToEndInvarianceTest, KShapeHalfSpectrumLabelsAndTelemetry) {
+  // The half- and full-spectrum caches see distances that differ only in the
+  // last ulps; on this data no NCC peak or assignment argmin flips, so the
+  // entire result — labels, centroids (built from integer alignment shifts),
+  // and telemetry — is bit-identical across the two layouts, and each layout
+  // is separately invariant across backends and thread counts.
+  const std::vector<Series> series = MakeSeries(36, 64, 307);
+  cluster::ClusteringResult per_layout[2];
+  for (const bool half : {false, true}) {
+    core::KShapeOptions options;
+    options.use_half_spectrum = half;
+    const core::KShape algorithm(options);
+    const auto run = [&] {
+      common::Rng rng(7);
+      return algorithm.Cluster(series, 3, &rng);
+    };
+    ExpectBackendAndThreadInvariant<cluster::ClusteringResult>(
+        run, ResultsBitIdentical,
+        half ? "k-Shape (half-spectrum cache)" : "k-Shape (full-complex cache)");
+    per_layout[half ? 1 : 0] = run();
+  }
+  EXPECT_TRUE(ResultsBitIdentical(per_layout[0], per_layout[1]))
+      << "half- and full-spectrum k-Shape results diverged";
+}
+
+TEST(EndToEndInvarianceTest, KShapePlusPlusSeedingHalfSpectrum) {
+  // ++-seeding draws from the cached distance-to-nearest-seed distribution,
+  // so it exercises DistanceToAll through both spectrum layouts.
+  const std::vector<Series> series = MakeSeries(36, 64, 308);
+  cluster::ClusteringResult per_layout[2];
+  for (const bool half : {false, true}) {
+    core::KShapeOptions options;
+    options.init = core::KShapeInit::kPlusPlusSeeding;
+    options.use_half_spectrum = half;
+    const core::KShape algorithm(options);
+    const auto run = [&] {
+      common::Rng rng(11);
+      return algorithm.Cluster(series, 3, &rng);
+    };
+    ExpectBackendAndThreadInvariant<cluster::ClusteringResult>(
+        run, ResultsBitIdentical,
+        half ? "k-Shape ++ (half-spectrum cache)"
+             : "k-Shape ++ (full-complex cache)");
+    per_layout[half ? 1 : 0] = run();
+  }
+  EXPECT_TRUE(ResultsBitIdentical(per_layout[0], per_layout[1]))
+      << "half- and full-spectrum k-Shape ++ results diverged";
+}
+
+TEST(EndToEndInvarianceTest, OneNnSbdHalfSpectrumInvariance) {
+  // The 1-NN batch scanner picks its spectrum layout from the process-wide
+  // gate (SbdEngine's default argument), so this toggles the gate itself.
+  const tseries::Dataset train = MakeDataset(30, 52, 309);
+  const tseries::Dataset test = MakeDataset(15, 52, 310);
+  const core::SbdDistance sbd;
+  HalfSpectrumGateGuard gate_guard;
+  double accuracy[2];
+  for (const bool half : {false, true}) {
+    fft::SetHalfSpectrumEnabledForTesting(half);
+    const auto run = [&] { return classify::OneNnAccuracy(train, test, sbd); };
+    ExpectBackendAndThreadInvariant<double>(
+        run, [](double a, double b) { return a == b; },
+        half ? "1-NN SBD (half-spectrum cache)"
+             : "1-NN SBD (full-complex cache)");
+    accuracy[half ? 1 : 0] = run();
+  }
+  EXPECT_EQ(accuracy[0], accuracy[1]);
 }
 
 TEST(EndToEndInvarianceTest, OneNnEarlyAbandonAccuracy) {
