@@ -23,15 +23,22 @@ int main() {
   power_options.shape_options.use_power_iteration = true;
   const core::KShape kshape_power(power_options);
 
+  core::KShapeOptions cold_options;
+  cold_options.shape_options.use_power_iteration = true;
+  cold_options.shape_options.warm_start = false;
+  const core::KShape kshape_cold(cold_options);
+
   core::KShapeOptions full_options;
   full_options.shape_options.use_power_iteration = false;
   const core::KShape kshape_full(full_options);
 
   harness::PrintSection(std::cout,
-                        "Ablation: shape-extraction eigensolver (power "
-                        "iteration vs full decomposition), CBF, n = 150");
-  harness::TablePrinter table({"m", "Power iter (s)", "Full eigen (s)",
-                               "Speedup", "Power Rand", "Full Rand"});
+                        "Ablation: shape-extraction eigensolver (warm/cold "
+                        "power iteration vs full decomposition), CBF, "
+                        "n = 150");
+  harness::TablePrinter table({"m", "Warm (s)", "Cold (s)", "Full eigen (s)",
+                               "Full/Warm", "Warm Rand", "Cold Rand",
+                               "Full Rand"});
 
   for (std::size_t m : {64, 128, 256, 512}) {
     common::Rng data_rng(m);
@@ -49,6 +56,11 @@ int main() {
     const auto power_result = kshape_power.Cluster(series, 3, &rng_a);
     const double power_seconds = power_timer.ElapsedSeconds();
 
+    common::Rng rng_c(7);
+    common::Stopwatch cold_timer;
+    const auto cold_result = kshape_cold.Cluster(series, 3, &rng_c);
+    const double cold_seconds = cold_timer.ElapsedSeconds();
+
     common::Rng rng_b(7);
     common::Stopwatch full_timer;
     const auto full_result = kshape_full.Cluster(series, 3, &rng_b);
@@ -56,10 +68,13 @@ int main() {
 
     table.AddRow(
         {std::to_string(m), harness::FormatDouble(power_seconds, 3),
+         harness::FormatDouble(cold_seconds, 3),
          harness::FormatDouble(full_seconds, 3),
          harness::FormatRatio(full_seconds / power_seconds),
          harness::FormatDouble(eval::RandIndex(labels,
                                                power_result.assignments)),
+         harness::FormatDouble(eval::RandIndex(labels,
+                                               cold_result.assignments)),
          harness::FormatDouble(eval::RandIndex(labels,
                                                full_result.assignments))});
   }
@@ -67,6 +82,9 @@ int main() {
   std::cout << "(Power iteration converges to the same centroid because M's "
                "dominant\neigenvalue is well separated on real clusters; the "
                "speedup grows with m,\nconsistent with the O(m^2)-per-step "
-               "vs O(m^3) analysis in §3.3.)\n";
+               "vs O(m^3) analysis in §3.3. The warm\nstart seeds each "
+               "iteration with the previous centroid — close to the new\n"
+               "eigenvector once the clustering settles — shaving the "
+               "per-call step count\nwithout touching accuracy.)\n";
   return 0;
 }

@@ -11,25 +11,31 @@
 #    says results cannot change, so any diff is a backend bug), and a
 #    KSHAPE_HALF_SPECTRUM=off leg that forces the full-complex spectrum
 #    cache through the whole tier (the half-spectrum equivalence contract
-#    says labels and accuracies cannot change); then the storage-layout,
-#    simd-kernels, and rfft-batch microbenches in --smoke mode as
-#    release-stage smoke tests (all cross-check bit-identity or epsilon
-#    equivalence and write their BENCH_*.json files).
+#    says labels and accuracies cannot change), and a KSHAPE_PRUNE=off leg
+#    that forces exhaustive exact scans through the whole tier (the pruning
+#    equivalence contract says labels cannot change); then the
+#    storage-layout, simd-kernels, rfft-batch, and assignment-pruning
+#    microbenches in --smoke mode as release-stage smoke tests (all
+#    cross-check bit-identity, epsilon equivalence, or label equality and
+#    write their BENCH_*.json files).
 # 2. -march=native release build: the strictest determinism setting — the
 #    compiler is free to fuse/vectorize everything OUTSIDE the pinned kernel
 #    TUs, so tier-1 passing here proves the -ffp-contract=off firewalls
 #    around src/simd/ actually hold.
 # 3. ThreadSanitizer build; parallel_test, thread_pool_test, sbd_cache_test,
-#    rfft_test, and simd_kernels_test run under TSan to catch data races in
-#    the pool, the FFT/RFFT plan caches (incl. BatchSpectra parallel fill),
-#    the spectrum-cached SBD pipeline, and the kernel dispatch cache (atomic
-#    table pointer + SetBackendForTesting).
+#    rfft_test, simd_kernels_test, and pruning_test run under TSan to catch
+#    data races in the pool, the FFT/RFFT plan caches (incl. BatchSpectra
+#    parallel fill), the spectrum-cached SBD pipeline, the kernel dispatch
+#    cache (atomic table pointer + SetBackendForTesting), and the pruned
+#    assignment scan (per-series bound/telemetry cells + the KSHAPE_PRUNE
+#    gate atomics).
 # 4. AddressSanitizer+UBSan build; the robustness suites (degenerate inputs,
 #    property sweeps over hostile data, conditioning) plus simd_kernels_test
-#    (unaligned loads, length-1..67 tails) and rfft_test (packed-bin
-#    unpack/fold indexing at odd, prime, and power-of-two lengths) run under
-#    ASan+UBSan so every repair/fallback path is also checked for memory
-#    errors and UB.
+#    (unaligned loads, length-1..67 tails), rfft_test (packed-bin
+#    unpack/fold indexing at odd, prime, and power-of-two lengths), and
+#    pruning_test (bound-plane indexing at Bluestein lengths, the
+#    partial-sum checkpoint tails) run under ASan+UBSan so every
+#    repair/fallback path is also checked for memory errors and UB.
 #
 # Usage: ci/run_ci.sh [build-dir-prefix]   (default: build-ci)
 
@@ -65,6 +71,10 @@ echo "==> tier1 tests, KSHAPE_HALF_SPECTRUM=off (forced full-complex spectra)"
 (cd "${RELEASE_DIR}" &&
  KSHAPE_HALF_SPECTRUM=off ctest -L tier1 --output-on-failure -j "${JOBS}")
 
+echo "==> tier1 tests, KSHAPE_PRUNE=off (forced exhaustive exact scans)"
+(cd "${RELEASE_DIR}" &&
+ KSHAPE_PRUNE=off ctest -L tier1 --output-on-failure -j "${JOBS}")
+
 echo "==> storage-layout smoke test (contiguous vs nested bit-identity)"
 (cd "${RELEASE_DIR}" && ./bench/storage_layout --smoke)
 
@@ -73,6 +83,9 @@ echo "==> simd-kernels smoke test (scalar vs dispatched bit-identity)"
 
 echo "==> rfft-batch smoke test (half-spectrum vs full-complex equivalence)"
 (cd "${RELEASE_DIR}" && ./bench/rfft_batch --smoke)
+
+echo "==> assignment-pruning smoke test (pruned vs exact label equality)"
+(cd "${RELEASE_DIR}" && ./bench/assignment_pruning --smoke)
 
 NATIVE_DIR="${PREFIX}-native"
 echo "==> -march=native release build (${NATIVE_DIR})"
@@ -91,9 +104,9 @@ cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DKSHAPE_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
       --target parallel_test thread_pool_test sbd_cache_test rfft_test \
-               simd_kernels_test
+               simd_kernels_test pruning_test
 
-echo "==> race check: parallel + thread_pool + sbd_cache + rfft + simd_kernels under TSan"
+echo "==> race check: parallel + thread_pool + sbd_cache + rfft + simd_kernels + pruning under TSan"
 # Run the parallel paths at a thread count high enough to force real
 # interleaving even on small CI machines.
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
@@ -106,13 +119,15 @@ KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/rfft_test"
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/simd_kernels_test"
+KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    "${TSAN_DIR}/tests/pruning_test"
 
 echo "==> ASan+UBSan build (${ASAN_DIR})"
 cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DKSHAPE_SANITIZE=address,undefined
 cmake --build "${ASAN_DIR}" -j "${JOBS}" \
       --target degenerate_input_test robustness_properties_test tseries_test \
-               rfft_test simd_kernels_test
+               rfft_test simd_kernels_test pruning_test
 
 echo "==> hostile-input check: robustness suites under ASan+UBSan"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
@@ -130,5 +145,8 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     "${ASAN_DIR}/tests/simd_kernels_test"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "${ASAN_DIR}/tests/pruning_test"
 
 echo "==> CI OK"

@@ -35,21 +35,6 @@ double ParallelQueryAccuracy(
   return static_cast<double>(total) / static_cast<double>(num_queries);
 }
 
-// First-strict-minimum nearest label over a precomputed distance row —
-// matches OneNnClassify's tie-breaking exactly.
-int NearestLabel(const tseries::Dataset& train,
-                 const std::vector<double>& dists) {
-  double best = std::numeric_limits<double>::infinity();
-  int label = train.label(0);
-  for (std::size_t i = 0; i < train.size(); ++i) {
-    if (dists[i] < best) {
-      best = dists[i];
-      label = train.label(i);
-    }
-  }
-  return label;
-}
-
 // Majority vote over the k nearest (distance, label) pairs; ties go to the
 // class with the closest member. Shared by the per-pair and batched k-NN
 // paths so the two agree prediction for prediction.
@@ -99,10 +84,13 @@ double OneNnAccuracy(const tseries::Dataset& train,
   const std::unique_ptr<distance::BatchScanner> scanner =
       measure.NewBatchScanner(train.batch());
   if (scanner != nullptr) {
+    // Nearest() lets bounding scanners (SBD's spectral early abandon) skip
+    // candidates that provably cannot win; its tie-break contract matches
+    // NearestLabel over the exhaustive row, so accuracy is unchanged.
     return ParallelQueryAccuracy(test.size(), [&](std::size_t q) {
-      std::vector<double> dists;
-      scanner->DistancesToAll(test.view(q), &dists);
-      return NearestLabel(train, dists) == test.label(q);
+      const distance::BatchScanner::NearestResult nearest =
+          scanner->Nearest(test.view(q));
+      return train.label(nearest.index) == test.label(q);
     });
   }
   return ParallelQueryAccuracy(test.size(), [&](std::size_t i) {

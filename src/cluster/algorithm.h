@@ -11,6 +11,23 @@
 
 namespace kshape::cluster {
 
+/// Per-iteration telemetry of one assignment step under bound-driven pruning
+/// (k-Shape with KShapeOptions::use_pruning). The three counters partition
+/// the n·k centroid-to-series candidate pairs of the iteration:
+///   computed          — exact distances evaluated (inverse transforms spent)
+///   pruned_bounds     — pairs skipped by the Hamerly-style movement bounds
+///                       (no spectral work at all)
+///   abandoned_partial — pairs dropped mid-scan by the partial-sum spectral
+///                       NCC bound (bin products spent, no inverse transform)
+/// Invariant: computed + pruned_bounds + abandoned_partial == n·k. Seeding,
+/// empty-cluster repair, centroid-shift, and verification distances are
+/// outside these counters.
+struct AssignmentIterationStats {
+  long long computed = 0;
+  long long pruned_bounds = 0;
+  long long abandoned_partial = 0;
+};
+
 /// The output of a clustering run.
 struct ClusteringResult {
   /// assignments[i] in [0, k) is the cluster of series i.
@@ -33,6 +50,22 @@ struct ClusteringResult {
   /// Methods without centroids or repair leave these at zero.
   int empty_cluster_reseeds = 0;
   int degenerate_centroids = 0;
+
+  /// Pruning telemetry (k-Shape assignment steps; see
+  /// AssignmentIterationStats for the partition semantics). The totals sum
+  /// the per-iteration entries; an exact (non-pruned) run reports
+  /// distances_computed == iterations·n·k with the other two at zero.
+  /// Methods without an assignment step leave everything empty/zero.
+  long long distances_computed = 0;
+  long long distances_pruned_bounds = 0;
+  long long distances_abandoned_partial = 0;
+  std::vector<AssignmentIterationStats> assignment_stats;
+
+  /// Verification-mode counter (KShapeOptions::verify_pruning): series whose
+  /// pruned assignment disagreed with an exact recomputation. The pruned
+  /// decisions are KEPT — verification observes, it does not correct — so
+  /// this measures bound validity without changing the clustering.
+  long long pruned_label_mismatches = 0;
 };
 
 /// Abstract partitional/hierarchical/spectral clustering algorithm.

@@ -1,5 +1,7 @@
 #include "core/kshape.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <optional>
 
@@ -100,6 +102,13 @@ cluster::ClusteringResult KShape::Cluster(
   const std::size_t n = series.size();
   const std::size_t m = series.length();
 
+  // Bound-driven pruning runs only on the cached-SBD path (it needs the
+  // engine's spectra for the bounds) and only when both the option and the
+  // process-wide KSHAPE_PRUNE gate agree.
+  const bool pruning = options_.use_pruning && PruningEnabled() &&
+                       options_.use_spectrum_cache &&
+                       options_.assignment_distance == nullptr;
+
   // Spectrum cache: every series' forward FFT is computed once here and
   // reused by every ++-seeding scan and every assignment-step distance in
   // every iteration. Centroid spectra are refreshed once per iteration (k
@@ -109,7 +118,8 @@ cluster::ClusteringResult KShape::Cluster(
   std::optional<SbdEngine> engine;
   if (options_.use_spectrum_cache && options_.assignment_distance == nullptr) {
     engine.emplace(series, CrossCorrelationImpl::kFft,
-                   options_.use_half_spectrum && fft::HalfSpectrumEnabled());
+                   options_.use_half_spectrum && fft::HalfSpectrumEnabled(),
+                   /*build_bound_planes=*/pruning);
   }
 
   cluster::ClusteringResult result;
@@ -133,8 +143,38 @@ cluster::ClusteringResult KShape::Cluster(
     return Sbd(result.centroids[j], series[i]).distance;
   };
 
+  // Pruning state. Bounds live in the sqrt(SBD) domain, where SBD behaves
+  // (approximately) like a squared chordal distance and the triangle
+  // inequality the movement updates rely on approximately holds:
+  //   ub_r[i] >= sqrt(d(i, centroid of a_i))     (upper, owner distance)
+  //   lb_r[i] <= sqrt(min_{j != a_i} d(i, c_j))  (lower, second-closest)
+  // After refinement moves centroid j by shift_r[j] = sqrt(SBD(old_j, new_j)),
+  // ub_r grows by the owner's shift and lb_r shrinks by the largest shift
+  // (second-largest when the owner moved most — the Hamerly max1/max2 trick).
+  // Comparisons happen back in SBD units with the prune_margin slack. The
+  // first iteration (and any iteration after an empty-cluster repair, which
+  // rewires assignments behind the bounds' back) runs a full scan.
+  const double margin = options_.prune_margin;
+  std::vector<double> ub_r, lb_r, shift_r;
+  std::vector<tseries::Series> prev_centroids;
+  bool bounds_valid = false;
+  // Per-series telemetry cells (disjoint writes in the parallel scan,
+  // reduced sequentially in index order afterwards).
+  std::vector<long long> cnt_computed, cnt_pruned, cnt_abandoned;
+  std::vector<unsigned char> verify_mismatch;
+  if (pruning) {
+    ub_r.assign(n, 0.0);
+    lb_r.assign(n, 0.0);
+    shift_r.assign(k, 0.0);
+    cnt_computed.assign(n, 0);
+    cnt_pruned.assign(n, 0);
+    cnt_abandoned.assign(n, 0);
+    if (options_.verify_pruning) verify_mismatch.assign(n, 0);
+  }
+
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     const std::vector<int> previous = result.assignments;
+    if (pruning && bounds_valid) prev_centroids = result.centroids;
 
     // Refinement step: recompute each centroid by shape extraction, using
     // the previous centroid as the alignment reference (Algorithm 3, 5-10).
@@ -160,32 +200,169 @@ cluster::ClusteringResult KShape::Cluster(
       }
     }
 
+    // Centroid-shift distances for the movement bounds: k direct SBDs (old
+    // vs new centroid), outside the n·k assignment counters.
+    double max_shift1 = 0.0, max_shift2 = 0.0;
+    int max_shift_arg = -1;
+    if (pruning && bounds_valid) {
+      for (int j = 0; j < k; ++j) {
+        const double d = Sbd(prev_centroids[j], result.centroids[j]).distance;
+        shift_r[j] = std::sqrt(std::max(0.0, d));
+      }
+      for (int j = 0; j < k; ++j) {
+        if (max_shift_arg < 0 || shift_r[j] > max_shift1) {
+          if (max_shift_arg >= 0) max_shift2 = max_shift1;
+          max_shift1 = shift_r[j];
+          max_shift_arg = j;
+        } else if (shift_r[j] > max_shift2) {
+          max_shift2 = shift_r[j];
+        }
+      }
+    }
+
     // Assignment step: move each series to its closest centroid
     // (Algorithm 3, lines 11-17). Each index reads the shared centroids and
-    // writes only its own assignments[i]; ties are broken by centroid order
-    // inside each index, so the result is thread-count-invariant.
-    common::ParallelFor(0, n, kScanGrain,
-                        [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        double min_dist = std::numeric_limits<double>::infinity();
-        int best = result.assignments[i];
-        for (int j = 0; j < k; ++j) {
-          const double d = assignment_distance(j, i);
-          if (d < min_dist) {
-            min_dist = d;
-            best = j;
+    // writes only its own assignments[i] (and, when pruning, its own bound/
+    // telemetry cells); ties are broken by centroid order inside each index,
+    // so the result is thread-count-invariant.
+    cluster::AssignmentIterationStats stats;
+    if (!pruning) {
+      common::ParallelFor(0, n, kScanGrain,
+                          [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          double min_dist = std::numeric_limits<double>::infinity();
+          int best = result.assignments[i];
+          for (int j = 0; j < k; ++j) {
+            const double d = assignment_distance(j, i);
+            if (d < min_dist) {
+              min_dist = d;
+              best = j;
+            }
           }
+          result.assignments[i] = best;
         }
-        result.assignments[i] = best;
+      });
+      stats.computed = static_cast<long long>(n) * k;
+    } else {
+      const bool use_bounds = bounds_valid;
+      common::ParallelFor(0, n, kScanGrain,
+                          [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const int owner = result.assignments[i];
+          long long comp = 0, pruned = 0, aband = 0;
+          bool scanned = true;
+          double d_owner = 0.0;
+          if (use_bounds) {
+            // Apply this iteration's centroid movement to the bounds.
+            ub_r[i] += shift_r[owner];
+            lb_r[i] -= owner == max_shift_arg ? max_shift2 : max_shift1;
+            if (lb_r[i] < 0.0) lb_r[i] = 0.0;
+            const double ub2 = ub_r[i] * ub_r[i];
+            const double lb2 = lb_r[i] * lb_r[i];
+            if (ub2 + margin <= lb2) {
+              // Whole-series prune: no centroid can take this series.
+              pruned = k;
+              scanned = false;
+            } else {
+              // Tighten the upper bound with the exact owner distance, then
+              // re-test (Hamerly's second check).
+              d_owner = engine->Distance(centroid_queries[owner], i);
+              ++comp;
+              ub_r[i] = std::sqrt(std::max(0.0, d_owner));
+              if (d_owner + margin <= lb2) {
+                pruned = k - 1;
+                scanned = false;
+              }
+            }
+          } else {
+            d_owner = engine->Distance(centroid_queries[owner], i);
+            ++comp;
+          }
+          if (scanned) {
+            // Full ascending-j scan with spectral early abandoning. The
+            // owner's distance is computed up front (reused at j == owner),
+            // so the comparison sequence over computed distances is the one
+            // the exact scan walks — identical labels and tie-breaks.
+            double min1 = std::numeric_limits<double>::infinity();
+            double min2 = std::numeric_limits<double>::infinity();
+            int best = owner;
+            for (int j = 0; j < k; ++j) {
+              bool ab = false;
+              double v;
+              if (j == owner) {
+                v = d_owner;
+              } else {
+                v = engine->DistanceWithAbandon(
+                    centroid_queries[j], i,
+                    min1 + SbdEngine::kDefaultBoundSlack, &ab);
+                if (ab) {
+                  ++aband;
+                } else {
+                  ++comp;
+                }
+              }
+              if (!ab && v < min1) {
+                min2 = min1;
+                min1 = v;
+                best = j;
+              } else if (v < min2) {
+                // Abandoned candidates contribute their distance LOWER
+                // bound: min2 stays a valid lower bound on the true
+                // second-closest distance.
+                min2 = v;
+              }
+            }
+            result.assignments[i] = best;
+            ub_r[i] = std::sqrt(std::max(0.0, min1));
+            lb_r[i] = std::sqrt(std::max(0.0, min2));
+          }
+          if (!verify_mismatch.empty()) {
+            // Exact recomputation of the argmin (outside the telemetry
+            // counters); the pruned decision is kept either way.
+            double vmin = std::numeric_limits<double>::infinity();
+            int vbest = owner;
+            for (int j = 0; j < k; ++j) {
+              const double d = engine->Distance(centroid_queries[j], i);
+              if (d < vmin) {
+                vmin = d;
+                vbest = j;
+              }
+            }
+            verify_mismatch[i] = vbest != result.assignments[i] ? 1 : 0;
+          }
+          cnt_computed[i] = comp;
+          cnt_pruned[i] = pruned;
+          cnt_abandoned[i] = aband;
+        }
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        stats.computed += cnt_computed[i];
+        stats.pruned_bounds += cnt_pruned[i];
+        stats.abandoned_partial += cnt_abandoned[i];
       }
-    });
+      if (!verify_mismatch.empty()) {
+        for (std::size_t i = 0; i < n; ++i) {
+          result.pruned_label_mismatches += verify_mismatch[i];
+        }
+      }
+    }
+    result.assignment_stats.push_back(stats);
+    result.distances_computed += stats.computed;
+    result.distances_pruned_bounds += stats.pruned_bounds;
+    result.distances_abandoned_partial += stats.abandoned_partial;
 
     // Re-seed clusters that lost all members with the series farthest from
     // its current centroid, so every requested cluster stays populated
     // (shared policy — see RepairEmptyClusters for the tie-break contract).
-    result.empty_cluster_reseeds +=
+    const int reseeds =
         cluster::RepairEmptyClusters(k, &result.assignments,
                                      assignment_distance);
+    result.empty_cluster_reseeds += reseeds;
+    if (pruning) {
+      // Repair rewires assignments without touching the bounds; a full
+      // rebuild next iteration is the only safe continuation.
+      bounds_valid = reseeds == 0;
+    }
 
     result.iterations = iter + 1;
     if (result.assignments == previous) {

@@ -57,6 +57,43 @@ struct KShapeOptions {
   /// k-Shape); pointing this at a DtwMeasure gives the k-Shape+DTW ablation
   /// of Table 3. The pointee must outlive the KShape instance.
   const distance::DistanceMeasure* assignment_distance = nullptr;
+
+  /// Bound-driven assignment pruning. When true (default) AND the
+  /// process-wide KSHAPE_PRUNE gate is on AND the run uses the SBD spectrum
+  /// cache (pruning needs cached spectra; it is silently inactive with
+  /// `use_spectrum_cache = false` or a custom `assignment_distance`), the
+  /// assignment step skips provably-unchanged work two ways:
+  ///  1. Hamerly-style centroid-movement bounds in the sqrt(SBD) domain —
+  ///     after refinement the k centroid-shift distances tighten per-series
+  ///     upper bounds (distance to owner) and lower bounds (second-closest);
+  ///     a series whose bounds stay separated keeps its label with zero
+  ///     distance calls. SBD is not a guaranteed metric, so this layer is
+  ///     heuristic and guarded by `prune_margin` (below).
+  ///  2. Spectral early-abandon NCC — candidates whose partial-sum NCC upper
+  ///     bound (SbdEngine::DistanceWithAbandon) cannot beat the best-so-far
+  ///     are dropped without an inverse transform. This layer is rigorous
+  ///     (the bound is a theorem, slack covers only ulp rounding) and cannot
+  ///     change labels.
+  /// Telemetry lands in ClusteringResult::{distances_computed,
+  /// distances_pruned_bounds, distances_abandoned_partial, assignment_stats}.
+  bool use_pruning = true;
+
+  /// Safety slack of the movement-bound layer, in SBD distance units: a
+  /// series is pruned only when its owner-distance upper bound clears the
+  /// second-closest lower bound by more than this margin, absorbing both
+  /// bound rounding and small triangle-inequality violations of the
+  /// non-metric SBD. Larger values prune less and track the exact path more
+  /// faithfully; +infinity disables the movement-bound layer entirely and
+  /// makes the run bit-identical to the exact path (the spectral layer is
+  /// exactness-preserving on its own). The default absorbs every violation
+  /// observed on the test corpora with orders of magnitude to spare.
+  double prune_margin = 1e-6;
+
+  /// Verification mode: recompute every pruned series' assignment exactly
+  /// and count disagreements in ClusteringResult::pruned_label_mismatches.
+  /// Pruned decisions are kept, so enabling this changes telemetry only —
+  /// it exists to measure (and test) label agreement of the bounds.
+  bool verify_pruning = false;
 };
 
 /// k-Shape, Algorithm 3 of the paper.

@@ -174,9 +174,13 @@ namespace {
 
 class SbdBatchScanner : public distance::BatchScanner {
  public:
+  // Bound planes are built only when the process-wide pruning gate is on,
+  // so KSHAPE_PRUNE=off keeps the scanner byte-for-byte at its exhaustive
+  // behavior (and its PR 6 memory footprint).
   SbdBatchScanner(const tseries::SeriesBatch& candidates,
                   CrossCorrelationImpl impl)
-      : engine_(candidates, impl) {}
+      : engine_(candidates, impl, fft::HalfSpectrumEnabled(),
+                /*build_bound_planes=*/PruningEnabled()) {}
 
   void DistancesToAll(tseries::SeriesView query,
                       std::vector<double>* out) const override {
@@ -188,6 +192,20 @@ class SbdBatchScanner : public distance::BatchScanner {
     for (std::size_t i = 0; i < engine_.size(); ++i) {
       (*out)[i] = engine_.Distance(q, i);
     }
+  }
+
+  NearestResult Nearest(tseries::SeriesView query) const override {
+    // Spectral early abandoning (exactness-preserving — see
+    // SbdEngine::Nearest): candidates whose partial-sum NCC bound cannot
+    // beat the best-so-far skip their inverse transform entirely.
+    const SbdEngine::Query q = engine_.MakeQuery(query);
+    const SbdEngine::NearestResult r = engine_.Nearest(q);
+    NearestResult out;
+    out.index = r.index;
+    out.distance = r.distance;
+    out.computed = r.computed;
+    out.abandoned = r.abandoned;
+    return out;
   }
 
  private:

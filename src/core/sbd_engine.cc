@@ -1,5 +1,12 @@
 #include "core/sbd_engine.h"
 
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <utility>
+
 #include "common/check.h"
 #include "common/parallel.h"
 #include "linalg/matrix.h"
@@ -8,6 +15,34 @@
 namespace kshape::core {
 
 namespace {
+
+// Checkpoint cadence of the spectral-bound suffix arrays; must match the
+// abs_product_partial_sums kernel contract (16 elements per band).
+constexpr std::size_t kBoundCheckpoint = 16;
+
+// Fills one weighted magnitude plane mag[k] = sqrt(w_k |X_k|^2) over the
+// packed bins (w = 2 on interior bins whose conjugate mirror was folded in,
+// 1 on DC and — for even fft_len — Nyquist), then the checkpointed suffix
+// norms tail[c] = sqrt(Σ_{k >= 16c} mag[k]^2). Sequential per series, so the
+// plane contents are a fixed arithmetic sequence regardless of thread count.
+// `bin(k)` returns the packed bin (re, im).
+template <typename BinFn>
+void FillBoundPlane(std::size_t fft_len, std::size_t bins, std::size_t ntail,
+                    BinFn bin, double* mag, double* tail) {
+  const bool has_nyquist = (fft_len % 2 == 0) && bins >= 2;
+  for (std::size_t k = 0; k < bins; ++k) {
+    const auto [br, bi] = bin(k);
+    const double w = (k == 0 || (has_nyquist && k == bins - 1)) ? 1.0 : 2.0;
+    mag[k] = std::sqrt(w * (br * br + bi * bi));
+  }
+  double energy = 0.0;
+  std::size_t k = bins;
+  for (std::size_t c = ntail; c-- > 0;) {
+    const std::size_t lo = kBoundCheckpoint * c;
+    for (; k > lo; --k) energy += mag[k - 1] * mag[k - 1];
+    tail[c] = std::sqrt(energy);
+  }
+}
 
 // Peak of the raw cross-correlation of two cached full-complex spectra. The
 // cc buffer is thread_local so concurrent per-pair evaluations write
@@ -29,10 +64,37 @@ simd::Peak PeakFromRfft(const fft::RfftPlan& plan, const fft::RfftView& x,
   return simd::PeakScan(cc);
 }
 
+// -1 = unresolved, 0 = off, 1 = on. Same lazy-atomic discipline as the
+// KSHAPE_HALF_SPECTRUM gate in fft/rfft.cc.
+std::atomic<int> g_pruning{-1};
+
+int ResolvePruning() {
+  const char* env = std::getenv("KSHAPE_PRUNE");
+  if (env == nullptr || *env == '\0') return 1;
+  if (std::strcmp(env, "on") == 0) return 1;
+  if (std::strcmp(env, "off") == 0) return 0;
+  KSHAPE_CHECK_MSG(false, "KSHAPE_PRUNE must be 'on' or 'off'");
+  return 1;
+}
+
 }  // namespace
 
+bool PruningEnabled() {
+  int v = g_pruning.load(std::memory_order_acquire);
+  if (v < 0) {
+    v = ResolvePruning();
+    g_pruning.store(v, std::memory_order_release);
+  }
+  return v != 0;
+}
+
+void SetPruningEnabledForTesting(bool enabled) {
+  g_pruning.store(enabled ? 1 : 0, std::memory_order_release);
+}
+
 SbdEngine::SbdEngine(const tseries::SeriesBatch& series,
-                     CrossCorrelationImpl impl, bool use_half_spectrum) {
+                     CrossCorrelationImpl impl, bool use_half_spectrum,
+                     bool build_bound_planes) {
   KSHAPE_CHECK(!series.empty());
   KSHAPE_CHECK_MSG(impl != CrossCorrelationImpl::kNaive,
                    "SbdEngine caches spectra; the naive path has none");
@@ -52,6 +114,12 @@ SbdEngine::SbdEngine(const tseries::SeriesBatch& series,
   } else {
     spectra_.resize(n);
   }
+  if (build_bound_planes) {
+    bound_bins_ = fft::RfftBins(fft_len_);
+    bound_tails_ = bound_bins_ / kBoundCheckpoint + 1;
+    mags_.resize(n * bound_bins_);
+    tails_.resize(n * bound_tails_);
+  }
   // Deterministic pre-pass: each index writes only its own spectrum/norm
   // slot, and each per-series FFT is a fixed arithmetic sequence, so the
   // cache contents are bit-identical at every thread count.
@@ -63,6 +131,23 @@ SbdEngine::SbdEngine(const tseries::SeriesBatch& series,
         spectra_[i] = fft::Spectrum(series[i], fft_len_);
       }
       norms_[i] = linalg::Norm(series[i]);
+      if (build_bound_planes) {
+        double* mag = mags_.data() + i * bound_bins_;
+        double* tail = tails_.data() + i * bound_tails_;
+        if (half_) {
+          const fft::RfftView v = batch_->view(i);
+          FillBoundPlane(
+              fft_len_, bound_bins_, bound_tails_,
+              [&](std::size_t k) { return std::pair(v.re[k], v.im[k]); }, mag,
+              tail);
+        } else {
+          const std::vector<fft::Complex>& s = spectra_[i];
+          FillBoundPlane(
+              fft_len_, bound_bins_, bound_tails_,
+              [&](std::size_t k) { return std::pair(s[k].real(), s[k].imag()); },
+              mag, tail);
+        }
+      }
     }
   });
 }
@@ -76,6 +161,23 @@ SbdEngine::Query SbdEngine::MakeQuery(tseries::SeriesView q) const {
     query.spectrum = fft::Spectrum(q, fft_len_);
   }
   query.norm = linalg::Norm(q);
+  if (has_bound_planes()) {
+    query.mag.resize(bound_bins_);
+    query.tail.resize(bound_tails_);
+    if (half_) {
+      const fft::RfftView v = query.rspectrum.view();
+      FillBoundPlane(
+          fft_len_, bound_bins_, bound_tails_,
+          [&](std::size_t k) { return std::pair(v.re[k], v.im[k]); },
+          query.mag.data(), query.tail.data());
+    } else {
+      const std::vector<fft::Complex>& s = query.spectrum;
+      FillBoundPlane(
+          fft_len_, bound_bins_, bound_tails_,
+          [&](std::size_t k) { return std::pair(s[k].real(), s[k].imag()); },
+          query.mag.data(), query.tail.data());
+    }
+  }
   return query;
 }
 
@@ -160,6 +262,80 @@ linalg::Matrix SbdEngine::PairwiseMatrix() const {
     }
   });
   return d;
+}
+
+double SbdEngine::NccUpperBound(const Query& q, std::size_t i) const {
+  KSHAPE_CHECK(i < size());
+  KSHAPE_CHECK_MSG(has_bound_planes() && !q.mag.empty(),
+                   "spectral bound requires bound planes on engine and query");
+  const double den = q.norm * norms_[i];
+  if (den == 0.0) return 0.0;
+  const double s =
+      simd::Active().dot(q.mag.data(), mags_.data() + i * bound_bins_,
+                         bound_bins_);
+  return s / (static_cast<double>(fft_len_) * den);
+}
+
+double SbdEngine::DistanceWithAbandon(const Query& q, std::size_t i,
+                                      double cutoff, bool* abandoned) const {
+  KSHAPE_CHECK(i < size());
+  KSHAPE_CHECK_MSG(has_bound_planes() && !q.mag.empty(),
+                   "spectral bound requires bound planes on engine and query");
+  *abandoned = false;
+  const double den = q.norm * norms_[i];
+  if (den == 0.0) return 1.0;  // Sbd() zero-norm convention, exact.
+  // SBD > cutoff  ⟺  peak NCC < 1 - cutoff  ⟸  Σ w|Q||X| < (1-cutoff)·N·den.
+  const double n_den = static_cast<double>(fft_len_) * den;
+  const double threshold = (1.0 - cutoff) * n_den;
+  const double s = simd::Active().abs_product_partial_sums(
+      q.mag.data(), mags_.data() + i * bound_bins_, q.tail.data(),
+      tails_.data() + i * bound_tails_, bound_bins_, threshold);
+  if (s < threshold) {
+    // s is an upper bound on the full magnitude sum, so 1 - s/(N·den) is a
+    // valid lower bound on the distance, and it exceeds cutoff.
+    *abandoned = true;
+    return 1.0 - s / n_den;
+  }
+  return Distance(q, i);
+}
+
+SbdEngine::NearestResult SbdEngine::Nearest(const Query& q,
+                                            double bound_slack) const {
+  NearestResult r;
+  const std::size_t n = size();
+  KSHAPE_CHECK(n >= 1);
+  double best = std::numeric_limits<double>::infinity();
+  if (!has_bound_planes() || q.mag.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = Distance(q, i);
+      ++r.computed;
+      if (d < best) {
+        best = d;
+        r.index = i;
+      }
+    }
+    r.distance = best;
+    return r;
+  }
+  // Ascending scan with a strict-less update — the identical tie-break to
+  // DistanceToAll + first-strict-minimum. A candidate abandons only when its
+  // distance lower bound exceeds best + bound_slack, i.e. it provably loses
+  // even the tie-break, so early abandoning cannot change the result.
+  for (std::size_t i = 0; i < n; ++i) {
+    bool ab = false;
+    const double d = DistanceWithAbandon(q, i, best + bound_slack, &ab);
+    if (ab) {
+      ++r.abandoned;
+      continue;
+    }
+    ++r.computed;
+    if (d < best) {
+      best = d;
+      r.index = i;
+    }
+  }
+  r.distance = best;
+  return r;
 }
 
 void SbdEngine::PairwiseFlat(std::vector<double>* flat) const {

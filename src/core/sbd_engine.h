@@ -14,6 +14,21 @@
 
 namespace kshape::core {
 
+/// Process-wide pruning gate, resolved once on first use from the
+/// KSHAPE_PRUNE environment variable: "off" disables every bound-driven
+/// shortcut (Hamerly-style assignment pruning and spectral early-abandon NCC
+/// — all consumers fall back to exhaustive exact scans), "on" or unset
+/// enables them, anything else aborts. Layered under the per-call options
+/// (KShapeOptions::use_pruning, the classify scanners): pruning runs only
+/// when both the option and this gate say yes, so one environment variable
+/// can force the exact behavior for A/B runs without touching call sites.
+bool PruningEnabled();
+
+/// Replaces the gate for the rest of the process (tests comparing pruned and
+/// exact paths in one run). Call from a single thread, between parallel
+/// regions.
+void SetPruningEnabledForTesting(bool enabled);
+
 /// Spectrum cache for SBD over a fixed set of equal-length series.
 ///
 /// Construction performs one forward FFT and one norm per series (a
@@ -41,6 +56,18 @@ namespace kshape::core {
 /// arithmetic is fixed per input, so results are bit-identical across runs,
 /// SIMD backends, and thread counts.
 ///
+/// Spectral NCC bound (the pruning layer): for any shift s,
+///   |cc[s]| = |IDFT(X * conj(Y))[s]| <= (1/N) Σ_k |X_k||Y_k|,
+/// so max_s NCCc(x,y) <= (Σ_k |X_k||Y_k|) / (N ‖x‖‖y‖) — an upper bound on
+/// the NCC peak (equivalently a lower bound on SBD) evaluable from bin
+/// magnitudes alone, with NO inverse transform. The engine can precompute a
+/// per-series weighted magnitude plane mag[k] = sqrt(w_k)|X_k| over the
+/// packed bins [0, N/2] (w = 2 on interior bins, 1 on DC/Nyquist — conjugate
+/// symmetry folds the upper half in) plus per-checkpoint suffix energies, so
+/// the bound evaluates band-by-band through the abs_product_partial_sums
+/// kernel and a candidate abandons as soon as its partial-sum bound falls
+/// below the caller's cutoff (DistanceWithAbandon / Nearest).
+///
 /// Thread-safety: immutable after construction; all const members may be
 /// called concurrently (per-pair scratch is thread_local inside src/fft).
 class SbdEngine {
@@ -51,9 +78,13 @@ class SbdEngine {
   /// cached per length). kNaive has no spectra and is rejected.
   /// `use_half_spectrum` selects the packed SoA cache (default: the
   /// process-wide gate, i.e. on unless KSHAPE_HALF_SPECTRUM=off).
+  /// `build_bound_planes` additionally precomputes the magnitude/suffix
+  /// planes for the spectral NCC bound (8·(N/2) bytes per series; off by
+  /// default so non-pruning users keep the PR 6 memory footprint).
   explicit SbdEngine(const tseries::SeriesBatch& series,
                      CrossCorrelationImpl impl = CrossCorrelationImpl::kFft,
-                     bool use_half_spectrum = fft::HalfSpectrumEnabled());
+                     bool use_half_spectrum = fft::HalfSpectrumEnabled(),
+                     bool build_bound_planes = false);
 
   /// Number of cached series.
   std::size_t size() const { return norms_.size(); }
@@ -67,14 +98,21 @@ class SbdEngine {
   /// True when the engine runs on packed half spectra.
   bool half_spectrum() const { return half_; }
 
+  /// True when the magnitude/suffix planes for the spectral bound exist.
+  bool has_bound_planes() const { return !mags_.empty(); }
+
   /// Spectrum + norm of an out-of-set series (e.g. a k-Shape centroid),
   /// computed once and reusable against every cached series. Exactly one of
   /// `spectrum` (full-complex mode) / `rspectrum` (half-spectrum mode) is
-  /// populated, matching the engine that minted it.
+  /// populated, matching the engine that minted it. `mag`/`tail` (the
+  /// query-side planes of the spectral bound) are filled only when the
+  /// engine was built with bound planes.
   struct Query {
     std::vector<fft::Complex> spectrum;
     fft::RfftSpectrum rspectrum;
     double norm = 0.0;
+    std::vector<double> mag;
+    std::vector<double> tail;
   };
 
   /// One forward transform + one norm. Requires q.size() == series_length().
@@ -109,6 +147,41 @@ class SbdEngine {
   /// hook, which cannot name linalg::Matrix.
   void PairwiseFlat(std::vector<double>* flat) const;
 
+  /// The spectral NCC upper bound (Σ_k w_k|Q_k||X_i,k|) / (N ‖q‖‖x_i‖),
+  /// evaluated over the full plane (no abandoning). 0 when either norm is
+  /// zero (mirroring the MaxNcc convention). Requires bound planes on both
+  /// the engine and the query.
+  double NccUpperBound(const Query& q, std::size_t i) const;
+
+  /// SBD(q, series[i]) with spectral early abandoning: evaluates the
+  /// partial-sum NCC bound band-by-band, and as soon as it certifies
+  /// SBD(q, i) > cutoff, returns a valid LOWER bound on the distance
+  /// (> cutoff) with *abandoned = true — no inverse transform spent.
+  /// Otherwise returns the exact Distance(q, i) with *abandoned = false.
+  /// cutoff = +infinity never abandons. Requires bound planes.
+  double DistanceWithAbandon(const Query& q, std::size_t i, double cutoff,
+                             bool* abandoned) const;
+
+  struct NearestResult {
+    std::size_t index = 0;
+    double distance = 0.0;
+    long long computed = 0;   // exact distances evaluated
+    long long abandoned = 0;  // candidates dropped by the spectral bound
+  };
+
+  /// Sequential argmin over the cached series with spectral early
+  /// abandoning (plain scan when the engine has no bound planes). The
+  /// abandon cutoff carries `bound_slack` headroom over the best-so-far so
+  /// ulp-level rounding in the bound can never flip a near-tie: the result
+  /// index/distance is identical to DistanceToAll + first-strict-minimum.
+  NearestResult Nearest(const Query& q,
+                        double bound_slack = kDefaultBoundSlack) const;
+
+  /// Headroom added to early-abandon cutoffs so bound rounding (sqrt'd
+  /// suffix energies, the band dot product) can never abandon a true
+  /// near-tie. Far above accumulated ulps, far below any meaningful SBD gap.
+  static constexpr double kDefaultBoundSlack = 1e-9;
+
  private:
   // Peak of the raw cross-correlation of cached entry i against entry j /
   // query q, routed through whichever spectrum layout the engine holds.
@@ -123,6 +196,13 @@ class SbdEngine {
   // Packed half-spectrum layout: contiguous SoA pool + its amortized plan.
   std::optional<fft::BatchSpectra> batch_;
   std::vector<double> norms_;
+  // Spectral-bound planes (built on request): weighted bin magnitudes
+  // (size() x bound_bins_) and checkpointed suffix norms (size() x
+  // bound_tails_), both row-major contiguous.
+  std::size_t bound_bins_ = 0;
+  std::size_t bound_tails_ = 0;
+  std::vector<double> mags_;
+  std::vector<double> tails_;
 };
 
 }  // namespace kshape::core

@@ -73,7 +73,9 @@ ExtractedShape ExtractShapeImpl(
                                                       member.end());
     tseries::ZNormalizeInPlace(&aligned);
     if (linalg::Norm(aligned) == 0.0) continue;
-    s.AddOuterProduct(aligned);
+    // Upper triangle only (S is symmetric); mirrored once after the loop at
+    // half the accumulation cost, bit-identical to the full outer products.
+    s.AddSymmetricOuterProduct(aligned);
     linalg::Axpy(1.0, aligned, &mean);
     ++used;
   }
@@ -82,12 +84,23 @@ ExtractedShape ExtractShapeImpl(
     result.degenerate = true;
     return result;
   }
+  s.MirrorUpperToLower();
 
   const linalg::Matrix centered = CenterGramMatrix(s);
 
   std::vector<double> centroid;
   if (options.use_power_iteration) {
-    centroid = linalg::DominantEigenvector(centered, rng);
+    // Warm start: the alignment reference (the previous centroid) is close
+    // to the new dominant eigenvector once the clustering begins to settle,
+    // so seeding with it saves most of the power-iteration steps. `align`
+    // already certifies a nonzero reference.
+    std::vector<double> seed;
+    if (options.warm_start && align) {
+      seed.assign(reference.begin(), reference.end());
+    }
+    centroid = linalg::DominantEigenvector(
+        centered, rng, /*max_iters=*/200, /*tol=*/1e-10,
+        /*eigenvalue=*/nullptr, seed.empty() ? nullptr : &seed);
   } else {
     const linalg::EigenDecomposition decomp = linalg::SymmetricEigen(centered);
     centroid = decomp.eigenvectors.ColVector(m - 1);  // Largest eigenvalue.

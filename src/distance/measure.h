@@ -1,6 +1,8 @@
 #ifndef KSHAPE_DISTANCE_MEASURE_H_
 #define KSHAPE_DISTANCE_MEASURE_H_
 
+#include <cstddef>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +28,37 @@ class BatchScanner {
   /// candidate order. Resizes `out` as needed.
   virtual void DistancesToAll(tseries::SeriesView query,
                               std::vector<double>* out) const = 0;
+
+  /// Result of a Nearest() scan. `computed`/`abandoned` partition the
+  /// candidate set: exact distances evaluated vs candidates dropped by a
+  /// bound before their exact distance was finished. Scanners without
+  /// early abandoning report computed == candidate count, abandoned == 0.
+  struct NearestResult {
+    std::size_t index = 0;
+    double distance = 0.0;
+    long long computed = 0;
+    long long abandoned = 0;
+  };
+
+  /// Index and distance of the closest candidate, with the same
+  /// first-strict-minimum tie-break as scanning a DistancesToAll row in
+  /// candidate order — overrides may skip candidates a sound bound proves
+  /// cannot win (SBD's spectral early abandoning), but must return the
+  /// identical index. The default runs the exhaustive row.
+  virtual NearestResult Nearest(tseries::SeriesView query) const {
+    std::vector<double> dists;
+    DistancesToAll(query, &dists);
+    NearestResult r;
+    r.distance = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < dists.size(); ++i) {
+      if (dists[i] < r.distance) {
+        r.distance = dists[i];
+        r.index = i;
+      }
+    }
+    r.computed = static_cast<long long>(dists.size());
+    return r;
+  }
 };
 
 /// Abstract distance measure between two equal-length time series.

@@ -54,19 +54,15 @@ void Radix2Plan::TransformImpl(Complex* data, bool inverse) const {
     const std::size_t j = bit_reverse_[i];
     if (i < j) std::swap(data[i], data[j]);
   }
+  // The butterfly stages run through the dispatched radix2_pass kernel
+  // (scalar or AVX2, bit-identical by the kernel contract).
+  // std::complex<double> is array-layout-compatible with double[2], so the
+  // data buffer and the twiddle table stream into the kernel directly.
+  const auto& kernels = simd::Active();
+  double* interleaved = reinterpret_cast<double*>(data);
+  const double* twiddles = reinterpret_cast<const double*>(twiddles_.data());
   for (std::size_t len = 2; len <= n_; len <<= 1) {
-    const std::size_t half = len / 2;
-    const std::size_t step = n_ / len;
-    for (std::size_t base = 0; base < n_; base += len) {
-      for (std::size_t j = 0; j < half; ++j) {
-        Complex w = twiddles_[j * step];
-        if (inverse) w = std::conj(w);
-        const Complex u = data[base + j];
-        const Complex v = data[base + j + half] * w;
-        data[base + j] = u + v;
-        data[base + j + half] = u - v;
-      }
-    }
+    kernels.radix2_pass(interleaved, twiddles, n_, len, n_ / len, inverse);
   }
   if (inverse) {
     const double scale = 1.0 / static_cast<double>(n_);

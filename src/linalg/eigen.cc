@@ -279,14 +279,25 @@ EigenDecomposition SymmetricEigen(const Matrix& a) {
 
 std::vector<double> DominantEigenvector(const Matrix& a, common::Rng* rng,
                                         int max_iters, double tol,
-                                        double* eigenvalue) {
+                                        double* eigenvalue,
+                                        const std::vector<double>* initial) {
   KSHAPE_CHECK(a.rows() == a.cols());
   KSHAPE_CHECK(rng != nullptr);
   const std::size_t n = a.rows();
 
-  std::vector<double> v(n);
-  for (auto& x : v) x = rng->Gaussian();
-  NormalizeInPlace(&v);
+  std::vector<double> v;
+  bool warm = false;
+  if (initial != nullptr && initial->size() == n) {
+    v = *initial;
+    warm = NormalizeInPlace(&v) > 0.0;
+  }
+  if (!warm) {
+    // Cold start: random direction (almost surely non-orthogonal to the
+    // dominant eigenvector).
+    v.resize(n);
+    for (auto& x : v) x = rng->Gaussian();
+    NormalizeInPlace(&v);
+  }
 
   for (int iter = 0; iter < max_iters; ++iter) {
     std::vector<double> w = a.MultiplyVector(v);

@@ -42,10 +42,21 @@ EigenDecomposition SymmetricEigen(const Matrix& a);
 /// stores the Rayleigh quotient in `*eigenvalue` when non-null. Falls back to
 /// SymmetricEigen if not converged within `max_iters` (e.g. when the top two
 /// eigenvalues are nearly equal).
+///
+/// `initial`, when non-null with size n and a nonzero norm, seeds the
+/// iteration instead of a random draw (and leaves the RNG stream untouched):
+/// a warm start near the dominant eigenvector — e.g. the previous k-Shape
+/// centroid, which moves little between refinement iterations — cuts the
+/// matrix-vector products spent per call. A null/mismatched/zero `initial`
+/// falls back to the random start. The SymmetricEigen safety net is
+/// unchanged, so a pathological warm start costs iterations, never
+/// correctness.
 std::vector<double> DominantEigenvector(const Matrix& a, common::Rng* rng,
                                         int max_iters = 200,
                                         double tol = 1e-10,
-                                        double* eigenvalue = nullptr);
+                                        double* eigenvalue = nullptr,
+                                        const std::vector<double>* initial =
+                                            nullptr);
 
 /// Rayleigh quotient v^T A v / v^T v. Requires v not all-zero.
 double RayleighQuotient(const Matrix& a, const std::vector<double>& v);

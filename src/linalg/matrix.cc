@@ -79,6 +79,26 @@ void Matrix::AddOuterProduct(std::span<const double> v, double scale) {
   }
 }
 
+void Matrix::AddSymmetricOuterProduct(std::span<const double> v) {
+  KSHAPE_CHECK_MSG(rows_ == cols_ && rows_ == v.size(),
+                   "outer product dimension mismatch");
+  // Row i from column i on: the axpy kernel is element-wise (no cross-lane
+  // accumulator), so each touched entry sees exactly the ops a full-row axpy
+  // would have applied to it.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    simd::Active().axpy(v[i], v.data() + i, Row(i) + i, cols_ - i);
+  }
+}
+
+void Matrix::MirrorUpperToLower() {
+  KSHAPE_CHECK_MSG(rows_ == cols_, "mirror requires a square matrix");
+  for (std::size_t i = 1; i < rows_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      data_[i * cols_ + j] = data_[j * cols_ + i];
+    }
+  }
+}
+
 bool Matrix::IsSymmetric(double tol) const {
   if (rows_ != cols_) return false;
   for (std::size_t i = 0; i < rows_; ++i) {

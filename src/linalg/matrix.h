@@ -66,6 +66,19 @@ class Matrix {
   /// Adds scale * v v^T to this matrix. Requires square with n == v.size().
   void AddOuterProduct(std::span<const double> v, double scale = 1.0);
 
+  /// Adds v v^T to the upper triangle (j >= i) only, at half the work of
+  /// AddOuterProduct; the lower triangle is left stale until
+  /// MirrorUpperToLower(). Because IEEE multiplication commutes, the mirrored
+  /// entries are bit-identical to what a full AddOuterProduct accumulation
+  /// would have produced (this only holds at scale 1, hence no scale
+  /// parameter). Requires square with n == v.size().
+  void AddSymmetricOuterProduct(std::span<const double> v);
+
+  /// Copies the strict upper triangle onto the strict lower triangle,
+  /// completing a sequence of AddSymmetricOuterProduct calls. Requires
+  /// square.
+  void MirrorUpperToLower();
+
   /// Returns true iff the matrix is square and symmetric to within tol.
   bool IsSymmetric(double tol = 1e-9) const;
 

@@ -114,6 +114,21 @@ inline void DtwRow(const double* prev_jm1, const double* y_jm1, double xi,
   Active().dtw_row(prev_jm1, y_jm1, xi, left_seed, cur, count);
 }
 
+inline double AbsProductPartialSums(std::span<const double> a_mag,
+                                    std::span<const double> b_mag,
+                                    std::span<const double> a_tail,
+                                    std::span<const double> b_tail,
+                                    double threshold) {
+  return Active().abs_product_partial_sums(a_mag.data(), b_mag.data(),
+                                           a_tail.data(), b_tail.data(),
+                                           a_mag.size(), threshold);
+}
+
+inline void Radix2Pass(double* data, const double* twiddles, std::size_t n,
+                       std::size_t len, std::size_t step, bool inverse) {
+  Active().radix2_pass(data, twiddles, n, len, step, inverse);
+}
+
 }  // namespace kshape::simd
 
 #endif  // KSHAPE_SIMD_DISPATCH_H_

@@ -111,6 +111,43 @@ struct KernelTable {
   /// cost/e precomputation and share the identical serial combine.
   void (*dtw_row)(const double* prev_jm1, const double* y_jm1, double xi,
                   double left_seed, double* cur, std::size_t count);
+
+  /// Early-abandoning Σ a_mag[k]*b_mag[k] over nonnegative magnitude planes,
+  /// with Cauchy–Schwarz tail bounds at the squared_ed_abandon checkpoint
+  /// cadence. `a_tail`/`b_tail` hold per-checkpoint suffix norms:
+  /// tail[c] >= sqrt(Σ_{k >= 16c} mag[k]^2), arrays of length
+  /// floor(n/16) + 1. After each completed 16-element block (i = 16c
+  /// elements consumed, c >= 1) the running 4-lane total S is reduced and,
+  /// in this fixed order in every backend:
+  ///   1. if S >= threshold, return S   (the true sum is >= S — terms are
+  ///      nonnegative — so the caller can never abandon this candidate);
+  ///   2. bound = S + a_tail[c]*b_tail[c] (one mul, one add, each rounded
+  ///      separately); if bound < threshold, return bound (the true sum is
+  ///      <= bound by Cauchy–Schwarz on the remaining suffix — abandon).
+  /// If neither exit fires the kernel runs to completion and returns the
+  /// exact dot product. Contract for callers: the candidate may be
+  /// abandoned iff the returned value is < threshold; any return >=
+  /// threshold proves nothing beyond "not abandonable at this threshold".
+  double (*abs_product_partial_sums)(const double* a_mag, const double* b_mag,
+                                     const double* a_tail,
+                                     const double* b_tail, std::size_t n,
+                                     double threshold);
+
+  /// One radix-2 Cooley–Tukey butterfly stage over `n` interleaved (re, im)
+  /// complex doubles, for block length `len` (a power of two, 2 <= len <= n)
+  /// and twiddle stride `step` = n / len. `twiddles` is the interleaved
+  /// forward table w[k] = exp(-2πik/n), k in [0, n/2). For every block base
+  /// (multiples of len) and j in [0, len/2):
+  ///   w = twiddles[j*step], conjugated when `inverse`
+  ///   v = data[base+j+len/2] * w   (re = xr*wr - xi*wi, im = xr*wi + xi*wr,
+  ///                                 every product rounded separately, no FMA)
+  ///   data[base+j]       = u + v
+  ///   data[base+j+len/2] = u - v
+  /// Backends vectorize across adjacent j (u/v loads are contiguous complex
+  /// pairs once len >= 4) and share the identical per-butterfly rounding
+  /// sequence, so transforms are bit-identical across backends.
+  void (*radix2_pass)(double* data, const double* twiddles, std::size_t n,
+                      std::size_t len, std::size_t step, bool inverse);
 };
 
 /// The portable reference backend (plain C++, compiled without

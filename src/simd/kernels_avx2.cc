@@ -348,6 +348,85 @@ void DtwRowAvx2(const double* prev_jm1, const double* y_jm1, double xi,
   }
 }
 
+double AbsProductPartialSumsAvx2(const double* a_mag, const double* b_mag,
+                                 const double* a_tail, const double* b_tail,
+                                 std::size_t n, double threshold) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  // Same 16-element cadence and exit order as the scalar backend: reduce,
+  // cannot-abandon check, then the Cauchy–Schwarz tail bound (one scalar mul
+  // + add, rounded separately — identical arithmetic to the scalar kernel).
+  while (i + 16 <= n) {
+    const std::size_t stop = i + 16;
+    for (; i < stop; i += 4) {
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(a_mag + i),
+                                             _mm256_loadu_pd(b_mag + i)));
+    }
+    const double total = Reduce4(acc);
+    if (total >= threshold) return total;
+    const double bound = total + a_tail[i / 16] * b_tail[i / 16];
+    if (bound < threshold) return bound;
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(a_mag + i),
+                                           _mm256_loadu_pd(b_mag + i)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  for (; i < n; ++i) lanes[i & 3] += a_mag[i] * b_mag[i];
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+void Radix2PassAvx2(double* data, const double* twiddles, std::size_t n,
+                    std::size_t len, std::size_t step, bool inverse) {
+  const std::size_t half = len / 2;
+  if (half < 2) {
+    // len == 2: w = 1, adjacent complexes — the shuffle-heavy vector form
+    // buys nothing, so run the scalar butterflies (identical source to the
+    // scalar backend, same TU flags, trivially bit-identical).
+    for (std::size_t base = 0; base < n; base += 2) {
+      const std::size_t lo = 2 * base;
+      const std::size_t hi = lo + 2;
+      const double ur = data[lo];
+      const double ui = data[lo + 1];
+      const double vr = data[hi];
+      const double vi = data[hi + 1];
+      data[lo] = ur + vr;
+      data[lo + 1] = ui + vi;
+      data[hi] = ur - vr;
+      data[hi + 1] = ui - vi;
+    }
+    return;
+  }
+  // -0.0 on the even (real) lanes only: v_re = xr*wr - xi*wi needs the first
+  // product of each pair sign-flipped before the plain add (the non-conjugate
+  // mirror of ComplexMulConjAvx2; same no-addsub rationale — GCC would fuse
+  // mul+addsub into vfmsubadd and break bit-identity with scalar).
+  const __m256d even_flip = _mm256_set_pd(0.0, -0.0, 0.0, -0.0);
+  for (std::size_t base = 0; base < n; base += len) {
+    // half is a power of two >= 2, so the j-loop pairs up with no tail; u and
+    // x loads are contiguous complex pairs, only the twiddles are strided.
+    for (std::size_t j = 0; j < half; j += 2) {
+      const std::size_t tw0 = 2 * (j * step);
+      const std::size_t tw1 = 2 * ((j + 1) * step);
+      const double wi0 = inverse ? -twiddles[tw0 + 1] : twiddles[tw0 + 1];
+      const double wi1 = inverse ? -twiddles[tw1 + 1] : twiddles[tw1 + 1];
+      const __m256d w =
+          _mm256_set_pd(wi1, twiddles[tw1], wi0, twiddles[tw0]);
+      const __m256d u = _mm256_loadu_pd(data + 2 * (base + j));
+      const __m256d x = _mm256_loadu_pd(data + 2 * (base + j + half));
+      const __m256d w_re = _mm256_movedup_pd(w);        // [wr, wr, ...]
+      const __m256d w_im = _mm256_permute_pd(w, 0xF);   // [wi, wi, ...]
+      const __m256d x_sw = _mm256_permute_pd(x, 0x5);   // [xi, xr, ...]
+      const __m256d t1 = _mm256_mul_pd(x, w_re);        // [xr*wr, xi*wr]
+      const __m256d t2 = _mm256_mul_pd(x_sw, w_im);     // [xi*wi, xr*wi]
+      const __m256d v = _mm256_add_pd(t1, _mm256_xor_pd(t2, even_flip));
+      _mm256_storeu_pd(data + 2 * (base + j), _mm256_add_pd(u, v));
+      _mm256_storeu_pd(data + 2 * (base + j + half), _mm256_sub_pd(u, v));
+    }
+  }
+}
+
 }  // namespace
 
 const KernelTable* Avx2Kernels() {
@@ -370,6 +449,8 @@ const KernelTable* Avx2Kernels() {
       ScaleAvx2,
       ApplyZNormAvx2,
       DtwRowAvx2,
+      AbsProductPartialSumsAvx2,
+      Radix2PassAvx2,
   };
   return &table;
 }

@@ -261,6 +261,62 @@ void DtwRowScalar(const double* prev_jm1, const double* y_jm1, double xi,
   }
 }
 
+double AbsProductPartialSumsScalar(const double* a_mag, const double* b_mag,
+                                   const double* a_tail, const double* b_tail,
+                                   std::size_t n, double threshold) {
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  // The squared_ed_abandon cadence: a horizontal reduce every 16 elements,
+  // compared (never fed back), so both exits return the identical value in
+  // every backend. Exit order is fixed by the KernelTable contract: the
+  // cannot-abandon check first, then the Cauchy–Schwarz abandon bound.
+  while (i + 16 <= n) {
+    const std::size_t stop = i + 16;
+    for (; i < stop; i += 4) {
+      acc[0] += a_mag[i] * b_mag[i];
+      acc[1] += a_mag[i + 1] * b_mag[i + 1];
+      acc[2] += a_mag[i + 2] * b_mag[i + 2];
+      acc[3] += a_mag[i + 3] * b_mag[i + 3];
+    }
+    const double total = Reduce4(acc);
+    if (total >= threshold) return total;
+    const double bound = total + a_tail[i / 16] * b_tail[i / 16];
+    if (bound < threshold) return bound;
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc[0] += a_mag[i] * b_mag[i];
+    acc[1] += a_mag[i + 1] * b_mag[i + 1];
+    acc[2] += a_mag[i + 2] * b_mag[i + 2];
+    acc[3] += a_mag[i + 3] * b_mag[i + 3];
+  }
+  for (; i < n; ++i) acc[i & 3] += a_mag[i] * b_mag[i];
+  return Reduce4(acc);
+}
+
+void Radix2PassScalar(double* data, const double* twiddles, std::size_t n,
+                      std::size_t len, std::size_t step, bool inverse) {
+  const std::size_t half = len / 2;
+  for (std::size_t base = 0; base < n; base += len) {
+    for (std::size_t j = 0; j < half; ++j) {
+      const std::size_t tw = 2 * (j * step);
+      const double wr = twiddles[tw];
+      const double wi = inverse ? -twiddles[tw + 1] : twiddles[tw + 1];
+      const std::size_t lo = 2 * (base + j);
+      const std::size_t hi = 2 * (base + j + half);
+      const double ur = data[lo];
+      const double ui = data[lo + 1];
+      const double xr = data[hi];
+      const double xi = data[hi + 1];
+      const double vr = xr * wr - xi * wi;
+      const double vi = xr * wi + xi * wr;
+      data[lo] = ur + vr;
+      data[lo + 1] = ui + vi;
+      data[hi] = ur - vr;
+      data[hi + 1] = ui - vi;
+    }
+  }
+}
+
 }  // namespace
 
 const KernelTable& ScalarKernels() {
@@ -280,6 +336,8 @@ const KernelTable& ScalarKernels() {
       ScaleScalar,
       ApplyZNormScalar,
       DtwRowScalar,
+      AbsProductPartialSumsScalar,
+      Radix2PassScalar,
   };
   return table;
 }

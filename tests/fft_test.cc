@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "simd/dispatch.h"
 
 namespace kshape::fft {
 namespace {
@@ -277,6 +278,87 @@ TEST(PlanCacheTest, ReturnsSameObjectForSameSize) {
   const Radix2Plan& b = GetPlan(64);
   EXPECT_EQ(&a, &b);
   EXPECT_EQ(a.n(), 64u);
+}
+
+// The radix-2 butterfly passes route through the simd::radix2_pass kernel,
+// whose scalar and AVX2 variants promise bit-identical results (fixed
+// rounding sequence, no FMA contraction). These tests pin that contract at
+// the transform level: flipping the backend must not move a single bit.
+class FftBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override { original_ = simd::ActiveBackend(); }
+  void TearDown() override { simd::SetBackendForTesting(original_); }
+
+ private:
+  simd::Backend original_ = simd::Backend::kScalar;
+};
+
+TEST_F(FftBackendTest, ForwardBitIdenticalAcrossBackends) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "AVX2 backend not available";
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u, 128u, 256u, 1024u}) {
+    common::Rng rng(n * 19 + 3);
+    const std::vector<Complex> x = RandomComplexVector(n, &rng);
+
+    simd::SetBackendForTesting(simd::Backend::kScalar);
+    std::vector<Complex> scalar = x;
+    Forward(&scalar);
+
+    simd::SetBackendForTesting(simd::Backend::kAvx2);
+    std::vector<Complex> avx2 = x;
+    Forward(&avx2);
+
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(scalar[k].real(), avx2[k].real()) << "n=" << n << " k=" << k;
+      EXPECT_EQ(scalar[k].imag(), avx2[k].imag()) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST_F(FftBackendTest, InverseBitIdenticalAcrossBackends) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "AVX2 backend not available";
+  for (std::size_t n : {2u, 8u, 32u, 512u}) {
+    common::Rng rng(n * 23 + 9);
+    const std::vector<Complex> x = RandomComplexVector(n, &rng);
+
+    simd::SetBackendForTesting(simd::Backend::kScalar);
+    std::vector<Complex> scalar = x;
+    Inverse(&scalar);
+
+    simd::SetBackendForTesting(simd::Backend::kAvx2);
+    std::vector<Complex> avx2 = x;
+    Inverse(&avx2);
+
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(scalar[k].real(), avx2[k].real()) << "n=" << n << " k=" << k;
+      EXPECT_EQ(scalar[k].imag(), avx2[k].imag()) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST_F(FftBackendTest, CrossCorrelationBitIdenticalAcrossBackends) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "AVX2 backend not available";
+  // 60 pads to a non-power-of-two 119 under NoPow2 (Bluestein, whose inner
+  // convolutions also run on the kernel); 128 stays pure radix-2.
+  for (std::size_t m : {60u, 128u}) {
+    common::Rng rng(m * 29 + 1);
+    const std::vector<double> x = RandomRealVector(m, &rng);
+    const std::vector<double> y = RandomRealVector(m, &rng);
+
+    simd::SetBackendForTesting(simd::Backend::kScalar);
+    const std::vector<double> scalar_fft = CrossCorrelationFft(x, y);
+    const std::vector<double> scalar_blu = CrossCorrelationFftNoPow2(x, y);
+
+    simd::SetBackendForTesting(simd::Backend::kAvx2);
+    const std::vector<double> avx2_fft = CrossCorrelationFft(x, y);
+    const std::vector<double> avx2_blu = CrossCorrelationFftNoPow2(x, y);
+
+    for (std::size_t i = 0; i < scalar_fft.size(); ++i) {
+      EXPECT_EQ(scalar_fft[i], avx2_fft[i]) << "m=" << m << " lag=" << i;
+    }
+    for (std::size_t i = 0; i < scalar_blu.size(); ++i) {
+      EXPECT_EQ(scalar_blu[i], avx2_blu[i]) << "m=" << m << " lag=" << i;
+    }
+  }
 }
 
 }  // namespace

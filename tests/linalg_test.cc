@@ -83,6 +83,25 @@ TEST(MatrixTest, AddOuterProductBuildsGramMatrix) {
   EXPECT_TRUE(s.IsSymmetric());
 }
 
+TEST(MatrixTest, SymmetricOuterProductMatchesFullAccumulation) {
+  common::Rng rng(7);
+  const std::size_t n = 37;  // Odd size exercises the axpy tail lanes.
+  Matrix full(n, n);
+  Matrix half(n, n);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.Gaussian();
+    full.AddOuterProduct(v);
+    half.AddSymmetricOuterProduct(v);
+  }
+  half.MirrorUpperToLower();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(half(i, j), full(i, j)) << "entry (" << i << "," << j << ")";
+    }
+  }
+}
+
 TEST(MatrixTest, VectorKernels) {
   const std::vector<double> a = {3.0, 4.0};
   EXPECT_DOUBLE_EQ(Norm(a), 5.0);

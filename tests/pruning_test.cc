@@ -1,0 +1,350 @@
+// Contract tests for bound-driven assignment pruning (KShapeOptions::
+// use_pruning + the KSHAPE_PRUNE gate) and the spectral early-abandon NCC
+// bound underneath it (SbdEngine::{NccUpperBound, DistanceWithAbandon,
+// Nearest}).
+//
+// The load-bearing claims, each pinned here:
+//  - the spectral bound is a true upper bound on the NCC peak (lower bound
+//    on SBD) on power-of-two and Bluestein transform lengths alike;
+//  - abandoning never changes an argmin: Nearest() returns the identical
+//    index/distance the exhaustive scan finds;
+//  - pruned k-Shape produces the same labels as the exact scan at the
+//    default margin, across seeds, thread counts, spectrum layouts, and
+//    SIMD backends;
+//  - prune_margin = +infinity is bit-identical to the exact path (the
+//    movement-bound layer off, the exactness-preserving spectral layer on);
+//  - the telemetry partition computed + pruned + abandoned == n*k holds for
+//    every assignment iteration, and the exact path reports the full n*k as
+//    computed;
+//  - the KSHAPE_PRUNE gate and verify_pruning behave as documented.
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "core/kshape.h"
+#include "core/sbd.h"
+#include "core/sbd_engine.h"
+#include "data/generators.h"
+#include "fft/fft.h"
+#include "simd/dispatch.h"
+#include "tseries/normalization.h"
+
+namespace kshape {
+namespace {
+
+using tseries::Series;
+
+std::vector<Series> MakeSeries(std::size_t n, std::size_t m, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Series> series;
+  series.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series.push_back(tseries::ZNormalized(
+        data::MakeCbf(static_cast<int>(i % 3), m, &rng)));
+  }
+  return series;
+}
+
+cluster::ClusteringResult RunKShape(const core::KShapeOptions& options,
+                                    const std::vector<Series>& series, int k,
+                                    uint64_t seed) {
+  const core::KShape kshape(options);
+  common::Rng rng(seed);
+  return kshape.Cluster(series, k, &rng);
+}
+
+void ExpectTelemetryPartition(const cluster::ClusteringResult& result,
+                              std::size_t n, int k) {
+  ASSERT_EQ(result.assignment_stats.size(),
+            static_cast<std::size_t>(result.iterations));
+  long long computed = 0, pruned = 0, abandoned = 0;
+  for (const cluster::AssignmentIterationStats& s : result.assignment_stats) {
+    EXPECT_EQ(s.computed + s.pruned_bounds + s.abandoned_partial,
+              static_cast<long long>(n) * k);
+    EXPECT_GE(s.computed, 0);
+    EXPECT_GE(s.pruned_bounds, 0);
+    EXPECT_GE(s.abandoned_partial, 0);
+    computed += s.computed;
+    pruned += s.pruned_bounds;
+    abandoned += s.abandoned_partial;
+  }
+  EXPECT_EQ(result.distances_computed, computed);
+  EXPECT_EQ(result.distances_pruned_bounds, pruned);
+  EXPECT_EQ(result.distances_abandoned_partial, abandoned);
+}
+
+// ---------------------------------------------------------------------------
+// Spectral bound validity (SbdEngine layer).
+// ---------------------------------------------------------------------------
+
+void ExpectSpectralBoundValid(std::size_t m, core::CrossCorrelationImpl impl,
+                              bool half) {
+  const std::vector<Series> series = MakeSeries(14, m, m + 31);
+  const core::SbdEngine engine(series, impl, half,
+                               /*build_bound_planes=*/true);
+  ASSERT_TRUE(engine.has_bound_planes());
+  common::Rng rng(m + 57);
+  const Series query = tseries::ZNormalized(
+      data::MakeCbf(1, m, &rng));
+  const core::SbdEngine::Query q = engine.MakeQuery(query);
+  ASSERT_FALSE(q.mag.empty());
+
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double peak = engine.MaxNcc(q, i).value;
+    const double bound = engine.NccUpperBound(q, i);
+    // A theorem up to rounding; the engine's slack constant covers the ulps.
+    EXPECT_GE(bound + core::SbdEngine::kDefaultBoundSlack, peak)
+        << "m=" << m << " half=" << half << " i=" << i;
+
+    const double exact = engine.Distance(q, i);
+    // A cutoff below the true distance must abandon (or the partial sums
+    // never certified it — also legal); when it abandons, the returned
+    // value is a valid lower bound that clears the cutoff.
+    for (double cutoff : {exact - 0.05, exact + 0.05,
+                          std::numeric_limits<double>::infinity()}) {
+      bool abandoned = false;
+      const double v = engine.DistanceWithAbandon(q, i, cutoff, &abandoned);
+      if (abandoned) {
+        EXPECT_LE(v, exact + core::SbdEngine::kDefaultBoundSlack);
+        EXPECT_GT(v, cutoff);
+      } else {
+        EXPECT_EQ(v, exact);  // Bitwise: the same cached-distance path.
+      }
+    }
+    // +infinity can never abandon.
+    bool abandoned = false;
+    engine.DistanceWithAbandon(
+        q, i, std::numeric_limits<double>::infinity(), &abandoned);
+    EXPECT_FALSE(abandoned);
+  }
+}
+
+TEST(PruningTest, SpectralBoundValidPowerOfTwoLengths) {
+  for (std::size_t m : {16, 64, 128}) {
+    ExpectSpectralBoundValid(m, core::CrossCorrelationImpl::kFft, true);
+    ExpectSpectralBoundValid(m, core::CrossCorrelationImpl::kFft, false);
+  }
+}
+
+TEST(PruningTest, SpectralBoundValidBluesteinLengths) {
+  // kFftNoPow2 transforms at exactly 2m-1 (odd, Bluestein): the bound plane
+  // has no Nyquist bin and the suffix checkpoints cover a ragged tail.
+  for (std::size_t m : {24, 50, 80}) {
+    ExpectSpectralBoundValid(m, core::CrossCorrelationImpl::kFftNoPow2, true);
+    ExpectSpectralBoundValid(m, core::CrossCorrelationImpl::kFftNoPow2,
+                             false);
+  }
+}
+
+TEST(PruningTest, NearestMatchesExhaustiveScan) {
+  for (std::size_t m : {48, 64}) {
+    const std::vector<Series> series = MakeSeries(40, m, m + 3);
+    const core::SbdEngine engine(series, core::CrossCorrelationImpl::kFft,
+                                 fft::HalfSpectrumEnabled(),
+                                 /*build_bound_planes=*/true);
+    common::Rng rng(m + 5);
+    for (int t = 0; t < 6; ++t) {
+      const Series query = tseries::ZNormalized(
+          data::MakeCbf(t % 3, m, &rng));
+      const core::SbdEngine::Query q = engine.MakeQuery(query);
+      const core::SbdEngine::NearestResult r = engine.Nearest(q);
+      EXPECT_EQ(r.computed + r.abandoned,
+                static_cast<long long>(engine.size()));
+
+      std::vector<double> all;
+      engine.DistanceToAll(q, &all);
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        if (all[i] < best_d) {
+          best_d = all[i];
+          best = i;
+        }
+      }
+      EXPECT_EQ(r.index, best);
+      EXPECT_EQ(r.distance, best_d);  // Bitwise.
+    }
+  }
+}
+
+TEST(PruningTest, BoundPlanesOffByDefault) {
+  const std::vector<Series> series = MakeSeries(6, 32, 7);
+  const core::SbdEngine engine(series);
+  EXPECT_FALSE(engine.has_bound_planes());
+  const core::SbdEngine::Query q = engine.MakeQuery(series[0]);
+  EXPECT_TRUE(q.mag.empty());
+  // Nearest degrades to the plain scan: exact result, zero abandoned.
+  const core::SbdEngine::NearestResult r = engine.Nearest(q);
+  EXPECT_EQ(r.abandoned, 0);
+  EXPECT_EQ(r.computed, static_cast<long long>(engine.size()));
+  EXPECT_EQ(r.index, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// k-Shape label equality and telemetry.
+// ---------------------------------------------------------------------------
+
+TEST(PruningTest, LabelsMatchExactAcrossSeedsThreadsLayoutsBackends) {
+  const int saved_threads = common::ThreadCount();
+  const simd::Backend saved_backend = simd::ActiveBackend();
+  const std::vector<Series> series = MakeSeries(60, 64, 101);
+
+  std::vector<simd::Backend> backends = {simd::Backend::kScalar};
+  if (simd::Avx2Available()) backends.push_back(simd::Backend::kAvx2);
+
+  for (uint64_t seed : {11u, 12u}) {
+    for (bool half : {true, false}) {
+      core::KShapeOptions pruned_options;
+      pruned_options.use_half_spectrum = half;
+      core::KShapeOptions exact_options = pruned_options;
+      exact_options.use_pruning = false;
+
+      for (simd::Backend backend : backends) {
+        simd::SetBackendForTesting(backend);
+        std::vector<int> reference_assignments;
+        for (int threads : {1, 2, 8}) {
+          common::SetThreadCount(threads);
+          const cluster::ClusteringResult pruned =
+              RunKShape(pruned_options, series, 3, seed);
+          const cluster::ClusteringResult exact =
+              RunKShape(exact_options, series, 3, seed);
+          EXPECT_EQ(pruned.assignments, exact.assignments)
+              << "seed=" << seed << " half=" << half
+              << " threads=" << threads;
+          EXPECT_EQ(pruned.iterations, exact.iterations);
+          EXPECT_EQ(pruned.converged, exact.converged);
+          ExpectTelemetryPartition(pruned, series.size(), 3);
+          // The pruned path itself is thread-count-invariant.
+          if (reference_assignments.empty()) {
+            reference_assignments = pruned.assignments;
+          } else {
+            EXPECT_EQ(pruned.assignments, reference_assignments)
+                << "thread-count variance at threads=" << threads;
+          }
+        }
+      }
+    }
+  }
+  common::SetThreadCount(saved_threads);
+  simd::SetBackendForTesting(saved_backend);
+}
+
+TEST(PruningTest, PrunedPathBitIdenticalAcrossBackends) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "AVX2 backend not available";
+  const simd::Backend saved_backend = simd::ActiveBackend();
+  const std::vector<Series> series = MakeSeries(50, 64, 202);
+  core::KShapeOptions options;
+
+  simd::SetBackendForTesting(simd::Backend::kScalar);
+  const cluster::ClusteringResult scalar = RunKShape(options, series, 3, 7);
+  simd::SetBackendForTesting(simd::Backend::kAvx2);
+  const cluster::ClusteringResult avx2 = RunKShape(options, series, 3, 7);
+  simd::SetBackendForTesting(saved_backend);
+
+  EXPECT_EQ(scalar.assignments, avx2.assignments);
+  EXPECT_EQ(scalar.iterations, avx2.iterations);
+  // The abandon decisions come from the bit-identical partial-sums kernel,
+  // so even the telemetry must agree counter for counter.
+  ASSERT_EQ(scalar.assignment_stats.size(), avx2.assignment_stats.size());
+  for (std::size_t it = 0; it < scalar.assignment_stats.size(); ++it) {
+    EXPECT_EQ(scalar.assignment_stats[it].computed,
+              avx2.assignment_stats[it].computed);
+    EXPECT_EQ(scalar.assignment_stats[it].pruned_bounds,
+              avx2.assignment_stats[it].pruned_bounds);
+    EXPECT_EQ(scalar.assignment_stats[it].abandoned_partial,
+              avx2.assignment_stats[it].abandoned_partial);
+  }
+}
+
+TEST(PruningTest, InfiniteMarginBitIdenticalToExactPath) {
+  const std::vector<Series> series = MakeSeries(45, 64, 303);
+  core::KShapeOptions inf_options;
+  inf_options.prune_margin = std::numeric_limits<double>::infinity();
+  core::KShapeOptions exact_options;
+  exact_options.use_pruning = false;
+
+  const cluster::ClusteringResult a = RunKShape(inf_options, series, 3, 9);
+  const cluster::ClusteringResult b = RunKShape(exact_options, series, 3, 9);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.empty_cluster_reseeds, b.empty_cluster_reseeds);
+  ASSERT_EQ(a.centroids.size(), b.centroids.size());
+  for (std::size_t j = 0; j < a.centroids.size(); ++j) {
+    ASSERT_EQ(a.centroids[j].size(), b.centroids[j].size());
+    for (std::size_t t = 0; t < a.centroids[j].size(); ++t) {
+      EXPECT_EQ(a.centroids[j][t], b.centroids[j][t]);  // Bitwise.
+    }
+  }
+  // The movement-bound layer is off; only spectral abandons may remain, and
+  // nothing is ever pruned by bounds.
+  EXPECT_EQ(a.distances_pruned_bounds, 0);
+  ExpectTelemetryPartition(a, series.size(), 3);
+}
+
+TEST(PruningTest, ExactPathReportsFullScanTelemetry) {
+  const std::vector<Series> series = MakeSeries(30, 48, 404);
+  core::KShapeOptions options;
+  options.use_pruning = false;
+  const cluster::ClusteringResult r = RunKShape(options, series, 3, 13);
+  ASSERT_EQ(r.assignment_stats.size(),
+            static_cast<std::size_t>(r.iterations));
+  for (const cluster::AssignmentIterationStats& s : r.assignment_stats) {
+    EXPECT_EQ(s.computed, static_cast<long long>(series.size()) * 3);
+    EXPECT_EQ(s.pruned_bounds, 0);
+    EXPECT_EQ(s.abandoned_partial, 0);
+  }
+  EXPECT_EQ(r.distances_computed,
+            static_cast<long long>(r.iterations) * series.size() * 3);
+}
+
+TEST(PruningTest, PruneGateOffForcesExactScan) {
+  const std::vector<Series> series = MakeSeries(30, 48, 505);
+  core::KShapeOptions options;  // use_pruning defaults to true.
+  core::SetPruningEnabledForTesting(false);
+  const cluster::ClusteringResult gated = RunKShape(options, series, 3, 17);
+  core::SetPruningEnabledForTesting(true);
+  const cluster::ClusteringResult pruned = RunKShape(options, series, 3, 17);
+
+  EXPECT_EQ(gated.distances_pruned_bounds, 0);
+  EXPECT_EQ(gated.distances_abandoned_partial, 0);
+  EXPECT_EQ(gated.distances_computed,
+            static_cast<long long>(gated.iterations) * series.size() * 3);
+  EXPECT_EQ(gated.assignments, pruned.assignments);
+}
+
+TEST(PruningTest, VerifyModeReportsNoMismatchesAtDefaultMargin) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    const std::vector<Series> series = MakeSeries(60, 64, 600 + seed);
+    core::KShapeOptions options;
+    options.verify_pruning = true;
+    const cluster::ClusteringResult r = RunKShape(options, series, 3, seed);
+    EXPECT_EQ(r.pruned_label_mismatches, 0) << "seed=" << seed;
+    ExpectTelemetryPartition(r, series.size(), 3);
+  }
+}
+
+TEST(PruningTest, PruningActuallySkipsWorkOnceSettled) {
+  // Not a hard performance bound — just a guard that the machinery engages:
+  // on well-separated clusters some later iteration must skip a nonzero
+  // share of the n*k candidate pairs.
+  const std::vector<Series> series = MakeSeries(120, 128, 707);
+  core::KShapeOptions options;
+  const cluster::ClusteringResult r = RunKShape(options, series, 3, 29);
+  ASSERT_GE(r.iterations, 2);
+  long long skipped_after_first = 0;
+  for (std::size_t it = 1; it < r.assignment_stats.size(); ++it) {
+    skipped_after_first += r.assignment_stats[it].pruned_bounds +
+                           r.assignment_stats[it].abandoned_partial;
+  }
+  EXPECT_GT(skipped_after_first, 0);
+}
+
+}  // namespace
+}  // namespace kshape
