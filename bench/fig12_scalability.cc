@@ -8,17 +8,46 @@
 //   - accuracy does not degrade with scale for either method.
 // Sizes are scaled to a single-core laptop run; the shape of the curves, not
 // the absolute seconds, is the result.
+//
+// Sharded mode (--sharded): the out-of-core extension of 12a, pushing n into
+// the 10^5-10^6 regime the in-memory batch cannot (or should not) hold. The
+// CBF corpus is generated straight into a store::ShardedSeriesStore (never
+// materialized in memory), then clustered by the mini-batch sharded driver
+// (cluster::MiniBatchKShape) under a fixed residency budget, with an
+// exact-mode sharded reference at the smallest size. One BENCH JSON line per
+// configuration:
+//
+//   BENCH {"bench":"fig12_sharded","workload":"minibatch_kshape","n":100000,
+//          "m":128,"k":3,"shard_rows":8192,"max_resident_shards":4,
+//          "minibatch":4096,"seconds":12.3,"rand":0.91,"ari":0.80,
+//          "iterations":15,"converged":false,"shards_loaded":52,
+//          "shard_evictions":48,"sampled_series":49152,
+//          "resident_bound_ok":true}
+//
+// Records also land in BENCH_sharded.json (a JSON array) for CI. The
+// residency bound is asserted, not just reported: the run aborts if the
+// store ever ends up holding more shards than its budget. Flags compose:
+// `--sharded --smoke` is the CI leg (n = 20000), `--sharded` the default
+// sweep (n = 100000, 250000), `--sharded --xl` adds n = 1000000.
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "cluster/averaging.h"
 #include "cluster/kmeans.h"
+#include "cluster/minibatch_kshape.h"
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/kshape.h"
 #include "data/generators.h"
 #include "distance/euclidean.h"
 #include "eval/metrics.h"
 #include "harness/table.h"
+#include "store/sharded_store.h"
 #include "tseries/normalization.h"
 
 namespace {
@@ -38,10 +67,188 @@ void MakeCbfData(int n, std::size_t m, uint64_t seed,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Sharded out-of-core mode.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> g_sharded_records;
+
+struct ShardedRunResult {
+  double seconds = 0.0;
+  double rand_index = 0.0;
+  double ari = 0.0;
+  kshape::cluster::ClusteringResult clustering;
+};
+
+// Generates the CBF corpus row by row straight into a sharded store at
+// `directory` — the corpus never exists as one in-memory batch, which is the
+// point of the 10^5-10^6 regime.
+kshape::store::ShardedSeriesStore GenerateShardedCbf(
+    const std::string& directory, std::size_t n, std::size_t m, uint64_t seed,
+    const kshape::core::KShapeOptions& options, std::vector<int>* labels) {
+  namespace fs = std::filesystem;
+  fs::remove_all(directory);
+  kshape::store::ShardedStoreOptions store_options;
+  store_options.shard_rows = options.shard_rows;
+  store_options.max_resident_shards = options.max_resident_shards;
+  auto created =
+      kshape::store::ShardedSeriesStore::Create(directory, store_options);
+  KSHAPE_CHECK_MSG(created.ok(), "cannot create sharded store");
+  kshape::store::ShardedSeriesStore store = std::move(created).value();
+
+  kshape::common::Rng rng(seed);
+  labels->clear();
+  labels->reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int klass = static_cast<int>(i % 3);
+    store.Append(kshape::tseries::ZNormalized(
+        kshape::data::MakeCbf(klass, m, &rng)));
+    labels->push_back(klass);
+  }
+  KSHAPE_CHECK(store.Seal().ok());
+  return store;
+}
+
+ShardedRunResult RunSharded(kshape::store::ShardedSeriesStore* store,
+                            const kshape::core::KShapeOptions& options,
+                            int k, const std::vector<int>& labels) {
+  const kshape::cluster::MiniBatchKShape driver(options);
+  kshape::common::Rng rng(99);
+  ShardedRunResult out;
+  kshape::common::Stopwatch timer;
+  out.clustering = driver.Cluster(store, k, &rng);
+  out.seconds = timer.ElapsedSeconds();
+  // The residency budget is the bench's contract, not a best-effort hint.
+  KSHAPE_CHECK_MSG(store->resident_count() <= store->max_resident_shards(),
+                   "residency budget exceeded");
+  out.rand_index = kshape::eval::RandIndex(labels, out.clustering.assignments);
+  out.ari =
+      kshape::eval::AdjustedRandIndex(labels, out.clustering.assignments);
+  return out;
+}
+
+void RecordSharded(std::size_t n, std::size_t m, int k,
+                   const kshape::core::KShapeOptions& options,
+                   const ShardedRunResult& run) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"bench\":\"fig12_sharded\",\"workload\":\"minibatch_kshape\","
+      "\"n\":%zu,\"m\":%zu,\"k\":%d,\"shard_rows\":%zu,"
+      "\"max_resident_shards\":%zu,\"minibatch\":%zu,\"seconds\":%.3f,"
+      "\"rand\":%.4f,\"ari\":%.4f,\"iterations\":%d,\"converged\":%s,"
+      "\"shards_loaded\":%lld,\"shard_evictions\":%lld,"
+      "\"sampled_series\":%lld,\"resident_bound_ok\":true}",
+      n, m, k, options.shard_rows, options.max_resident_shards,
+      options.minibatch_size, run.seconds, run.rand_index, run.ari,
+      run.clustering.iterations, run.clustering.converged ? "true" : "false",
+      run.clustering.shards_loaded, run.clustering.shard_evictions,
+      run.clustering.sampled_series);
+  std::printf("BENCH %s\n", buffer);
+  g_sharded_records.emplace_back(buffer);
+}
+
+int RunShardedMode(bool smoke, bool xl) {
+  using namespace kshape;
+  namespace fs = std::filesystem;
+
+  const std::size_t m = 128;
+  const int k = 3;
+  std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{20000}
+            : std::vector<std::size_t>{100000, 250000};
+  if (xl) sizes.push_back(1000000);
+
+  harness::PrintSection(
+      std::cout,
+      "Sharded out-of-core mini-batch k-Shape (CBF, m = 128, k = 3)");
+  harness::TablePrinter table({"n", "mode", "seconds", "Rand", "ARI",
+                               "iters", "loads", "evicts", "sampled"});
+
+  core::KShapeOptions options;
+  options.shard_rows = 8192;
+  options.max_resident_shards = 4;
+  options.minibatch_size = 4096;
+  options.refresh_period = 5;
+  options.max_iterations = 15;
+
+  const std::string dir_base =
+      (fs::temp_directory_path() / "kshape_fig12_shards").string();
+  bool first = true;
+  for (const std::size_t n : sizes) {
+    const std::string dir = dir_base + "_" + std::to_string(n);
+    std::vector<int> labels;
+    store::ShardedSeriesStore store =
+        GenerateShardedCbf(dir, n, m, /*seed=*/1, options, &labels);
+    std::printf("n=%zu: %zu shards on disk, residency budget %zu\n", n,
+                store.num_shards(), store.max_resident_shards());
+
+    if (first) {
+      // Exact-mode sharded reference at the smallest size: every iteration
+      // a full pass, so the mini-batch rows below have a quality anchor.
+      core::KShapeOptions exact = options;
+      exact.minibatch_size = 0;
+      const ShardedRunResult run = RunSharded(&store, exact, k, labels);
+      KSHAPE_CHECK(run.clustering.sampled_series == 0);
+      RecordSharded(n, m, k, exact, run);
+      table.AddRow({std::to_string(n), "exact",
+                    harness::FormatDouble(run.seconds, 2),
+                    harness::FormatDouble(run.rand_index, 3),
+                    harness::FormatDouble(run.ari, 3),
+                    std::to_string(run.clustering.iterations),
+                    std::to_string(run.clustering.shards_loaded),
+                    std::to_string(run.clustering.shard_evictions),
+                    std::to_string(run.clustering.sampled_series)});
+      first = false;
+    }
+
+    const ShardedRunResult run = RunSharded(&store, options, k, labels);
+    RecordSharded(n, m, k, options, run);
+    table.AddRow({std::to_string(n), "minibatch",
+                  harness::FormatDouble(run.seconds, 2),
+                  harness::FormatDouble(run.rand_index, 3),
+                  harness::FormatDouble(run.ari, 3),
+                  std::to_string(run.clustering.iterations),
+                  std::to_string(run.clustering.shards_loaded),
+                  std::to_string(run.clustering.shard_evictions),
+                  std::to_string(run.clustering.sampled_series)});
+
+    // The biggest corpus is ~1 GB on disk; don't leave it behind.
+    fs::remove_all(dir);
+  }
+  table.Print(std::cout);
+  std::cout << "(Peak resident sample memory is bounded by "
+               "max_resident_shards * shard_rows * m * 8 bytes — "
+            << (options.max_resident_shards * options.shard_rows * m * 8) /
+                   (1024 * 1024)
+            << " MiB here — independent of n.)\n";
+
+  std::ofstream json("BENCH_sharded.json");
+  json << "[\n";
+  for (std::size_t i = 0; i < g_sharded_records.size(); ++i) {
+    json << "  " << g_sharded_records[i]
+         << (i + 1 < g_sharded_records.size() ? ",\n" : "\n");
+  }
+  json << "]\n";
+  json.close();
+  std::printf("wrote BENCH_sharded.json (%zu records)\n",
+              g_sharded_records.size());
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kshape;
+
+  bool sharded = false, smoke = false, xl = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--sharded") sharded = true;
+    if (arg == "--smoke") smoke = true;
+    if (arg == "--xl") xl = true;
+  }
+  if (sharded) return RunShardedMode(smoke, xl);
 
   const distance::EuclideanDistance ed;
   const cluster::ArithmeticMeanAveraging mean_avg;

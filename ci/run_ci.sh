@@ -13,9 +13,13 @@
 #    cache through the whole tier (the half-spectrum equivalence contract
 #    says labels and accuracies cannot change), and a KSHAPE_PRUNE=off leg
 #    that forces exhaustive exact scans through the whole tier (the pruning
-#    equivalence contract says labels cannot change); then the
-#    storage-layout, simd-kernels, rfft-batch, and assignment-pruning
-#    microbenches in --smoke mode as release-stage smoke tests (all
+#    equivalence contract says labels cannot change), and KSHAPE_SHARDS=on
+#    / KSHAPE_SHARDS=off legs that pin the out-of-core gate both ways (the
+#    sharded exact-mode contract says results are bit-identical to the
+#    in-memory driver, and the "off" leg forces the fall-back-to-exact path
+#    through the mini-batch suite); then the storage-layout, simd-kernels,
+#    rfft-batch, and assignment-pruning microbenches plus the sharded fig12
+#    scalability bench in --smoke mode as release-stage smoke tests (all
 #    cross-check bit-identity, epsilon equivalence, or label equality and
 #    write their BENCH_*.json files).
 # 2. -march=native release build: the strictest determinism setting — the
@@ -23,18 +27,23 @@
 #    TUs, so tier-1 passing here proves the -ffp-contract=off firewalls
 #    around src/simd/ actually hold.
 # 3. ThreadSanitizer build; parallel_test, thread_pool_test, sbd_cache_test,
-#    rfft_test, simd_kernels_test, and pruning_test run under TSan to catch
-#    data races in the pool, the FFT/RFFT plan caches (incl. BatchSpectra
-#    parallel fill), the spectrum-cached SBD pipeline, the kernel dispatch
-#    cache (atomic table pointer + SetBackendForTesting), and the pruned
-#    assignment scan (per-series bound/telemetry cells + the KSHAPE_PRUNE
-#    gate atomics).
+#    rfft_test, simd_kernels_test, pruning_test, sharded_store_test, and
+#    minibatch_kshape_test run under TSan to catch data races in the pool,
+#    the FFT/RFFT plan caches (incl. BatchSpectra parallel fill), the
+#    spectrum-cached SBD pipeline, the kernel dispatch cache (atomic table
+#    pointer + SetBackendForTesting), the pruned assignment scan (per-series
+#    bound/telemetry cells + the KSHAPE_PRUNE gate atomics), the shard
+#    residency cache (generation stamps + eviction under churn), and the
+#    sharded assignment fan-out (per-shard engines writing disjoint label
+#    ranges in parallel).
 # 4. AddressSanitizer+UBSan build; the robustness suites (degenerate inputs,
 #    property sweeps over hostile data, conditioning) plus simd_kernels_test
 #    (unaligned loads, length-1..67 tails), rfft_test (packed-bin
-#    unpack/fold indexing at odd, prime, and power-of-two lengths), and
+#    unpack/fold indexing at odd, prime, and power-of-two lengths),
 #    pruning_test (bound-plane indexing at Bluestein lengths, the
-#    partial-sum checkpoint tails) run under ASan+UBSan so every
+#    partial-sum checkpoint tails), sharded_store_test (mmap-free file I/O,
+#    truncated/corrupt shard handling), and minibatch_kshape_test (sampled
+#    scatter indexing, streamed repair) run under ASan+UBSan so every
 #    repair/fallback path is also checked for memory errors and UB.
 #
 # Usage: ci/run_ci.sh [build-dir-prefix]   (default: build-ci)
@@ -75,6 +84,12 @@ echo "==> tier1 tests, KSHAPE_PRUNE=off (forced exhaustive exact scans)"
 (cd "${RELEASE_DIR}" &&
  KSHAPE_PRUNE=off ctest -L tier1 --output-on-failure -j "${JOBS}")
 
+for shards in on off; do
+  echo "==> tier1 tests, KSHAPE_SHARDS=${shards} (out-of-core gate pinned)"
+  (cd "${RELEASE_DIR}" &&
+   KSHAPE_SHARDS="${shards}" ctest -L tier1 --output-on-failure -j "${JOBS}")
+done
+
 echo "==> storage-layout smoke test (contiguous vs nested bit-identity)"
 (cd "${RELEASE_DIR}" && ./bench/storage_layout --smoke)
 
@@ -86,6 +101,9 @@ echo "==> rfft-batch smoke test (half-spectrum vs full-complex equivalence)"
 
 echo "==> assignment-pruning smoke test (pruned vs exact label equality)"
 (cd "${RELEASE_DIR}" && ./bench/assignment_pruning --smoke)
+
+echo "==> sharded fig12 smoke test (out-of-core exact + mini-batch runs)"
+(cd "${RELEASE_DIR}" && ./bench/fig12_scalability --sharded --smoke)
 
 NATIVE_DIR="${PREFIX}-native"
 echo "==> -march=native release build (${NATIVE_DIR})"
@@ -104,9 +122,10 @@ cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DKSHAPE_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
       --target parallel_test thread_pool_test sbd_cache_test rfft_test \
-               simd_kernels_test pruning_test
+               simd_kernels_test pruning_test sharded_store_test \
+               minibatch_kshape_test
 
-echo "==> race check: parallel + thread_pool + sbd_cache + rfft + simd_kernels + pruning under TSan"
+echo "==> race check: parallel + thread_pool + sbd_cache + rfft + simd_kernels + pruning + sharded_store + minibatch under TSan"
 # Run the parallel paths at a thread count high enough to force real
 # interleaving even on small CI machines.
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
@@ -121,13 +140,18 @@ KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/simd_kernels_test"
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/pruning_test"
+KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    "${TSAN_DIR}/tests/sharded_store_test"
+KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    "${TSAN_DIR}/tests/minibatch_kshape_test"
 
 echo "==> ASan+UBSan build (${ASAN_DIR})"
 cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DKSHAPE_SANITIZE=address,undefined
 cmake --build "${ASAN_DIR}" -j "${JOBS}" \
       --target degenerate_input_test robustness_properties_test tseries_test \
-               rfft_test simd_kernels_test pruning_test
+               rfft_test simd_kernels_test pruning_test sharded_store_test \
+               minibatch_kshape_test
 
 echo "==> hostile-input check: robustness suites under ASan+UBSan"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
@@ -148,5 +172,11 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     "${ASAN_DIR}/tests/pruning_test"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "${ASAN_DIR}/tests/sharded_store_test"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "${ASAN_DIR}/tests/minibatch_kshape_test"
 
 echo "==> CI OK"

@@ -66,6 +66,16 @@ struct ClusteringResult {
   /// decisions are KEPT — verification observes, it does not correct — so
   /// this measures bound validity without changing the clustering.
   long long pruned_label_mismatches = 0;
+
+  /// Out-of-core telemetry (the sharded MiniBatchKShape driver; in-memory
+  /// methods leave all three at zero): shard files read from disk and shards
+  /// evicted under the residency budget over this run (deltas against the
+  /// store's cumulative counters), and the total number of series sampled
+  /// into mini-batches across all sampled iterations (0 when mini-batching
+  /// is off — i.e. for every exact sharded run).
+  long long shards_loaded = 0;
+  long long shard_evictions = 0;
+  long long sampled_series = 0;
 };
 
 /// Abstract partitional/hierarchical/spectral clustering algorithm.

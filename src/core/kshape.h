@@ -94,6 +94,33 @@ struct KShapeOptions {
   /// Pruned decisions are kept, so enabling this changes telemetry only —
   /// it exists to measure (and test) label agreement of the bounds.
   bool verify_pruning = false;
+
+  // --- Out-of-core / mini-batch options, consumed by the sharded driver
+  // (cluster::MiniBatchKShape over a store::ShardedSeriesStore). The
+  // in-memory KShape ignores all four.
+
+  /// Mini-batch size B: when > 0 AND the process-wide KSHAPE_SHARDS gate is
+  /// on, most sharded iterations sample B series (without replacement,
+  /// seeded from the run's rng) and run refinement + assignment on the
+  /// sample only; a full exact pass runs every `refresh_period` iterations
+  /// (and on the final one), which is also where convergence is checked.
+  /// 0 (the default) disables sampling entirely: every iteration is a full
+  /// pass, and the sharded run reproduces the in-memory KShape bit for bit.
+  std::size_t minibatch_size = 0;
+
+  /// Full-pass cadence of the mini-batch schedule: iterations 1-indexed
+  /// divisible by this run the full exact assignment. Must be >= 1; 1 turns
+  /// every iteration into a full pass (sampling then only thins refinement).
+  int refresh_period = 5;
+
+  /// Shard geometry used when *building* a store from an in-memory batch
+  /// (MiniBatchKShape::ShardBatch) — rows per on-disk shard. Opening an
+  /// existing store reads its geometry from disk instead.
+  std::size_t shard_rows = 4096;
+
+  /// Residency budget used by ShardBatch: how many shards may be resident
+  /// in memory at once while clustering streams the store.
+  std::size_t max_resident_shards = 4;
 };
 
 /// k-Shape, Algorithm 3 of the paper.

@@ -153,27 +153,38 @@ SbdEngine::SbdEngine(const tseries::SeriesBatch& series,
 }
 
 SbdEngine::Query SbdEngine::MakeQuery(tseries::SeriesView q) const {
-  KSHAPE_CHECK_MSG(q.size() == m_, "query length mismatch");
+  return MakeQueryFor(q, m_, fft_len_, half_, has_bound_planes());
+}
+
+SbdEngine::Query SbdEngine::MakeQueryFor(tseries::SeriesView q, std::size_t m,
+                                         std::size_t fft_len,
+                                         bool use_half_spectrum,
+                                         bool build_bound_planes) {
+  KSHAPE_CHECK_MSG(q.size() == m, "query length mismatch");
+  KSHAPE_CHECK(fft_len >= 2 * m - 1);
   Query query;
-  if (half_) {
-    query.rspectrum = fft::RfftForward(q, fft_len_);
+  if (use_half_spectrum) {
+    query.rspectrum = fft::RfftForward(q, fft_len);
   } else {
-    query.spectrum = fft::Spectrum(q, fft_len_);
+    query.spectrum = fft::Spectrum(q, fft_len);
   }
   query.norm = linalg::Norm(q);
-  if (has_bound_planes()) {
-    query.mag.resize(bound_bins_);
-    query.tail.resize(bound_tails_);
-    if (half_) {
+  if (build_bound_planes) {
+    // Same derived plane geometry as the engine constructor.
+    const std::size_t bins = fft::RfftBins(fft_len);
+    const std::size_t ntail = bins / kBoundCheckpoint + 1;
+    query.mag.resize(bins);
+    query.tail.resize(ntail);
+    if (use_half_spectrum) {
       const fft::RfftView v = query.rspectrum.view();
       FillBoundPlane(
-          fft_len_, bound_bins_, bound_tails_,
+          fft_len, bins, ntail,
           [&](std::size_t k) { return std::pair(v.re[k], v.im[k]); },
           query.mag.data(), query.tail.data());
     } else {
       const std::vector<fft::Complex>& s = query.spectrum;
       FillBoundPlane(
-          fft_len_, bound_bins_, bound_tails_,
+          fft_len, bins, ntail,
           [&](std::size_t k) { return std::pair(s[k].real(), s[k].imag()); },
           query.mag.data(), query.tail.data());
     }

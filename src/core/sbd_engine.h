@@ -118,6 +118,18 @@ class SbdEngine {
   /// One forward transform + one norm. Requires q.size() == series_length().
   Query MakeQuery(tseries::SeriesView q) const;
 
+  /// Mints a Query from the engine *configuration* alone — series length,
+  /// padded transform length, spectrum layout, bound planes — with no engine
+  /// instance. The query arithmetic depends only on that configuration, so a
+  /// query minted here is interchangeable bit for bit with MakeQuery() on
+  /// any engine sharing it. The sharded clustering driver relies on this:
+  /// each centroid's query is minted once per iteration and reused against
+  /// every per-shard engine (all of which share one configuration, because
+  /// fft_len is a function of m alone).
+  static Query MakeQueryFor(tseries::SeriesView q, std::size_t m,
+                            std::size_t fft_len, bool use_half_spectrum,
+                            bool build_bound_planes);
+
   /// SBD(series[i], series[j]) from cached spectra: one inverse transform.
   /// Mirrors Sbd()'s zero-norm convention (distance 1).
   double Distance(std::size_t i, std::size_t j) const;

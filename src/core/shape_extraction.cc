@@ -48,42 +48,59 @@ ExtractedShape ExtractShapeImpl(
     tseries::SeriesView reference, common::Rng* rng,
     const ShapeExtractionOptions& options) {
   KSHAPE_CHECK(rng != nullptr);
-  const std::size_t m = reference.size();
-  ExtractedShape result;
   if (members.empty()) {
-    result.centroid = tseries::Series(m, 0.0);
+    ExtractedShape result;
+    result.centroid = tseries::Series(reference.size(), 0.0);
     result.degenerate = true;
     return result;
   }
+  ShapeAccumulator accumulator(reference);
+  for (tseries::SeriesView member : members) accumulator.Add(member);
+  return accumulator.Finish(rng, options);
+}
 
-  const bool align = linalg::Norm(reference) > 0.0;
+}  // namespace
 
+ShapeAccumulator::ShapeAccumulator(tseries::SeriesView reference)
+    : reference_(reference.begin(), reference.end()),
+      align_(linalg::Norm(reference) > 0.0),
+      s_(reference.size(), reference.size()),
+      mean_(reference.size(), 0.0) {
+  KSHAPE_CHECK_MSG(!reference_.empty(), "empty shape-extraction reference");
+}
+
+void ShapeAccumulator::Add(tseries::SeriesView member) {
+  const std::size_t m = reference_.size();
+  KSHAPE_CHECK_MSG(member.size() == m, "member length mismatch");
+  ++added_;
   // Accumulate S = sum_i y_i y_i^T over the aligned, z-normalized members.
   // Members that z-normalize to the zero series (constant after alignment)
   // contribute nothing to S or the mean; they are skipped so a fully
   // degenerate member set can be detected instead of feeding the zero matrix
   // to the eigensolver, which would return an arbitrary start vector.
-  linalg::Matrix s(m, m);
-  std::vector<double> mean(m, 0.0);
-  std::size_t used = 0;
-  for (tseries::SeriesView member : members) {
-    KSHAPE_CHECK_MSG(member.size() == m, "member length mismatch");
-    tseries::Series aligned = align ? Sbd(reference, member).aligned_y
-                                    : tseries::Series(member.begin(),
-                                                      member.end());
-    tseries::ZNormalizeInPlace(&aligned);
-    if (linalg::Norm(aligned) == 0.0) continue;
-    // Upper triangle only (S is symmetric); mirrored once after the loop at
-    // half the accumulation cost, bit-identical to the full outer products.
-    s.AddSymmetricOuterProduct(aligned);
-    linalg::Axpy(1.0, aligned, &mean);
-    ++used;
-  }
-  if (used == 0) {
+  tseries::Series aligned = align_ ? Sbd(reference_, member).aligned_y
+                                   : tseries::Series(member.begin(),
+                                                     member.end());
+  tseries::ZNormalizeInPlace(&aligned);
+  if (linalg::Norm(aligned) == 0.0) return;
+  // Upper triangle only (S is symmetric); mirrored once in Finish at half
+  // the accumulation cost, bit-identical to the full outer products.
+  s_.AddSymmetricOuterProduct(aligned);
+  linalg::Axpy(1.0, aligned, &mean_);
+  ++used_;
+}
+
+ExtractedShape ShapeAccumulator::Finish(
+    common::Rng* rng, const ShapeExtractionOptions& options) const {
+  KSHAPE_CHECK(rng != nullptr);
+  const std::size_t m = reference_.size();
+  ExtractedShape result;
+  if (used_ == 0) {
     result.centroid = tseries::Series(m, 0.0);
     result.degenerate = true;
     return result;
   }
+  linalg::Matrix s = s_;
   s.MirrorUpperToLower();
 
   const linalg::Matrix centered = CenterGramMatrix(s);
@@ -92,11 +109,11 @@ ExtractedShape ExtractShapeImpl(
   if (options.use_power_iteration) {
     // Warm start: the alignment reference (the previous centroid) is close
     // to the new dominant eigenvector once the clustering begins to settle,
-    // so seeding with it saves most of the power-iteration steps. `align`
+    // so seeding with it saves most of the power-iteration steps. `align_`
     // already certifies a nonzero reference.
     std::vector<double> seed;
-    if (options.warm_start && align) {
-      seed.assign(reference.begin(), reference.end());
+    if (options.warm_start && align_) {
+      seed.assign(reference_.begin(), reference_.end());
     }
     centroid = linalg::DominantEigenvector(
         centered, rng, /*max_iters=*/200, /*tol=*/1e-10,
@@ -108,15 +125,13 @@ ExtractedShape ExtractShapeImpl(
 
   // An eigenvector's sign is arbitrary; pick the orientation that correlates
   // positively with the cluster mean so centroids look like the data.
-  if (linalg::Dot(centroid, mean) < 0.0) {
+  if (linalg::Dot(centroid, mean_) < 0.0) {
     linalg::Scale(&centroid, -1.0);
   }
   tseries::ZNormalizeInPlace(&centroid);
   result.centroid = std::move(centroid);
   return result;
 }
-
-}  // namespace
 
 tseries::Series ExtractShape(const tseries::SeriesBatch& members,
                              tseries::SeriesView reference,

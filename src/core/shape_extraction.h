@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "linalg/matrix.h"
 #include "tseries/time_series.h"
 
 namespace kshape::core {
@@ -91,6 +92,52 @@ ExtractedShape ExtractShapeIndexedFlagged(
     const std::vector<std::size_t>& member_indices,
     tseries::SeriesView reference, common::Rng* rng,
     const ShapeExtractionOptions& options = {});
+
+/// Streaming shape extraction: the member loop of Algorithm 2 decoupled from
+/// member storage, so a caller that cannot hold (or even view) all members at
+/// once — the sharded out-of-core driver streaming one shard at a time — can
+/// feed them incrementally and Finish() into the same eigenproblem.
+///
+/// The batch entry points above are implemented on this class, so streaming
+/// members in the same order they'd appear in a batch produces bit-identical
+/// centroids to ExtractShapeFlagged — the equivalence the sharded-vs-
+/// contiguous clustering tests rely on.
+///
+/// Usage: construct with the alignment reference (the previous centroid; the
+/// reference is copied, so the view may die immediately), Add() each member
+/// in a deterministic order, then Finish(). Not thread-safe; one accumulator
+/// per cluster, fed from the coordinating thread.
+class ShapeAccumulator {
+ public:
+  /// `reference` must be non-empty; its length fixes the member length. A
+  /// zero-norm reference (the all-zero initial centroid) disables alignment,
+  /// as in ExtractShape.
+  explicit ShapeAccumulator(tseries::SeriesView reference);
+
+  /// Folds one member into the running S matrix and mean. Members that
+  /// z-normalize to the zero series after alignment are counted but
+  /// contribute nothing (the degenerate-set rule of ExtractShapeFlagged).
+  void Add(tseries::SeriesView member);
+
+  /// Number of Add() calls so far (including degenerate members).
+  std::size_t members_added() const { return added_; }
+
+  /// Solves the eigenproblem over everything added so far. Leaves the
+  /// accumulator intact (Finish is const: the symmetric mirror and centering
+  /// work on copies), matching ExtractShapeFlagged on the same member
+  /// sequence bit for bit — including the degenerate zero-centroid result
+  /// when nothing contributed, and the rng draw only on cold starts.
+  ExtractedShape Finish(common::Rng* rng,
+                        const ShapeExtractionOptions& options = {}) const;
+
+ private:
+  tseries::Series reference_;
+  bool align_ = false;
+  linalg::Matrix s_;
+  std::vector<double> mean_;
+  std::size_t used_ = 0;
+  std::size_t added_ = 0;
+};
 
 }  // namespace kshape::core
 

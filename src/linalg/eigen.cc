@@ -1,6 +1,7 @@
 #include "linalg/eigen.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/check.h"
@@ -277,6 +278,76 @@ EigenDecomposition SymmetricEigen(const Matrix& a) {
   return decomp;
 }
 
+namespace {
+
+// How many times DominantEigenvector has fallen all the way through to the
+// O(m^3) SymmetricEigen path; tests pin stall fixes by asserting it stays 0.
+std::atomic<long long> g_full_fallbacks{0};
+
+// Residual acceptance threshold of a stalled iterate, relative to
+// max(|lambda|, 1): when ||A v - lambda v|| is this small, v is an
+// eigenvector to far better accuracy than shape extraction needs, even
+// though the successive-iterate test never fired (near-tied top eigenpairs
+// keep the iterate rotating inside the top eigenspace forever — any vector
+// in that eigenspace maximizes the Rayleigh quotient equally well).
+constexpr double kResidualAcceptTol = 1e-8;
+
+// Shifted restarts attempted before conceding to SymmetricEigen. Each costs
+// at most max_iters O(m^2) products — noise next to the O(m^3) it avoids.
+constexpr int kMaxShiftedRestarts = 2;
+
+enum class PowerStatus { kConverged, kAnnihilated, kStalled };
+
+// Power iteration on A + shift*I (sharing eigenvectors with A, eigenvalues
+// translated by shift), converging when successive normalized iterates agree
+// up to sign within tol. shift == 0.0 skips the axpy entirely so the
+// unshifted first phase is arithmetic-for-arithmetic the historical loop.
+PowerStatus RunPowerIteration(const Matrix& a, double shift, int max_iters,
+                              double tol, std::vector<double>* v_ptr) {
+  std::vector<double>& v = *v_ptr;
+  const std::size_t n = a.rows();
+  for (int iter = 0; iter < max_iters; ++iter) {
+    std::vector<double> w = a.MultiplyVector(v);
+    if (shift != 0.0) {
+      for (std::size_t i = 0; i < n; ++i) w[i] += shift * v[i];
+    }
+    if (NormalizeInPlace(&w) == 0.0) return PowerStatus::kAnnihilated;
+    double diff_minus = 0.0;
+    double diff_plus = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      diff_minus += (w[i] - v[i]) * (w[i] - v[i]);
+      diff_plus += (w[i] + v[i]) * (w[i] + v[i]);
+    }
+    v = std::move(w);
+    if (std::min(std::sqrt(diff_minus), std::sqrt(diff_plus)) < tol) {
+      return PowerStatus::kConverged;
+    }
+  }
+  return PowerStatus::kStalled;
+}
+
+// ||A v - lambda v|| for unit-norm v.
+double EigenResidual(const Matrix& a, const std::vector<double>& v,
+                     double lambda) {
+  const std::vector<double> av = a.MultiplyVector(v);
+  double r2 = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double r = av[i] - lambda * v[i];
+    r2 += r * r;
+  }
+  return std::sqrt(r2);
+}
+
+}  // namespace
+
+long long DominantEigenvectorFallbackCountForTesting() {
+  return g_full_fallbacks.load(std::memory_order_relaxed);
+}
+
+void ResetDominantEigenvectorFallbackCountForTesting() {
+  g_full_fallbacks.store(0, std::memory_order_relaxed);
+}
+
 std::vector<double> DominantEigenvector(const Matrix& a, common::Rng* rng,
                                         int max_iters, double tol,
                                         double* eigenvalue,
@@ -299,29 +370,50 @@ std::vector<double> DominantEigenvector(const Matrix& a, common::Rng* rng,
     NormalizeInPlace(&v);
   }
 
-  for (int iter = 0; iter < max_iters; ++iter) {
-    std::vector<double> w = a.MultiplyVector(v);
-    if (NormalizeInPlace(&w) == 0.0) {
-      // a annihilated v: the matrix is (numerically) zero on this subspace;
-      // any unit vector is a valid answer for a zero matrix.
-      if (eigenvalue != nullptr) *eigenvalue = 0.0;
-      return v;
-    }
-    double diff_minus = 0.0;
-    double diff_plus = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      diff_minus += (w[i] - v[i]) * (w[i] - v[i]);
-      diff_plus += (w[i] + v[i]) * (w[i] + v[i]);
-    }
-    v = std::move(w);
-    if (std::min(std::sqrt(diff_minus), std::sqrt(diff_plus)) < tol) {
-      if (eigenvalue != nullptr) *eigenvalue = RayleighQuotient(a, v);
+  PowerStatus status = RunPowerIteration(a, 0.0, max_iters, tol, &v);
+  if (status == PowerStatus::kAnnihilated) {
+    // a annihilated v: the matrix is (numerically) zero on this subspace;
+    // any unit vector is a valid answer for a zero matrix.
+    if (eigenvalue != nullptr) *eigenvalue = 0.0;
+    return v;
+  }
+  if (status == PowerStatus::kConverged) {
+    if (eigenvalue != nullptr) *eigenvalue = RayleighQuotient(a, v);
+    return v;
+  }
+
+  // Stalled: the top eigenpairs are nearly tied (in magnitude). Two cheap
+  // escapes run before the O(m^3) full decomposition:
+  //  1. Residual acceptance — when the top eigenVALUES tie (the PSD shape-
+  //     extraction case: e.g. a uniformly-phase-shifted corpus whose sin/cos
+  //     pair is degenerate), the iterate stops moving *between* eigenvectors
+  //     but keeps rotating *within* the top eigenspace; its residual is tiny
+  //     and any such vector is an equally valid maximizer.
+  //  2. Shifted restarts — when a tie is in magnitude only (lambda_min ~
+  //     -lambda_max), iterating on A + shift*I with shift ~ |lambda| breaks
+  //     the sign oscillation: the negative end maps near zero while the
+  //     dominant end doubles.
+  double lambda = RayleighQuotient(a, v);
+  if (EigenResidual(a, v, lambda) <=
+      kResidualAcceptTol * std::max(std::fabs(lambda), 1.0)) {
+    if (eigenvalue != nullptr) *eigenvalue = lambda;
+    return v;
+  }
+  for (int restart = 0; restart < kMaxShiftedRestarts; ++restart) {
+    const double shift = std::max(std::fabs(lambda), 1.0);
+    status = RunPowerIteration(a, shift, max_iters, tol, &v);
+    if (status == PowerStatus::kAnnihilated) break;
+    lambda = RayleighQuotient(a, v);
+    if (status == PowerStatus::kConverged ||
+        EigenResidual(a, v, lambda) <=
+            kResidualAcceptTol * std::max(std::fabs(lambda), 1.0)) {
+      if (eigenvalue != nullptr) *eigenvalue = lambda;
       return v;
     }
   }
 
-  // Power iteration stalls when the top two eigenvalues (in magnitude) are
-  // nearly tied; fall back to the deterministic full decomposition.
+  // Last resort: the deterministic full decomposition.
+  g_full_fallbacks.fetch_add(1, std::memory_order_relaxed);
   EigenDecomposition decomp = SymmetricEigen(a);
   std::size_t best = 0;
   for (std::size_t j = 1; j < n; ++j) {

@@ -1,0 +1,120 @@
+// Tier-1 registration audit: every test source in tests/ must be registered
+// in tests/CMakeLists.txt through kshape_add_test, which is what applies the
+// `tier1` CTest label the CI legs select on (ctest -L tier1). A test file
+// added without a registration silently never runs — this audit turns that
+// into a failing build instead.
+//
+// The tests source directory is baked in at compile time
+// (KSHAPE_TESTS_SOURCE_DIR, set by the CMakeLists.txt being audited), so the
+// audit reads the same files the build configured from.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#ifndef KSHAPE_TESTS_SOURCE_DIR
+#error "KSHAPE_TESTS_SOURCE_DIR must point at the tests/ source directory"
+#endif
+
+namespace kshape {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+std::string CMakeListsPath() {
+  return (fs::path(KSHAPE_TESTS_SOURCE_DIR) / "CMakeLists.txt").string();
+}
+
+// Test names registered via kshape_add_test(<name> ...). A name ends at the
+// first whitespace or closing paren after the opening one.
+std::set<std::string> RegisteredTests(const std::string& cmake) {
+  std::set<std::string> names;
+  const std::string call = "kshape_add_test(";
+  std::size_t pos = 0;
+  while ((pos = cmake.find(call, pos)) != std::string::npos) {
+    pos += call.size();
+    std::size_t end = pos;
+    while (end < cmake.size() && cmake[end] != ' ' && cmake[end] != ')' &&
+           cmake[end] != '\n') {
+      ++end;
+    }
+    const std::string name = cmake.substr(pos, end - pos);
+    // Skip the function definition itself (`function(kshape_add_test name)`
+    // never matches: the find pattern includes the paren).
+    if (!name.empty() && name != "name") names.insert(name);
+    pos = end;
+  }
+  return names;
+}
+
+TEST(CtestLabelAuditTest, EveryTestSourceIsRegistered) {
+  const std::string cmake = ReadFile(CMakeListsPath());
+  const std::set<std::string> registered = RegisteredTests(cmake);
+  ASSERT_FALSE(registered.empty());
+
+  std::vector<std::string> missing;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(KSHAPE_TESTS_SOURCE_DIR)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path path = entry.path();
+    if (path.extension() != ".cc") continue;
+    const std::string stem = path.stem().string();
+    if (registered.count(stem) == 0) missing.push_back(stem);
+  }
+  std::sort(missing.begin(), missing.end());
+  EXPECT_TRUE(missing.empty())
+      << "test sources without a kshape_add_test registration (they would "
+         "never run under ctest -L tier1): "
+      << [&] {
+           std::string joined;
+           for (const std::string& name : missing) {
+             if (!joined.empty()) joined += ", ";
+             joined += name;
+           }
+           return joined;
+         }();
+}
+
+TEST(CtestLabelAuditTest, EveryRegistrationHasASourceFile) {
+  // The inverse direction: a registration whose source was deleted breaks
+  // the build anyway, but a typo'd name (registering a stale stem while the
+  // real file sits unregistered) would not — catch both ends.
+  const std::string cmake = ReadFile(CMakeListsPath());
+  for (const std::string& name : RegisteredTests(cmake)) {
+    EXPECT_TRUE(
+        fs::exists(fs::path(KSHAPE_TESTS_SOURCE_DIR) / (name + ".cc")))
+        << "kshape_add_test(" << name << ") has no " << name << ".cc";
+  }
+}
+
+TEST(CtestLabelAuditTest, RegistrationFunctionAppliesTheTierLabel) {
+  // The audit is only meaningful if kshape_add_test still applies the tier1
+  // label every CI leg filters on.
+  const std::string cmake = ReadFile(CMakeListsPath());
+  EXPECT_NE(cmake.find("LABELS \"tier1\""), std::string::npos)
+      << "kshape_add_test no longer labels tests tier1; the CI tier-1 "
+         "selection (ctest -L tier1) would run nothing";
+  EXPECT_NE(cmake.find("set_tests_properties"), std::string::npos);
+}
+
+TEST(CtestLabelAuditTest, ThisAuditIsItselfRegistered) {
+  const std::string cmake = ReadFile(CMakeListsPath());
+  EXPECT_EQ(RegisteredTests(cmake).count("ctest_label_audit_test"), 1u);
+}
+
+}  // namespace
+}  // namespace kshape

@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "core/sbd.h"
+#include "linalg/eigen.h"
 #include "linalg/matrix.h"
 #include "tseries/normalization.h"
 
@@ -154,6 +155,162 @@ TEST(ShapeExtractionTest, BetterRepresentativeThanArithmeticMeanOnShifts) {
     extract_cost += de * de;
   }
   EXPECT_LT(extract_cost, mean_cost);
+}
+
+// ---------------------------------------------------------------------------
+// Dominant-eigenvector stall handling (ROADMAP: the power iteration used to
+// punt straight to the O(m^3) full decomposition when the top eigenvalues
+// were near-degenerate).
+// ---------------------------------------------------------------------------
+
+double SummedSquaredSbd(const Series& centroid,
+                        const std::vector<Series>& members) {
+  double cost = 0.0;
+  for (const Series& s : members) {
+    const double d = Sbd(centroid, s).distance;
+    cost += d * d;
+  }
+  return cost;
+}
+
+TEST(ShapeExtractionTest, NoExpensiveFallbackOnUniformlyPhaseShiftedCorpus) {
+  // Uniformly phase-shifted copies of one sine make the centered Gram matrix
+  // (nearly) circulant: its top eigenvalue is a degenerate sin/cos pair, the
+  // historical worst case for power-iteration convergence. The stall fix
+  // must resolve it with the residual check / cheap shifted restarts — the
+  // full-decomposition fallback counter has to stay at zero — while matching
+  // the full decomposition's Rayleigh cost.
+  const std::size_t m = 64;
+  const int n = 32;
+  std::vector<Series> members;
+  for (int i = 0; i < n; ++i) {
+    members.push_back(tseries::ZNormalized(
+        Sine(m, 1.0, 2.0 * kPi * i / static_cast<double>(n))));
+  }
+
+  linalg::ResetDominantEigenvectorFallbackCountForTesting();
+  common::Rng rng_power(77);
+  const Series power =
+      ExtractShape(members, Series(m, 0.0), &rng_power);
+  EXPECT_EQ(linalg::DominantEigenvectorFallbackCountForTesting(), 0);
+
+  ShapeExtractionOptions full_options;
+  full_options.use_power_iteration = false;
+  common::Rng rng_full(77);
+  const Series full =
+      ExtractShape(members, Series(m, 0.0), &rng_full, full_options);
+
+  // Any vector in the degenerate top eigenspace is an equally good centroid;
+  // the power-iteration result must reach the full decomposition's cost.
+  EXPECT_LE(SummedSquaredSbd(power, members),
+            SummedSquaredSbd(full, members) + 1e-6);
+}
+
+TEST(ShapeExtractionTest, FallbackIsCappedOnNoisyNearDegenerateSweep) {
+  // With noise the top pair splits into two CLOSE but distinct eigenvalues —
+  // the genuinely hard case where power iteration converges too slowly and
+  // the full decomposition is the right answer. The fix caps the damage:
+  // at most ONE full solve per extraction (no unbounded restart stall), and
+  // warm-started extractions — every refinement iteration after the first in
+  // the k-Shape loop — start near the fixed point and never fall back.
+  common::Rng rng(91);
+  for (const std::size_t m : {std::size_t{31}, std::size_t{48}}) {
+    std::vector<Series> members;
+    for (int i = 0; i < 20; ++i) {
+      Series s = Sine(m, 1.0, 2.0 * kPi * i / 20.0);
+      for (double& v : s) v += rng.Gaussian(0.0, 0.05);
+      members.push_back(tseries::ZNormalized(s));
+    }
+    linalg::ResetDominantEigenvectorFallbackCountForTesting();
+    const Series cold = ExtractShape(members, Series(m, 0.0), &rng);
+    EXPECT_LE(linalg::DominantEigenvectorFallbackCountForTesting(), 1)
+        << "m=" << m;
+    // Warm-started from the previous centroid, as the k-Shape refinement
+    // loop does on every iteration after the first.
+    linalg::ResetDominantEigenvectorFallbackCountForTesting();
+    const Series warm = ExtractShape(members, cold, &rng);
+    EXPECT_EQ(linalg::DominantEigenvectorFallbackCountForTesting(), 0)
+        << "m=" << m;
+    EXPECT_EQ(warm.size(), m);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming extraction (ShapeAccumulator) — the out-of-core driver's path.
+// ---------------------------------------------------------------------------
+
+TEST(ShapeExtractionTest, AccumulatorMatchesBatchExtractionBitwise) {
+  common::Rng corpus_rng(12);
+  std::vector<Series> members;
+  for (int i = 0; i < 9; ++i) {
+    Series s = Sine(40, 1.0 + (i % 3), 0.2 * i);
+    for (double& v : s) v += corpus_rng.Gaussian(0.0, 0.1);
+    members.push_back(tseries::ZNormalized(s));
+  }
+  for (const Series& reference :
+       {Series(40, 0.0), tseries::ZNormalized(Sine(40, 2.0, 0.5))}) {
+    common::Rng rng_batch(13);
+    common::Rng rng_stream(13);
+    const ExtractedShape batch =
+        ExtractShapeFlagged(members, reference, &rng_batch);
+
+    ShapeAccumulator accumulator(reference);
+    for (const Series& s : members) accumulator.Add(s);
+    EXPECT_EQ(accumulator.members_added(), members.size());
+    const ExtractedShape streamed = accumulator.Finish(&rng_stream);
+
+    EXPECT_EQ(streamed.degenerate, batch.degenerate);
+    ASSERT_EQ(streamed.centroid.size(), batch.centroid.size());
+    for (std::size_t t = 0; t < batch.centroid.size(); ++t) {
+      EXPECT_EQ(streamed.centroid[t], batch.centroid[t]) << "sample " << t;
+    }
+  }
+}
+
+TEST(ShapeExtractionTest, AccumulatorWithNoMembersIsDegenerate) {
+  const ShapeAccumulator accumulator(Series(24, 0.0));
+  EXPECT_EQ(accumulator.members_added(), 0u);
+  common::Rng rng(14);
+  const ExtractedShape extracted = accumulator.Finish(&rng);
+  EXPECT_TRUE(extracted.degenerate);
+  ASSERT_EQ(extracted.centroid.size(), 24u);
+  for (double v : extracted.centroid) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ShapeExtractionTest, AccumulatorCountsConstantMembersButDropsThem) {
+  ShapeAccumulator accumulator(Series(16, 0.0));
+  accumulator.Add(Series(16, 3.5));  // Z-normalizes to zero: no contribution.
+  accumulator.Add(Series(16, -1.0));
+  EXPECT_EQ(accumulator.members_added(), 2u);
+  common::Rng rng(15);
+  const ExtractedShape extracted = accumulator.Finish(&rng);
+  EXPECT_TRUE(extracted.degenerate);
+}
+
+TEST(ShapeExtractionTest, AccumulatorFinishIsRepeatable) {
+  // Finish is const (it works on copies), so interleaving Finish with more
+  // Adds — the sampled-iteration pattern of the mini-batch driver — must
+  // leave earlier results unchanged.
+  std::vector<Series> members;
+  for (int i = 0; i < 6; ++i) {
+    members.push_back(tseries::ZNormalized(Sine(32, 2.0, 0.3 * i)));
+  }
+  ShapeAccumulator accumulator(Series(32, 0.0));
+  for (int i = 0; i < 4; ++i) accumulator.Add(members[i]);
+  common::Rng rng_a(16);
+  common::Rng rng_b(16);
+  const ExtractedShape first = accumulator.Finish(&rng_a);
+  const ExtractedShape again = accumulator.Finish(&rng_b);
+  ASSERT_EQ(first.centroid.size(), again.centroid.size());
+  for (std::size_t t = 0; t < first.centroid.size(); ++t) {
+    EXPECT_EQ(first.centroid[t], again.centroid[t]);
+  }
+  accumulator.Add(members[4]);
+  accumulator.Add(members[5]);
+  EXPECT_EQ(accumulator.members_added(), 6u);
+  common::Rng rng_c(16);
+  const ExtractedShape extended = accumulator.Finish(&rng_c);
+  EXPECT_EQ(extended.centroid.size(), first.centroid.size());
 }
 
 }  // namespace
