@@ -21,7 +21,10 @@
 #    rfft-batch, and assignment-pruning microbenches plus the sharded fig12
 #    scalability bench in --smoke mode as release-stage smoke tests (all
 #    cross-check bit-identity, epsilon equivalence, or label equality and
-#    write their BENCH_*.json files).
+#    write their BENCH_*.json files), the model_predict serving bench in
+#    --smoke mode (asserts saved->loaded Predict bit-identity), and a
+#    kshape_fit -> kshape_predict round-trip leg that exercises the .kmodel
+#    artifact end to end through the example CLIs.
 # 2. -march=native release build: the strictest determinism setting — the
 #    compiler is free to fuse/vectorize everything OUTSIDE the pinned kernel
 #    TUs, so tier-1 passing here proves the -ffp-contract=off firewalls
@@ -35,16 +38,20 @@
 #    bound/telemetry cells + the KSHAPE_PRUNE gate atomics), the shard
 #    residency cache (generation stamps + eviction under churn), and the
 #    sharded assignment fan-out (per-shard engines writing disjoint label
-#    ranges in parallel).
+#    ranges in parallel); fitted_model_test also runs under TSan because
+#    Predict drives the Assigner's parallel assignment fan-out over a frozen
+#    model at multiple thread counts.
 # 4. AddressSanitizer+UBSan build; the robustness suites (degenerate inputs,
 #    property sweeps over hostile data, conditioning) plus simd_kernels_test
 #    (unaligned loads, length-1..67 tails), rfft_test (packed-bin
 #    unpack/fold indexing at odd, prime, and power-of-two lengths),
 #    pruning_test (bound-plane indexing at Bluestein lengths, the
 #    partial-sum checkpoint tails), sharded_store_test (mmap-free file I/O,
-#    truncated/corrupt shard handling), and minibatch_kshape_test (sampled
-#    scatter indexing, streamed repair) run under ASan+UBSan so every
-#    repair/fallback path is also checked for memory errors and UB.
+#    truncated/corrupt shard handling), minibatch_kshape_test (sampled
+#    scatter indexing, streamed repair), and fitted_model_test (the .kmodel
+#    corruption matrix: truncated/ragged/byte-patched model files through the
+#    untrusted-input Load path) run under ASan+UBSan so every repair/fallback
+#    path is also checked for memory errors and UB.
 #
 # Usage: ci/run_ci.sh [build-dir-prefix]   (default: build-ci)
 
@@ -64,7 +71,7 @@ cmake --build "${RELEASE_DIR}" -j "${JOBS}"
 echo "==> example binaries"
 cmake --build "${RELEASE_DIR}" -j "${JOBS}" \
       --target quickstart ecg_clustering stock_patterns ucr_file_tool \
-               estimate_k multichannel
+               estimate_k multichannel kshape_fit kshape_predict
 
 for threads in 1 4; do
   echo "==> tier1 tests, KSHAPE_THREADS=${threads}"
@@ -102,6 +109,15 @@ echo "==> rfft-batch smoke test (half-spectrum vs full-complex equivalence)"
 echo "==> assignment-pruning smoke test (pruned vs exact label equality)"
 (cd "${RELEASE_DIR}" && ./bench/assignment_pruning --smoke)
 
+echo "==> model-predict smoke test (saved->loaded Predict bit-identity)"
+(cd "${RELEASE_DIR}" && ./bench/model_predict --smoke)
+
+echo "==> fit/predict round-trip smoke (kshape_fit -> .kmodel -> kshape_predict)"
+MODEL_FILE="$(mktemp -u /tmp/kshape_ci_model.XXXXXX.kmodel)"
+"${RELEASE_DIR}/examples/kshape_fit" "${MODEL_FILE}" --per-class 10 --length 64
+"${RELEASE_DIR}/examples/kshape_predict" "${MODEL_FILE}" --per-class 5
+rm -f "${MODEL_FILE}"
+
 echo "==> sharded fig12 smoke test (out-of-core exact + mini-batch runs)"
 (cd "${RELEASE_DIR}" && ./bench/fig12_scalability --sharded --smoke)
 
@@ -123,9 +139,9 @@ cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
       --target parallel_test thread_pool_test sbd_cache_test rfft_test \
                simd_kernels_test pruning_test sharded_store_test \
-               minibatch_kshape_test
+               minibatch_kshape_test fitted_model_test
 
-echo "==> race check: parallel + thread_pool + sbd_cache + rfft + simd_kernels + pruning + sharded_store + minibatch under TSan"
+echo "==> race check: parallel + thread_pool + sbd_cache + rfft + simd_kernels + pruning + sharded_store + minibatch + fitted_model under TSan"
 # Run the parallel paths at a thread count high enough to force real
 # interleaving even on small CI machines.
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
@@ -144,6 +160,8 @@ KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/sharded_store_test"
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/minibatch_kshape_test"
+KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    "${TSAN_DIR}/tests/fitted_model_test"
 
 echo "==> ASan+UBSan build (${ASAN_DIR})"
 cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -151,7 +169,7 @@ cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "${ASAN_DIR}" -j "${JOBS}" \
       --target degenerate_input_test robustness_properties_test tseries_test \
                rfft_test simd_kernels_test pruning_test sharded_store_test \
-               minibatch_kshape_test
+               minibatch_kshape_test fitted_model_test
 
 echo "==> hostile-input check: robustness suites under ASan+UBSan"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
@@ -178,5 +196,8 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     "${ASAN_DIR}/tests/minibatch_kshape_test"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "${ASAN_DIR}/tests/fitted_model_test"
 
 echo "==> CI OK"

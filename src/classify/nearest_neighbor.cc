@@ -246,4 +246,9 @@ std::vector<double> DefaultWindowFractions() {
   return fractions;
 }
 
+std::vector<int> NearestCentroidClassify(const model::FittedModel& model,
+                                         const tseries::SeriesBatch& queries) {
+  return model::Predict(model, queries).labels;
+}
+
 }  // namespace kshape::classify

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "distance/measure.h"
+#include "model/fitted_model.h"
 #include "tseries/time_series.h"
 
 namespace kshape::classify {
@@ -62,6 +63,16 @@ double KnnAccuracy(const tseries::Dataset& train, const tseries::Dataset& test,
 /// exhaustive search.
 double OneNnAccuracyEdEarlyAbandon(const tseries::Dataset& train,
                                    const tseries::Dataset& test);
+
+/// Nearest-centroid classification against a fitted model: the label of each
+/// query is the index of its nearest centroid under SBD — the model::Predict
+/// path, i.e. the same Assigner scan the clustering assignment step runs
+/// (spectral early abandoning included). Fit the model so centroid indices
+/// carry class meaning — e.g. k-Shape with k = the number of classes, or one
+/// shape extraction per class — and the returned labels are class ids.
+/// Queries must be equal-length series of the model's length m.
+std::vector<int> NearestCentroidClassify(const model::FittedModel& model,
+                                         const tseries::SeriesBatch& queries);
 
 }  // namespace kshape::classify
 

@@ -1,10 +1,32 @@
 #include "cluster/algorithm.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
+#include "core/sbd_engine.h"
+#include "fft/rfft.h"
 
 namespace kshape::cluster {
+
+void AttachFittedModel(ClusteringResult* result, const std::string& method) {
+  KSHAPE_CHECK(result != nullptr);
+  if (result->centroids.empty()) return;  // no centroids, nothing to freeze
+  model::ModelFingerprint fp;
+  fp.half_spectrum = fft::HalfSpectrumEnabled();
+  fp.pruning = core::PruningEnabled();
+  model::FitTelemetry telemetry;
+  telemetry.iterations = result->iterations;
+  telemetry.converged = result->converged;
+  telemetry.empty_cluster_reseeds = result->empty_cluster_reseeds;
+  telemetry.degenerate_centroids = result->degenerate_centroids;
+  telemetry.distances_computed = result->distances_computed;
+  telemetry.distances_pruned_bounds = result->distances_pruned_bounds;
+  telemetry.distances_abandoned_partial = result->distances_abandoned_partial;
+  telemetry.sampled_series = result->sampled_series;
+  result->model =
+      model::FittedModel(result->centroids, fp, telemetry, method);
+}
 
 common::Status ValidateClusteringInputs(
     const std::vector<tseries::Series>& series, int k) {

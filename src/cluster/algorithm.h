@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "model/fitted_model.h"
 #include "tseries/time_series.h"
 
 namespace kshape::cluster {
@@ -21,12 +22,9 @@ namespace kshape::cluster {
 ///                       NCC bound (bin products spent, no inverse transform)
 /// Invariant: computed + pruned_bounds + abandoned_partial == n·k. Seeding,
 /// empty-cluster repair, centroid-shift, and verification distances are
-/// outside these counters.
-struct AssignmentIterationStats {
-  long long computed = 0;
-  long long pruned_bounds = 0;
-  long long abandoned_partial = 0;
-};
+/// outside these counters. Defined with the Assigner (the one assignment
+/// implementation); aliased here for the result consumers.
+using AssignmentIterationStats = model::AssignmentIterationStats;
 
 /// The output of a clustering run.
 struct ClusteringResult {
@@ -76,7 +74,19 @@ struct ClusteringResult {
   long long shards_loaded = 0;
   long long shard_evictions = 0;
   long long sampled_series = 0;
+
+  /// The fitted model: frozen centroids + fingerprint + telemetry snapshot,
+  /// ready for Save / Predict / OnlineScorer. Filled by every
+  /// centroid-producing method (via AttachFittedModel); methods without
+  /// centroids leave it empty().
+  model::FittedModel model;
 };
+
+/// Builds result->model from the result's centroids and telemetry under the
+/// current process gates, stamping `method` as the producing algorithm.
+/// No-op when the method produced no centroids. Called by every
+/// ClusteringAlgorithm::Cluster on its way out.
+void AttachFittedModel(ClusteringResult* result, const std::string& method);
 
 /// Abstract partitional/hierarchical/spectral clustering algorithm.
 ///

@@ -68,6 +68,7 @@ ClusteringResult KMeans::Cluster(const tseries::SeriesBatch& series,
     }
   }
   result.degenerate_centroids = CountDegenerateCentroids(result);
+  AttachFittedModel(&result, Name());
   return result;
 }
 

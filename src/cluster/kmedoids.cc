@@ -219,6 +219,7 @@ ClusteringResult KMedoids::Cluster(const tseries::SeriesBatch& series,
     const tseries::SeriesView medoid = series[best];
     result.centroids.emplace_back(medoid.begin(), medoid.end());
   }
+  AttachFittedModel(&result, Name());
   return result;
 }
 

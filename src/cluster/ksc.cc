@@ -205,6 +205,7 @@ ClusteringResult Ksc::Cluster(const tseries::SeriesBatch& series,
     }
   }
   result.degenerate_centroids = CountDegenerateCentroids(result);
+  AttachFittedModel(&result, Name());
   return result;
 }
 

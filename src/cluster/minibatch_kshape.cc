@@ -16,6 +16,7 @@
 #include "core/shape_extraction.h"
 #include "fft/fft.h"
 #include "fft/rfft.h"
+#include "model/assigner.h"
 
 namespace kshape::cluster {
 
@@ -206,39 +207,35 @@ ClusteringResult MiniBatchKShape::Cluster(store::ShardedSeriesStore* store,
           : RandomAssignments(n, k, rng);
   result.centroids.assign(k, tseries::Series(m, 0.0));
 
-  std::vector<core::SbdEngine::Query> centroid_queries;
+  // Hamerly movement bounds run only in exact mode: their per-series state
+  // assumes every series sees every centroid update, which sampled
+  // iterations violate. The stateless spectral early-abandon layer stays on
+  // in both modes whenever pruning is on. Both layers, the telemetry cells,
+  // and the per-iteration centroid queries now live in the shared Assigner;
+  // per-shard engines are presented block by block (ascending shard order =
+  // ascending global base order, the Assigner's reduction discipline), all
+  // sharing one configuration so the minted queries are valid everywhere.
+  const bool bounds_mode = pruning && !minibatch;
+  model::AssignerOptions assigner_options;
+  assigner_options.k = k;
+  assigner_options.num_series = n;
+  assigner_options.m = m;
+  assigner_options.fft_len = fft_len;
+  assigner_options.use_half_spectrum = half;
+  assigner_options.use_pruning = pruning;
+  assigner_options.use_movement_bounds = bounds_mode;
+  assigner_options.prune_margin = options_.prune_margin;
+  assigner_options.verify = bounds_mode && options_.verify_pruning;
+  model::Assigner assigner(assigner_options);
 
   // Empty-cluster repair streams the same ascending-index scan as the
   // in-memory path, acquiring each row's shard as it goes (ascending order
   // means one load per shard per empty cluster, worst case).
   const auto repair_distance = [&](int j, std::size_t i) {
     const ShardEngines::Slot slot = cache.Get(store->ShardOfRow(i));
-    return slot.engine->Distance(centroid_queries[j],
+    return slot.engine->Distance(assigner.queries()[j],
                                  i - slot.view.global_begin());
   };
-
-  // Hamerly movement bounds run only in exact mode: their per-series state
-  // assumes every series sees every centroid update, which sampled
-  // iterations violate. The stateless spectral early-abandon layer stays on
-  // in both modes whenever pruning is on.
-  const bool bounds_mode = pruning && !minibatch;
-  const double margin = options_.prune_margin;
-  std::vector<double> ub_r, lb_r, shift_r;
-  std::vector<tseries::Series> prev_centroids;
-  bool bounds_valid = false;
-  std::vector<long long> cnt_computed, cnt_pruned, cnt_abandoned;
-  std::vector<unsigned char> verify_mismatch;
-  if (pruning) {
-    cnt_computed.assign(n, 0);
-    cnt_pruned.assign(n, 0);
-    cnt_abandoned.assign(n, 0);
-  }
-  if (bounds_mode) {
-    ub_r.assign(n, 0.0);
-    lb_r.assign(n, 0.0);
-    shift_r.assign(k, 0.0);
-    if (options_.verify_pruning) verify_mismatch.assign(n, 0);
-  }
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     const std::vector<int> previous = result.assignments;
@@ -253,7 +250,7 @@ ClusteringResult MiniBatchKShape::Cluster(store::ShardedSeriesStore* store,
       result.sampled_series += static_cast<long long>(sample.size());
     }
 
-    if (bounds_mode && bounds_valid) prev_centroids = result.centroids;
+    assigner.SnapshotCentroids(result.centroids);
 
     // Refinement: one ShapeAccumulator per cluster, fed in global index
     // order (a single streaming pass over the shards routes each member to
@@ -307,169 +304,21 @@ ClusteringResult MiniBatchKShape::Cluster(store::ShardedSeriesStore* store,
       }
     }
 
-    // Centroid spectra for this iteration, shared by every shard engine.
-    centroid_queries.clear();
-    for (int j = 0; j < k; ++j) {
-      centroid_queries.push_back(core::SbdEngine::MakeQueryFor(
-          result.centroids[j], m, fft_len, half,
-          /*build_bound_planes=*/pruning));
-    }
-
-    // Centroid-shift distances for the movement bounds (exact mode).
-    double max_shift1 = 0.0, max_shift2 = 0.0;
-    int max_shift_arg = -1;
-    if (bounds_mode && bounds_valid) {
-      for (int j = 0; j < k; ++j) {
-        const double d =
-            core::Sbd(prev_centroids[j], result.centroids[j]).distance;
-        shift_r[j] = std::sqrt(std::max(0.0, d));
-      }
-      for (int j = 0; j < k; ++j) {
-        if (max_shift_arg < 0 || shift_r[j] > max_shift1) {
-          if (max_shift_arg >= 0) max_shift2 = max_shift1;
-          max_shift1 = shift_r[j];
-          max_shift_arg = j;
-        } else if (shift_r[j] > max_shift2) {
-          max_shift2 = shift_r[j];
-        }
-      }
-    }
-
-    // Assignment. The per-index bodies are the in-memory scan bodies with
-    // the index split into (shard, local row); shards stream on the
-    // coordinating thread, rows fan out on the pool with disjoint writes.
-    AssignmentIterationStats stats;
-    const auto scan_shard_plain = [&](const ShardEngines::Slot& slot) {
-      const std::size_t base = slot.view.global_begin();
-      common::ParallelFor(0, slot.view.rows(), kScanGrain,
-                          [&](std::size_t begin, std::size_t end) {
-        for (std::size_t r = begin; r < end; ++r) {
-          const std::size_t i = base + r;
-          double min_dist = std::numeric_limits<double>::infinity();
-          int best = result.assignments[i];
-          for (int j = 0; j < k; ++j) {
-            const double d = slot.engine->Distance(centroid_queries[j], r);
-            if (d < min_dist) {
-              min_dist = d;
-              best = j;
-            }
-          }
-          result.assignments[i] = best;
-        }
-      });
-    };
-    const auto scan_shard_pruned = [&](const ShardEngines::Slot& slot,
-                                       bool use_bounds) {
-      const std::size_t base = slot.view.global_begin();
-      common::ParallelFor(0, slot.view.rows(), kScanGrain,
-                          [&](std::size_t begin, std::size_t end) {
-        for (std::size_t r = begin; r < end; ++r) {
-          const std::size_t i = base + r;
-          const int owner = result.assignments[i];
-          long long comp = 0, pruned = 0, aband = 0;
-          bool scanned = true;
-          double d_owner = 0.0;
-          if (use_bounds) {
-            ub_r[i] += shift_r[owner];
-            lb_r[i] -= owner == max_shift_arg ? max_shift2 : max_shift1;
-            if (lb_r[i] < 0.0) lb_r[i] = 0.0;
-            const double ub2 = ub_r[i] * ub_r[i];
-            const double lb2 = lb_r[i] * lb_r[i];
-            if (ub2 + margin <= lb2) {
-              pruned = k;
-              scanned = false;
-            } else {
-              d_owner = slot.engine->Distance(centroid_queries[owner], r);
-              ++comp;
-              ub_r[i] = std::sqrt(std::max(0.0, d_owner));
-              if (d_owner + margin <= lb2) {
-                pruned = k - 1;
-                scanned = false;
-              }
-            }
-          } else {
-            d_owner = slot.engine->Distance(centroid_queries[owner], r);
-            ++comp;
-          }
-          if (scanned) {
-            double min1 = std::numeric_limits<double>::infinity();
-            double min2 = std::numeric_limits<double>::infinity();
-            int best = owner;
-            for (int j = 0; j < k; ++j) {
-              bool ab = false;
-              double v;
-              if (j == owner) {
-                v = d_owner;
-              } else {
-                v = slot.engine->DistanceWithAbandon(
-                    centroid_queries[j], r,
-                    min1 + core::SbdEngine::kDefaultBoundSlack, &ab);
-                if (ab) {
-                  ++aband;
-                } else {
-                  ++comp;
-                }
-              }
-              if (!ab && v < min1) {
-                min2 = min1;
-                min1 = v;
-                best = j;
-              } else if (v < min2) {
-                min2 = v;
-              }
-            }
-            result.assignments[i] = best;
-            if (use_bounds || bounds_mode) {
-              ub_r[i] = std::sqrt(std::max(0.0, min1));
-              lb_r[i] = std::sqrt(std::max(0.0, min2));
-            }
-          }
-          if (!verify_mismatch.empty()) {
-            double vmin = std::numeric_limits<double>::infinity();
-            int vbest = owner;
-            for (int j = 0; j < k; ++j) {
-              const double d =
-                  slot.engine->Distance(centroid_queries[j], r);
-              if (d < vmin) {
-                vmin = d;
-                vbest = j;
-              }
-            }
-            verify_mismatch[i] = vbest != result.assignments[i] ? 1 : 0;
-          }
-          cnt_computed[i] = comp;
-          cnt_pruned[i] = pruned;
-          cnt_abandoned[i] = aband;
-        }
-      });
-    };
-
+    // Assignment, delegated to the Assigner. BeginIteration mints this
+    // iteration's centroid queries once (MakeQueryFor — shared by every
+    // shard engine) and derives the movement-bound shifts; shards stream on
+    // the coordinating thread in ascending order, rows fan out on the pool
+    // inside AssignBlock/AssignSample with disjoint writes.
+    assigner.BeginIteration(result.centroids);
     if (full_pass) {
-      if (!pruning) {
-        for (std::size_t s = 0; s < num_shards; ++s) {
-          scan_shard_plain(cache.Get(s));
-        }
-        stats.computed = static_cast<long long>(n) * k;
-      } else {
-        const bool use_bounds = bounds_mode && bounds_valid;
-        for (std::size_t s = 0; s < num_shards; ++s) {
-          scan_shard_pruned(cache.Get(s), use_bounds);
-        }
-        // Telemetry reduced in global index order, like the in-memory path.
-        for (std::size_t i = 0; i < n; ++i) {
-          stats.computed += cnt_computed[i];
-          stats.pruned_bounds += cnt_pruned[i];
-          stats.abandoned_partial += cnt_abandoned[i];
-        }
-        if (!verify_mismatch.empty()) {
-          for (std::size_t i = 0; i < n; ++i) {
-            result.pruned_label_mismatches += verify_mismatch[i];
-          }
-        }
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        const ShardEngines::Slot slot = cache.Get(s);
+        assigner.AssignBlock(*slot.engine, slot.view.global_begin(),
+                             &result.assignments);
       }
     } else {
-      // Sampled assignment: only the mini-batch is reassigned. Same
-      // per-index bodies, ranged over the sample (grouped by shard).
+      // Sampled assignment: only the mini-batch is reassigned, grouped by
+      // shard (the sample is sorted, so shard groups ascend too).
       std::size_t pos = 0;
       while (pos < sample.size()) {
         const std::size_t s = store->ShardOfRow(sample[pos]);
@@ -478,69 +327,13 @@ ClusteringResult MiniBatchKShape::Cluster(store::ShardedSeriesStore* store,
         const std::size_t shard_end = base + slot.view.rows();
         std::size_t stop = pos;
         while (stop < sample.size() && sample[stop] < shard_end) ++stop;
-        common::ParallelFor(pos, stop, kScanGrain,
-                            [&](std::size_t begin, std::size_t end) {
-          for (std::size_t t = begin; t < end; ++t) {
-            const std::size_t i = sample[t];
-            const std::size_t r = i - base;
-            const int owner = result.assignments[i];
-            long long comp = 0, aband = 0;
-            double min1 = std::numeric_limits<double>::infinity();
-            int best = owner;
-            if (pruning) {
-              const double d_owner =
-                  slot.engine->Distance(centroid_queries[owner], r);
-              ++comp;
-              for (int j = 0; j < k; ++j) {
-                bool ab = false;
-                double v;
-                if (j == owner) {
-                  v = d_owner;
-                } else {
-                  v = slot.engine->DistanceWithAbandon(
-                      centroid_queries[j], r,
-                      min1 + core::SbdEngine::kDefaultBoundSlack, &ab);
-                  if (ab) {
-                    ++aband;
-                  } else {
-                    ++comp;
-                  }
-                }
-                if (!ab && v < min1) {
-                  min1 = v;
-                  best = j;
-                }
-              }
-            } else {
-              for (int j = 0; j < k; ++j) {
-                const double d =
-                    slot.engine->Distance(centroid_queries[j], r);
-                ++comp;
-                if (d < min1) {
-                  min1 = d;
-                  best = j;
-                }
-              }
-            }
-            result.assignments[i] = best;
-            if (pruning) {
-              cnt_computed[i] = comp;
-              cnt_pruned[i] = 0;
-              cnt_abandoned[i] = aband;
-            }
-          }
-        });
+        assigner.AssignSample(*slot.engine, base, sample, pos, stop,
+                              &result.assignments);
         pos = stop;
       }
-      if (pruning) {
-        for (const std::size_t i : sample) {
-          stats.computed += cnt_computed[i];
-          stats.abandoned_partial += cnt_abandoned[i];
-        }
-      } else {
-        stats.computed = static_cast<long long>(sample.size()) * k;
-      }
     }
+    const AssignmentIterationStats stats = assigner.iteration_stats();
+    result.pruned_label_mismatches += assigner.iteration_verify_mismatches();
     result.assignment_stats.push_back(stats);
     result.distances_computed += stats.computed;
     result.distances_pruned_bounds += stats.pruned_bounds;
@@ -553,7 +346,7 @@ ClusteringResult MiniBatchKShape::Cluster(store::ShardedSeriesStore* store,
     const int reseeds =
         RepairEmptyClusters(k, &result.assignments, repair_distance);
     result.empty_cluster_reseeds += reseeds;
-    if (bounds_mode) bounds_valid = reseeds == 0;
+    assigner.FinishIteration(reseeds);
 
     result.iterations = iter + 1;
     // Convergence is declared on full passes only: a sampled iteration
@@ -567,6 +360,7 @@ ClusteringResult MiniBatchKShape::Cluster(store::ShardedSeriesStore* store,
 
   result.shards_loaded = store->shards_loaded() - loaded_before;
   result.shard_evictions = store->shard_evictions() - evicted_before;
+  AttachFittedModel(&result, name_);
   return result;
 }
 

@@ -1,15 +1,15 @@
 #include "core/kshape.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 #include <optional>
+#include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
 #include "core/sbd.h"
 #include "core/sbd_engine.h"
 #include "fft/rfft.h"
+#include "model/assigner.h"
 
 namespace kshape::core {
 
@@ -130,51 +130,33 @@ cluster::ClusteringResult KShape::Cluster(
           : cluster::RandomAssignments(n, k, rng);
   result.centroids.assign(k, tseries::Series(m, 0.0));
 
-  // Per-iteration centroid spectra; refreshed sequentially after each
-  // refinement step so the assignment scan below stays deterministic.
-  std::vector<SbdEngine::Query> centroid_queries;
+  // The one assignment implementation (movement bounds + spectral abandon +
+  // telemetry live in model::Assigner). The k-Shape loop keeps only the
+  // iteration protocol: snapshot → refine → begin → assign → repair → finish.
+  model::AssignerOptions assigner_options;
+  assigner_options.k = k;
+  assigner_options.num_series = n;
+  assigner_options.m = m;
+  assigner_options.fft_len = engine ? engine->fft_length() : 0;
+  assigner_options.use_half_spectrum = engine && engine->half_spectrum();
+  assigner_options.use_pruning = pruning;
+  assigner_options.use_movement_bounds = pruning;
+  assigner_options.prune_margin = options_.prune_margin;
+  assigner_options.verify = pruning && options_.verify_pruning;
+  model::Assigner assigner(assigner_options);
 
   auto assignment_distance = [&](int j, std::size_t i) {
     if (options_.assignment_distance != nullptr) {
       return options_.assignment_distance->Distance(result.centroids[j],
                                                     series[i]);
     }
-    if (engine) return engine->Distance(centroid_queries[j], i);
+    if (engine) return engine->Distance(assigner.queries()[j], i);
     return Sbd(result.centroids[j], series[i]).distance;
   };
 
-  // Pruning state. Bounds live in the sqrt(SBD) domain, where SBD behaves
-  // (approximately) like a squared chordal distance and the triangle
-  // inequality the movement updates rely on approximately holds:
-  //   ub_r[i] >= sqrt(d(i, centroid of a_i))     (upper, owner distance)
-  //   lb_r[i] <= sqrt(min_{j != a_i} d(i, c_j))  (lower, second-closest)
-  // After refinement moves centroid j by shift_r[j] = sqrt(SBD(old_j, new_j)),
-  // ub_r grows by the owner's shift and lb_r shrinks by the largest shift
-  // (second-largest when the owner moved most — the Hamerly max1/max2 trick).
-  // Comparisons happen back in SBD units with the prune_margin slack. The
-  // first iteration (and any iteration after an empty-cluster repair, which
-  // rewires assignments behind the bounds' back) runs a full scan.
-  const double margin = options_.prune_margin;
-  std::vector<double> ub_r, lb_r, shift_r;
-  std::vector<tseries::Series> prev_centroids;
-  bool bounds_valid = false;
-  // Per-series telemetry cells (disjoint writes in the parallel scan,
-  // reduced sequentially in index order afterwards).
-  std::vector<long long> cnt_computed, cnt_pruned, cnt_abandoned;
-  std::vector<unsigned char> verify_mismatch;
-  if (pruning) {
-    ub_r.assign(n, 0.0);
-    lb_r.assign(n, 0.0);
-    shift_r.assign(k, 0.0);
-    cnt_computed.assign(n, 0);
-    cnt_pruned.assign(n, 0);
-    cnt_abandoned.assign(n, 0);
-    if (options_.verify_pruning) verify_mismatch.assign(n, 0);
-  }
-
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     const std::vector<int> previous = result.assignments;
-    if (pruning && bounds_valid) prev_centroids = result.centroids;
+    assigner.SnapshotCentroids(result.centroids);
 
     // Refinement step: recompute each centroid by shape extraction, using
     // the previous centroid as the alignment reference (Algorithm 3, 5-10).
@@ -191,161 +173,21 @@ cluster::ClusteringResult KShape::Cluster(
         ++result.degenerate_centroids;
       }
     }
-    if (engine) {
-      // k forward transforms per iteration; every centroid-to-series
-      // distance below reuses them as a single inverse transform.
-      centroid_queries.clear();
-      for (int j = 0; j < k; ++j) {
-        centroid_queries.push_back(engine->MakeQuery(result.centroids[j]));
-      }
-    }
-
-    // Centroid-shift distances for the movement bounds: k direct SBDs (old
-    // vs new centroid), outside the n·k assignment counters.
-    double max_shift1 = 0.0, max_shift2 = 0.0;
-    int max_shift_arg = -1;
-    if (pruning && bounds_valid) {
-      for (int j = 0; j < k; ++j) {
-        const double d = Sbd(prev_centroids[j], result.centroids[j]).distance;
-        shift_r[j] = std::sqrt(std::max(0.0, d));
-      }
-      for (int j = 0; j < k; ++j) {
-        if (max_shift_arg < 0 || shift_r[j] > max_shift1) {
-          if (max_shift_arg >= 0) max_shift2 = max_shift1;
-          max_shift1 = shift_r[j];
-          max_shift_arg = j;
-        } else if (shift_r[j] > max_shift2) {
-          max_shift2 = shift_r[j];
-        }
-      }
-    }
-
     // Assignment step: move each series to its closest centroid
-    // (Algorithm 3, lines 11-17). Each index reads the shared centroids and
-    // writes only its own assignments[i] (and, when pruning, its own bound/
-    // telemetry cells); ties are broken by centroid order inside each index,
-    // so the result is thread-count-invariant.
-    cluster::AssignmentIterationStats stats;
-    if (!pruning) {
-      common::ParallelFor(0, n, kScanGrain,
-                          [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          double min_dist = std::numeric_limits<double>::infinity();
-          int best = result.assignments[i];
-          for (int j = 0; j < k; ++j) {
-            const double d = assignment_distance(j, i);
-            if (d < min_dist) {
-              min_dist = d;
-              best = j;
-            }
-          }
-          result.assignments[i] = best;
-        }
-      });
-      stats.computed = static_cast<long long>(n) * k;
+    // (Algorithm 3, lines 11-17), delegated entirely to the Assigner.
+    // BeginIteration mints this iteration's centroid queries (k forward
+    // transforms; every centroid-to-series distance below reuses them as a
+    // single inverse transform) and derives the movement-bound shifts.
+    assigner.BeginIteration(result.centroids);
+    if (engine) {
+      assigner.AssignBlock(*engine, 0, &result.assignments);
     } else {
-      const bool use_bounds = bounds_valid;
-      common::ParallelFor(0, n, kScanGrain,
-                          [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          const int owner = result.assignments[i];
-          long long comp = 0, pruned = 0, aband = 0;
-          bool scanned = true;
-          double d_owner = 0.0;
-          if (use_bounds) {
-            // Apply this iteration's centroid movement to the bounds.
-            ub_r[i] += shift_r[owner];
-            lb_r[i] -= owner == max_shift_arg ? max_shift2 : max_shift1;
-            if (lb_r[i] < 0.0) lb_r[i] = 0.0;
-            const double ub2 = ub_r[i] * ub_r[i];
-            const double lb2 = lb_r[i] * lb_r[i];
-            if (ub2 + margin <= lb2) {
-              // Whole-series prune: no centroid can take this series.
-              pruned = k;
-              scanned = false;
-            } else {
-              // Tighten the upper bound with the exact owner distance, then
-              // re-test (Hamerly's second check).
-              d_owner = engine->Distance(centroid_queries[owner], i);
-              ++comp;
-              ub_r[i] = std::sqrt(std::max(0.0, d_owner));
-              if (d_owner + margin <= lb2) {
-                pruned = k - 1;
-                scanned = false;
-              }
-            }
-          } else {
-            d_owner = engine->Distance(centroid_queries[owner], i);
-            ++comp;
-          }
-          if (scanned) {
-            // Full ascending-j scan with spectral early abandoning. The
-            // owner's distance is computed up front (reused at j == owner),
-            // so the comparison sequence over computed distances is the one
-            // the exact scan walks — identical labels and tie-breaks.
-            double min1 = std::numeric_limits<double>::infinity();
-            double min2 = std::numeric_limits<double>::infinity();
-            int best = owner;
-            for (int j = 0; j < k; ++j) {
-              bool ab = false;
-              double v;
-              if (j == owner) {
-                v = d_owner;
-              } else {
-                v = engine->DistanceWithAbandon(
-                    centroid_queries[j], i,
-                    min1 + SbdEngine::kDefaultBoundSlack, &ab);
-                if (ab) {
-                  ++aband;
-                } else {
-                  ++comp;
-                }
-              }
-              if (!ab && v < min1) {
-                min2 = min1;
-                min1 = v;
-                best = j;
-              } else if (v < min2) {
-                // Abandoned candidates contribute their distance LOWER
-                // bound: min2 stays a valid lower bound on the true
-                // second-closest distance.
-                min2 = v;
-              }
-            }
-            result.assignments[i] = best;
-            ub_r[i] = std::sqrt(std::max(0.0, min1));
-            lb_r[i] = std::sqrt(std::max(0.0, min2));
-          }
-          if (!verify_mismatch.empty()) {
-            // Exact recomputation of the argmin (outside the telemetry
-            // counters); the pruned decision is kept either way.
-            double vmin = std::numeric_limits<double>::infinity();
-            int vbest = owner;
-            for (int j = 0; j < k; ++j) {
-              const double d = engine->Distance(centroid_queries[j], i);
-              if (d < vmin) {
-                vmin = d;
-                vbest = j;
-              }
-            }
-            verify_mismatch[i] = vbest != result.assignments[i] ? 1 : 0;
-          }
-          cnt_computed[i] = comp;
-          cnt_pruned[i] = pruned;
-          cnt_abandoned[i] = aband;
-        }
-      });
-      for (std::size_t i = 0; i < n; ++i) {
-        stats.computed += cnt_computed[i];
-        stats.pruned_bounds += cnt_pruned[i];
-        stats.abandoned_partial += cnt_abandoned[i];
-      }
-      if (!verify_mismatch.empty()) {
-        for (std::size_t i = 0; i < n; ++i) {
-          result.pruned_label_mismatches += verify_mismatch[i];
-        }
-      }
+      assigner.AssignBlockWith(assignment_distance, 0, n,
+                               &result.assignments);
     }
+    const cluster::AssignmentIterationStats stats =
+        assigner.iteration_stats();
+    result.pruned_label_mismatches += assigner.iteration_verify_mismatches();
     result.assignment_stats.push_back(stats);
     result.distances_computed += stats.computed;
     result.distances_pruned_bounds += stats.pruned_bounds;
@@ -358,11 +200,7 @@ cluster::ClusteringResult KShape::Cluster(
         cluster::RepairEmptyClusters(k, &result.assignments,
                                      assignment_distance);
     result.empty_cluster_reseeds += reseeds;
-    if (pruning) {
-      // Repair rewires assignments without touching the bounds; a full
-      // rebuild next iteration is the only safe continuation.
-      bounds_valid = reseeds == 0;
-    }
+    assigner.FinishIteration(reseeds);
 
     result.iterations = iter + 1;
     if (result.assignments == previous) {
@@ -370,6 +208,7 @@ cluster::ClusteringResult KShape::Cluster(
       break;
     }
   }
+  cluster::AttachFittedModel(&result, Name());
   return result;
 }
 

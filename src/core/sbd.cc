@@ -9,6 +9,7 @@
 #include "fft/fft.h"
 #include "fft/rfft.h"
 #include "linalg/matrix.h"
+#include "model/assigner.h"
 #include "simd/dispatch.h"
 #include "tseries/normalization.h"
 
@@ -196,10 +197,10 @@ class SbdBatchScanner : public distance::BatchScanner {
 
   NearestResult Nearest(tseries::SeriesView query) const override {
     // Spectral early abandoning (exactness-preserving — see
-    // SbdEngine::Nearest): candidates whose partial-sum NCC bound cannot
-    // beat the best-so-far skip their inverse transform entirely.
+    // Assigner::NearestSeries): candidates whose partial-sum NCC bound
+    // cannot beat the best-so-far skip their inverse transform entirely.
     const SbdEngine::Query q = engine_.MakeQuery(query);
-    const SbdEngine::NearestResult r = engine_.Nearest(q);
+    const model::NearestResult r = model::Assigner::NearestSeries(engine_, q);
     NearestResult out;
     out.index = r.index;
     out.distance = r.distance;

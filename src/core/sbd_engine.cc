@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/env_gate.h"
 #include "common/parallel.h"
 #include "linalg/matrix.h"
 #include "simd/dispatch.h"
@@ -44,6 +45,69 @@ void FillBoundPlane(std::size_t fft_len, std::size_t bins, std::size_t ntail,
   }
 }
 
+// Lag-scan early abandoning (the inverse-transform-side sibling of the
+// spectral NCC bound). Chunk cadence of the scan and the relative margin the
+// stop rule keeps below the best-so-far: |cc[t]| <= sqrt(Σ_{u >= t} cc[u]^2),
+// so once the remaining suffix energy certifies every unseen lag is strictly
+// below the running peak, the rest of the buffer cannot change the result.
+constexpr std::size_t kPeakChunk = 64;
+constexpr double kPeakAbandonMargin = 1e-9;
+
+// Process-wide lag telemetry (relaxed: counters only, no ordering needed).
+std::atomic<long long> g_peak_lags_scanned{0};
+std::atomic<long long> g_peak_lags_skipped{0};
+
+// Peak of the cc lag buffer, abandoning the tail when the checkpointed
+// suffix energies prove it cannot win. Bit-identical to simd::PeakScan(cc):
+// a chunk is skipped only when sqrt(suffix) <= best·(1 - margin); summation
+// rounding underestimates the suffix norm by far less than the margin, so
+// every skipped lag is *strictly* below best — it can neither beat the value
+// nor steal the lowest-index tie-break. The strict-greater chunk combine
+// preserves the kernel's lowest-index-of-the-max contract across chunk
+// boundaries. Gated on KSHAPE_PRUNE like every other bound-driven shortcut.
+simd::Peak PeakScanWithAbandon(const std::vector<double>& cc) {
+  const std::size_t n = cc.size();
+  if (!PruningEnabled() || n <= kPeakChunk) {
+    g_peak_lags_scanned.fetch_add(static_cast<long long>(n),
+                                  std::memory_order_relaxed);
+    return simd::PeakScan(cc);
+  }
+  // Checkpointed suffix energies: suffix[c] = Σ_{t >= 64c} cc[t]^2, built by
+  // one backward pass (cheap next to the inverse transform that made cc).
+  static thread_local std::vector<double> suffix;
+  const std::size_t ntail = (n + kPeakChunk - 1) / kPeakChunk;
+  suffix.resize(ntail);
+  double energy = 0.0;
+  for (std::size_t c = ntail; c-- > 0;) {
+    const std::size_t lo = c * kPeakChunk;
+    std::size_t t = c + 1 == ntail ? n : lo + kPeakChunk;
+    for (; t > lo; --t) energy += cc[t - 1] * cc[t - 1];
+    suffix[c] = energy;
+  }
+  simd::Peak best;
+  best.value = -std::numeric_limits<double>::infinity();
+  std::size_t c = 0;
+  for (; c < ntail; ++c) {
+    if (best.value > 0.0 &&
+        std::sqrt(suffix[c]) <= best.value * (1.0 - kPeakAbandonMargin)) {
+      break;
+    }
+    const std::size_t lo = c * kPeakChunk;
+    const std::size_t hi = c + 1 == ntail ? n : lo + kPeakChunk;
+    const simd::Peak p = simd::Active().peak_scan(cc.data() + lo, hi - lo);
+    if (p.value > best.value) {
+      best.value = p.value;
+      best.index = lo + p.index;
+    }
+  }
+  const std::size_t scanned = c == ntail ? n : c * kPeakChunk;
+  g_peak_lags_scanned.fetch_add(static_cast<long long>(scanned),
+                                std::memory_order_relaxed);
+  g_peak_lags_skipped.fetch_add(static_cast<long long>(n - scanned),
+                                std::memory_order_relaxed);
+  return best;
+}
+
 // Peak of the raw cross-correlation of two cached full-complex spectra. The
 // cc buffer is thread_local so concurrent per-pair evaluations write
 // disjoint scratch.
@@ -52,7 +116,7 @@ simd::Peak PeakFromSpectra(const std::vector<fft::Complex>& x_spectrum,
                            std::size_t m) {
   static thread_local std::vector<double> cc;
   fft::CrossCorrelationFromSpectra(x_spectrum, y_spectrum, m, &cc);
-  return simd::PeakScan(cc);
+  return PeakScanWithAbandon(cc);
 }
 
 // Half-spectrum counterpart: SoA multiply-conjugate + one inverse real
@@ -61,35 +125,29 @@ simd::Peak PeakFromRfft(const fft::RfftPlan& plan, const fft::RfftView& x,
                         const fft::RfftView& y, std::size_t m) {
   static thread_local std::vector<double> cc;
   fft::CrossCorrelationFromRfft(plan, x, y, m, &cc);
-  return simd::PeakScan(cc);
+  return PeakScanWithAbandon(cc);
 }
 
-// -1 = unresolved, 0 = off, 1 = on. Same lazy-atomic discipline as the
-// KSHAPE_HALF_SPECTRUM gate in fft/rfft.cc.
-std::atomic<int> g_pruning{-1};
-
-int ResolvePruning() {
-  const char* env = std::getenv("KSHAPE_PRUNE");
-  if (env == nullptr || *env == '\0') return 1;
-  if (std::strcmp(env, "on") == 0) return 1;
-  if (std::strcmp(env, "off") == 0) return 0;
-  KSHAPE_CHECK_MSG(false, "KSHAPE_PRUNE must be 'on' or 'off'");
-  return 1;
-}
+common::EnvGate g_pruning{"KSHAPE_PRUNE"};
 
 }  // namespace
 
-bool PruningEnabled() {
-  int v = g_pruning.load(std::memory_order_acquire);
-  if (v < 0) {
-    v = ResolvePruning();
-    g_pruning.store(v, std::memory_order_release);
-  }
-  return v != 0;
-}
+bool PruningEnabled() { return g_pruning.enabled(); }
 
 void SetPruningEnabledForTesting(bool enabled) {
-  g_pruning.store(enabled ? 1 : 0, std::memory_order_release);
+  g_pruning.SetForTesting(enabled);
+}
+
+PeakScanTelemetry PeakScanStats() {
+  PeakScanTelemetry t;
+  t.lags_scanned = g_peak_lags_scanned.load(std::memory_order_relaxed);
+  t.lags_skipped = g_peak_lags_skipped.load(std::memory_order_relaxed);
+  return t;
+}
+
+void ResetPeakScanStatsForTesting() {
+  g_peak_lags_scanned.store(0, std::memory_order_relaxed);
+  g_peak_lags_skipped.store(0, std::memory_order_relaxed);
 }
 
 SbdEngine::SbdEngine(const tseries::SeriesBatch& series,
@@ -308,45 +366,6 @@ double SbdEngine::DistanceWithAbandon(const Query& q, std::size_t i,
     return 1.0 - s / n_den;
   }
   return Distance(q, i);
-}
-
-SbdEngine::NearestResult SbdEngine::Nearest(const Query& q,
-                                            double bound_slack) const {
-  NearestResult r;
-  const std::size_t n = size();
-  KSHAPE_CHECK(n >= 1);
-  double best = std::numeric_limits<double>::infinity();
-  if (!has_bound_planes() || q.mag.empty()) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const double d = Distance(q, i);
-      ++r.computed;
-      if (d < best) {
-        best = d;
-        r.index = i;
-      }
-    }
-    r.distance = best;
-    return r;
-  }
-  // Ascending scan with a strict-less update — the identical tie-break to
-  // DistanceToAll + first-strict-minimum. A candidate abandons only when its
-  // distance lower bound exceeds best + bound_slack, i.e. it provably loses
-  // even the tie-break, so early abandoning cannot change the result.
-  for (std::size_t i = 0; i < n; ++i) {
-    bool ab = false;
-    const double d = DistanceWithAbandon(q, i, best + bound_slack, &ab);
-    if (ab) {
-      ++r.abandoned;
-      continue;
-    }
-    ++r.computed;
-    if (d < best) {
-      best = d;
-      r.index = i;
-    }
-  }
-  r.distance = best;
-  return r;
 }
 
 void SbdEngine::PairwiseFlat(std::vector<double>* flat) const {

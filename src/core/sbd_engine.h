@@ -29,6 +29,22 @@ bool PruningEnabled();
 /// regions.
 void SetPruningEnabledForTesting(bool enabled);
 
+/// Process-wide telemetry of the lag-scan early abandon inside the cached
+/// NCC peak scans: lags actually compared versus lags skipped because the
+/// checkpointed suffix energy of the cc buffer certified the rest of the
+/// scan could not beat the running peak (exactness-preserving — the returned
+/// peak value AND index are bit-identical to the full scan). Relaxed atomic
+/// counters; cumulative since process start (or the last reset).
+struct PeakScanTelemetry {
+  long long lags_scanned = 0;
+  long long lags_skipped = 0;
+};
+PeakScanTelemetry PeakScanStats();
+
+/// Zeroes the lag-scan counters (tests asserting on one workload's deltas).
+/// Call between parallel regions.
+void ResetPeakScanStatsForTesting();
+
 /// Spectrum cache for SBD over a fixed set of equal-length series.
 ///
 /// Construction performs one forward FFT and one norm per series (a
@@ -173,21 +189,6 @@ class SbdEngine {
   /// cutoff = +infinity never abandons. Requires bound planes.
   double DistanceWithAbandon(const Query& q, std::size_t i, double cutoff,
                              bool* abandoned) const;
-
-  struct NearestResult {
-    std::size_t index = 0;
-    double distance = 0.0;
-    long long computed = 0;   // exact distances evaluated
-    long long abandoned = 0;  // candidates dropped by the spectral bound
-  };
-
-  /// Sequential argmin over the cached series with spectral early
-  /// abandoning (plain scan when the engine has no bound planes). The
-  /// abandon cutoff carries `bound_slack` headroom over the best-so-far so
-  /// ulp-level rounding in the bound can never flip a near-tie: the result
-  /// index/distance is identical to DistanceToAll + first-strict-minimum.
-  NearestResult Nearest(const Query& q,
-                        double bound_slack = kDefaultBoundSlack) const;
 
   /// Headroom added to early-abandon cutoffs so bound rounding (sqrt'd
   /// suffix energies, the band dot product) can never abandon a true

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "common/env_gate.h"
 #include "simd/dispatch.h"
 
 namespace kshape::fft {
@@ -288,32 +289,14 @@ std::vector<double> RfftCrossCorrelation(std::span<const double> x,
 
 namespace {
 
-// -1 unresolved, 0 off, 1 on. Same lazy atomic resolution as the SIMD
-// dispatch gate: a racing first use resolves the same value on every thread.
-std::atomic<int> g_half_spectrum{-1};
-
-int ResolveHalfSpectrum() {
-  const char* env = std::getenv("KSHAPE_HALF_SPECTRUM");
-  if (env == nullptr || *env == '\0') return 1;
-  if (std::strcmp(env, "on") == 0) return 1;
-  if (std::strcmp(env, "off") == 0) return 0;
-  KSHAPE_CHECK_MSG(false, "KSHAPE_HALF_SPECTRUM must be 'on' or 'off'");
-  return 1;
-}
+common::EnvGate g_half_spectrum{"KSHAPE_HALF_SPECTRUM"};
 
 }  // namespace
 
-bool HalfSpectrumEnabled() {
-  int v = g_half_spectrum.load(std::memory_order_acquire);
-  if (v < 0) {
-    v = ResolveHalfSpectrum();
-    g_half_spectrum.store(v, std::memory_order_release);
-  }
-  return v != 0;
-}
+bool HalfSpectrumEnabled() { return g_half_spectrum.enabled(); }
 
 void SetHalfSpectrumEnabledForTesting(bool enabled) {
-  g_half_spectrum.store(enabled ? 1 : 0, std::memory_order_release);
+  g_half_spectrum.SetForTesting(enabled);
 }
 
 }  // namespace kshape::fft

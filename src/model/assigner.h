@@ -1,0 +1,188 @@
+// The assign-series-to-centroids step, extracted into one implementation.
+//
+// Before this layer existed the scan lived in three copies: the k-Shape
+// iteration loop (src/core/kshape.cc), the streamed/sampled mini-batch driver
+// (src/cluster/minibatch_kshape.cc), and the classify-against-candidates path
+// behind the SBD BatchScanner (src/core/sbd.cc). All three now route through
+// Assigner, so the pruning layers — spectral early-abandon NCC and the
+// Hamerly-style movement bounds — and the telemetry partition are defined
+// exactly once.
+//
+// Ownership rules:
+//   - The Assigner owns the per-iteration centroid queries (minted in
+//     BeginIteration), the movement-bound state (ub/lb/shift arrays), and the
+//     per-series telemetry cells. Callers own the centroids, the assignment
+//     vector, and the engines.
+//   - Engines are passed per block: the in-memory drivers pass one engine
+//     with base 0, the sharded driver passes each shard's engine with the
+//     shard's global base row. All engines of one clustering run must share
+//     one configuration (m, fft_len, spectrum layout, bound planes) — the
+//     MakeQueryFor interchange contract — which is what makes the minted
+//     queries valid against every block.
+//   - The iteration protocol is: SnapshotCentroids (before refinement) →
+//     BeginIteration (after refinement) → AssignBlock/AssignSample per block
+//     → read iteration_stats() → FinishIteration(reseeds). Blocks must be
+//     presented in ascending base order so the telemetry reduction matches
+//     the historical global-index-order sums bit for bit (integer sums, so
+//     this is about discipline, not rounding).
+//
+// Determinism: each parallel worker writes only its own assignments[i],
+// bound cells, and telemetry cells; comparison sequences are ascending in
+// the centroid index with strict-less updates. Results are bit-identical
+// across thread counts, SIMD backends, spectrum layouts (labels), and prune
+// gates (labels) — the same contracts the three original copies carried.
+
+#ifndef KSHAPE_MODEL_ASSIGNER_H_
+#define KSHAPE_MODEL_ASSIGNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/sbd_engine.h"
+#include "tseries/time_series.h"
+
+namespace kshape::model {
+
+/// Telemetry partition of one assignment iteration. The invariant (pinned by
+/// tests/pruning_test.cc): computed + pruned_bounds + abandoned_partial ==
+/// n * k for full passes — every (series, centroid) pair is either computed
+/// exactly, pruned wholesale by the movement bounds, or abandoned partway
+/// through the spectral bound.
+struct AssignmentIterationStats {
+  long long computed = 0;
+  long long pruned_bounds = 0;
+  long long abandoned_partial = 0;
+};
+
+/// Result of a nearest-candidate scan (classify / serving path).
+struct NearestResult {
+  std::size_t index = 0;
+  double distance = 0.0;
+  long long computed = 0;   // exact distances evaluated
+  long long abandoned = 0;  // candidates dropped by the spectral bound
+};
+
+struct AssignerOptions {
+  int k = 0;                // number of centroids
+  std::size_t num_series = 0;  // n: sizes the bound/telemetry cells
+  std::size_t m = 0;        // series length
+  // Padded transform length of the engines this run uses; 0 for engine-free
+  // runs (custom assignment distances), which skip query minting entirely.
+  std::size_t fft_len = 0;
+  bool use_half_spectrum = false;  // layout the queries are minted in
+  // Spectral early-abandon NCC (stateless, exactness-preserving). Queries
+  // are minted with bound planes iff set.
+  bool use_pruning = false;
+  // Hamerly-style movement bounds (stateful per series; requires that every
+  // series sees every centroid update, so the sampled driver leaves it off).
+  // Implies use_pruning at every current call site.
+  bool use_movement_bounds = false;
+  double prune_margin = 0.0;
+  // Exact recomputation of every argmin, counted outside the telemetry:
+  // mismatches accumulate in iteration_verify_mismatches().
+  bool verify = false;
+};
+
+class Assigner {
+ public:
+  explicit Assigner(const AssignerOptions& options);
+
+  /// Records the pre-refinement centroids the movement bounds will measure
+  /// shifts against. Call before refinement mutates the centroids; no-op
+  /// unless movement bounds are on and currently valid.
+  void SnapshotCentroids(const tseries::SeriesBatch& centroids);
+
+  /// Starts an iteration against the (post-refinement) centroids: mints this
+  /// iteration's centroid queries (k forward transforms, sequential), derives
+  /// the centroid-shift distances when the bounds are valid, and resets the
+  /// iteration telemetry. Serving paths with frozen centroids call this once
+  /// and then AssignBlock many times.
+  void BeginIteration(const tseries::SeriesBatch& centroids);
+
+  /// Assigns every cached row of `engine` to its nearest centroid; engine
+  /// row r is global series base + r, writing assignments[base + r].
+  /// Parallel over rows with disjoint writes. `distances`, when non-null,
+  /// receives the winning distance per global index (full scans only:
+  /// rejected when movement bounds are on, since a bounds-pruned series
+  /// computes no distance at all).
+  void AssignBlock(const core::SbdEngine& engine, std::size_t base,
+                   std::vector<int>* assignments,
+                   std::vector<double>* distances = nullptr);
+
+  /// Engine-free variant for custom assignment distances: the plain
+  /// exhaustive scan over global rows [base, base + rows) with
+  /// dist(j, i) supplying the distance from centroid j to global series i.
+  void AssignBlockWith(const std::function<double(int, std::size_t)>& dist,
+                       std::size_t base, std::size_t rows,
+                       std::vector<int>* assignments);
+
+  /// Sampled variant: assigns only the global indices sample[pos, stop),
+  /// all of which must fall inside this engine's block. Movement bounds are
+  /// never consulted or updated (sampled iterations violate their
+  /// every-series-sees-every-update premise); the spectral abandon layer
+  /// still applies when pruning is on.
+  void AssignSample(const core::SbdEngine& engine, std::size_t base,
+                    const std::vector<std::size_t>& sample, std::size_t pos,
+                    std::size_t stop, std::vector<int>* assignments);
+
+  /// Ends the iteration: the movement bounds stay valid only when the
+  /// empty-cluster repair rewired nothing (repair moves assignments behind
+  /// the bounds' back, so a full rebuild is the only safe continuation).
+  void FinishIteration(int reseeds);
+
+  /// Telemetry of the current iteration, reduced in ascending global index
+  /// order across the blocks presented so far.
+  const AssignmentIterationStats& iteration_stats() const { return stats_; }
+
+  /// Verify-mode mismatches observed this iteration.
+  long long iteration_verify_mismatches() const { return verify_count_; }
+
+  /// This iteration's centroid queries (for callers' repair scans).
+  const std::vector<core::SbdEngine::Query>& queries() const {
+    return queries_;
+  }
+
+  bool bounds_valid() const { return bounds_valid_; }
+
+  /// The one nearest-candidate scan: sequential argmin over the engine's
+  /// cached series with spectral early abandoning (plain scan when the
+  /// engine has no bound planes). The abandon cutoff carries `bound_slack`
+  /// headroom over the best-so-far so ulp-level bound rounding can never
+  /// flip a near-tie: the result index/distance is identical to
+  /// DistanceToAll + first-strict-minimum. Backs the SBD BatchScanner
+  /// (classify) and the serving path.
+  static NearestResult NearestSeries(
+      const core::SbdEngine& engine, const core::SbdEngine::Query& q,
+      double bound_slack = core::SbdEngine::kDefaultBoundSlack);
+
+ private:
+  // Shared per-index scan bodies; `i` is the global index, `row` the engine
+  // row (i - base).
+  void PrunedScanIndex(const core::SbdEngine& engine, std::size_t i,
+                       std::size_t row, bool use_bounds,
+                       std::vector<int>* assignments,
+                       std::vector<double>* distances);
+
+  AssignerOptions options_;
+  std::vector<core::SbdEngine::Query> queries_;
+
+  // Movement-bound state, sqrt(SBD) domain (see the scan for the algebra).
+  std::vector<double> ub_r_, lb_r_, shift_r_;
+  std::vector<tseries::Series> prev_centroids_;
+  bool bounds_valid_ = false;
+  bool use_bounds_iter_ = false;
+  double max_shift1_ = 0.0, max_shift2_ = 0.0;
+  int max_shift_arg_ = -1;
+
+  // Per-series telemetry cells (disjoint writes in the parallel scans,
+  // reduced sequentially in index order per block).
+  std::vector<long long> cnt_computed_, cnt_pruned_, cnt_abandoned_;
+  std::vector<unsigned char> verify_mismatch_;
+  AssignmentIterationStats stats_;
+  long long verify_count_ = 0;
+};
+
+}  // namespace kshape::model
+
+#endif  // KSHAPE_MODEL_ASSIGNER_H_

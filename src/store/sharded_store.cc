@@ -13,6 +13,7 @@
 #include <system_error>
 
 #include "common/check.h"
+#include "common/env_gate.h"
 
 namespace kshape::store {
 
@@ -23,19 +24,7 @@ namespace {
 constexpr const char* kMetaFile = "meta.txt";
 constexpr const char* kMagic = "kshape-sharded-store v1";
 
-// -1 unresolved, 0 off, 1 on. Same lazy atomic resolution as the SIMD and
-// half-spectrum gates: a racing first use resolves the same value on every
-// thread.
-std::atomic<int> g_sharding{-1};
-
-int ResolveSharding() {
-  const char* env = std::getenv("KSHAPE_SHARDS");
-  if (env == nullptr || *env == '\0') return 1;
-  if (std::strcmp(env, "on") == 0) return 1;
-  if (std::strcmp(env, "off") == 0) return 0;
-  KSHAPE_CHECK_MSG(false, "KSHAPE_SHARDS must be 'on' or 'off'");
-  return 1;
-}
+common::EnvGate g_sharding{"KSHAPE_SHARDS"};
 
 std::string FileSizeError(const std::string& path, std::uintmax_t expected,
                           std::uintmax_t actual) {
@@ -47,17 +36,10 @@ std::string FileSizeError(const std::string& path, std::uintmax_t expected,
 
 }  // namespace
 
-bool ShardingEnabled() {
-  int v = g_sharding.load(std::memory_order_acquire);
-  if (v < 0) {
-    v = ResolveSharding();
-    g_sharding.store(v, std::memory_order_release);
-  }
-  return v != 0;
-}
+bool ShardingEnabled() { return g_sharding.enabled(); }
 
 void SetShardingEnabledForTesting(bool enabled) {
-  g_sharding.store(enabled ? 1 : 0, std::memory_order_release);
+  g_sharding.SetForTesting(enabled);
 }
 
 tseries::SeriesBatch ShardView::batch() const {

@@ -32,6 +32,7 @@
 #include "core/sbd_engine.h"
 #include "data/generators.h"
 #include "fft/fft.h"
+#include "model/assigner.h"
 #include "simd/dispatch.h"
 #include "tseries/normalization.h"
 
@@ -153,7 +154,7 @@ TEST(PruningTest, NearestMatchesExhaustiveScan) {
       const Series query = tseries::ZNormalized(
           data::MakeCbf(t % 3, m, &rng));
       const core::SbdEngine::Query q = engine.MakeQuery(query);
-      const core::SbdEngine::NearestResult r = engine.Nearest(q);
+      const model::NearestResult r = model::Assigner::NearestSeries(engine, q);
       EXPECT_EQ(r.computed + r.abandoned,
                 static_cast<long long>(engine.size()));
 
@@ -179,8 +180,8 @@ TEST(PruningTest, BoundPlanesOffByDefault) {
   EXPECT_FALSE(engine.has_bound_planes());
   const core::SbdEngine::Query q = engine.MakeQuery(series[0]);
   EXPECT_TRUE(q.mag.empty());
-  // Nearest degrades to the plain scan: exact result, zero abandoned.
-  const core::SbdEngine::NearestResult r = engine.Nearest(q);
+  // NearestSeries degrades to the plain scan: exact result, zero abandoned.
+  const model::NearestResult r = model::Assigner::NearestSeries(engine, q);
   EXPECT_EQ(r.abandoned, 0);
   EXPECT_EQ(r.computed, static_cast<long long>(engine.size()));
   EXPECT_EQ(r.index, 0u);
