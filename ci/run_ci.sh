@@ -17,11 +17,15 @@
 #    / KSHAPE_SHARDS=off legs that pin the out-of-core gate both ways (the
 #    sharded exact-mode contract says results are bit-identical to the
 #    in-memory driver, and the "off" leg forces the fall-back-to-exact path
-#    through the mini-batch suite); then the storage-layout, simd-kernels,
-#    rfft-batch, and assignment-pruning microbenches plus the sharded fig12
-#    scalability bench in --smoke mode as release-stage smoke tests (all
-#    cross-check bit-identity, epsilon equivalence, or label equality and
-#    write their BENCH_*.json files), the model_predict serving bench in
+#    through the mini-batch suite), and a KSHAPE_MATFREE=off leg that forces
+#    the dense Gram eigensolver through the whole tier (the matrix-free
+#    contract says the off state is bit-identical to the pre-matrix-free
+#    implementation, and label parity with the on state is pinned by the
+#    suites themselves); then the storage-layout, simd-kernels, rfft-batch,
+#    assignment-pruning, and shape-extraction microbenches plus the sharded
+#    fig12 scalability bench in --smoke mode as release-stage smoke tests
+#    (all cross-check bit-identity, epsilon equivalence, or label equality
+#    and write their BENCH_*.json files), the model_predict serving bench in
 #    --smoke mode (asserts saved->loaded Predict bit-identity), and a
 #    kshape_fit -> kshape_predict round-trip leg that exercises the .kmodel
 #    artifact end to end through the example CLIs.
@@ -30,15 +34,18 @@
 #    TUs, so tier-1 passing here proves the -ffp-contract=off firewalls
 #    around src/simd/ actually hold.
 # 3. ThreadSanitizer build; parallel_test, thread_pool_test, sbd_cache_test,
-#    rfft_test, simd_kernels_test, pruning_test, sharded_store_test, and
+#    rfft_test, simd_kernels_test, pruning_test, sharded_store_test,
+#    shape_extraction_test, and
 #    minibatch_kshape_test run under TSan to catch data races in the pool,
 #    the FFT/RFFT plan caches (incl. BatchSpectra parallel fill), the
 #    spectrum-cached SBD pipeline, the kernel dispatch cache (atomic table
 #    pointer + SetBackendForTesting), the pruned assignment scan (per-series
 #    bound/telemetry cells + the KSHAPE_PRUNE gate atomics), the shard
-#    residency cache (generation stamps + eviction under churn), and the
+#    residency cache (generation stamps + eviction under churn), the
 #    sharded assignment fan-out (per-shard engines writing disjoint label
-#    ranges in parallel); fitted_model_test also runs under TSan because
+#    ranges in parallel), and the matrix-free extraction matvec (parallel
+#    chunk fan-out writing disjoint partial blocks — RowPoolMatVec's
+#    determinism contract); fitted_model_test also runs under TSan because
 #    Predict drives the Assigner's parallel assignment fan-out over a frozen
 #    model at multiple thread counts.
 # 4. AddressSanitizer+UBSan build; the robustness suites (degenerate inputs,
@@ -48,7 +55,9 @@
 #    pruning_test (bound-plane indexing at Bluestein lengths, the
 #    partial-sum checkpoint tails), sharded_store_test (mmap-free file I/O,
 #    truncated/corrupt shard handling), minibatch_kshape_test (sampled
-#    scatter indexing, streamed repair), and fitted_model_test (the .kmodel
+#    scatter indexing, streamed repair), shape_extraction_test (pooled-row
+#    and partial-block indexing on the matrix-free path, crossover/spill
+#    boundaries), and fitted_model_test (the .kmodel
 #    corruption matrix: truncated/ragged/byte-patched model files through the
 #    untrusted-input Load path) run under ASan+UBSan so every repair/fallback
 #    path is also checked for memory errors and UB.
@@ -97,6 +106,10 @@ for shards in on off; do
    KSHAPE_SHARDS="${shards}" ctest -L tier1 --output-on-failure -j "${JOBS}")
 done
 
+echo "==> tier1 tests, KSHAPE_MATFREE=off (forced dense Gram eigensolver)"
+(cd "${RELEASE_DIR}" &&
+ KSHAPE_MATFREE=off ctest -L tier1 --output-on-failure -j "${JOBS}")
+
 echo "==> storage-layout smoke test (contiguous vs nested bit-identity)"
 (cd "${RELEASE_DIR}" && ./bench/storage_layout --smoke)
 
@@ -108,6 +121,9 @@ echo "==> rfft-batch smoke test (half-spectrum vs full-complex equivalence)"
 
 echo "==> assignment-pruning smoke test (pruned vs exact label equality)"
 (cd "${RELEASE_DIR}" && ./bench/assignment_pruning --smoke)
+
+echo "==> shape-extraction smoke test (matrix-free vs Gram equivalence)"
+(cd "${RELEASE_DIR}" && ./bench/shape_extraction --smoke)
 
 echo "==> model-predict smoke test (saved->loaded Predict bit-identity)"
 (cd "${RELEASE_DIR}" && ./bench/model_predict --smoke)
@@ -139,9 +155,9 @@ cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
       --target parallel_test thread_pool_test sbd_cache_test rfft_test \
                simd_kernels_test pruning_test sharded_store_test \
-               minibatch_kshape_test fitted_model_test
+               shape_extraction_test minibatch_kshape_test fitted_model_test
 
-echo "==> race check: parallel + thread_pool + sbd_cache + rfft + simd_kernels + pruning + sharded_store + minibatch + fitted_model under TSan"
+echo "==> race check: parallel + thread_pool + sbd_cache + rfft + simd_kernels + pruning + sharded_store + shape_extraction + minibatch + fitted_model under TSan"
 # Run the parallel paths at a thread count high enough to force real
 # interleaving even on small CI machines.
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
@@ -159,6 +175,8 @@ KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/sharded_store_test"
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    "${TSAN_DIR}/tests/shape_extraction_test"
+KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/minibatch_kshape_test"
 KSHAPE_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     "${TSAN_DIR}/tests/fitted_model_test"
@@ -169,7 +187,7 @@ cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "${ASAN_DIR}" -j "${JOBS}" \
       --target degenerate_input_test robustness_properties_test tseries_test \
                rfft_test simd_kernels_test pruning_test sharded_store_test \
-               minibatch_kshape_test fitted_model_test
+               shape_extraction_test minibatch_kshape_test fitted_model_test
 
 echo "==> hostile-input check: robustness suites under ASan+UBSan"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
@@ -193,6 +211,9 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     "${ASAN_DIR}/tests/sharded_store_test"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "${ASAN_DIR}/tests/shape_extraction_test"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     "${ASAN_DIR}/tests/minibatch_kshape_test"

@@ -75,6 +75,18 @@ struct ClusteringResult {
   long long shard_evictions = 0;
   long long sampled_series = 0;
 
+  /// Per-phase wall-clock telemetry (monotonic clock), summed across all
+  /// refinement iterations: extraction_seconds covers the centroid
+  /// recomputation (shape extraction / KSC eigenproblem, including member
+  /// alignment), assignment_seconds the assignment step plus empty-cluster
+  /// repair. These make phase dominance visible in every bench/CLI run —
+  /// e.g. that extraction dominates once assignment is pruned, and what the
+  /// matrix-free extraction path buys back. Wall-clock, so not part of any
+  /// determinism contract; methods without an iterative refinement loop
+  /// leave both at zero.
+  double assignment_seconds = 0.0;
+  double extraction_seconds = 0.0;
+
   /// The fitted model: frozen centroids + fingerprint + telemetry snapshot,
   /// ready for Save / Predict / OnlineScorer. Filled by every
   /// centroid-producing method (via AttachFittedModel); methods without

@@ -3,10 +3,14 @@
 #include <cmath>
 #include <limits>
 
+#include <span>
+
 #include "common/check.h"
+#include "common/stopwatch.h"
 #include "fft/rfft.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
+#include "linalg/row_pool.h"
 #include "simd/dispatch.h"
 #include "tseries/normalization.h"
 
@@ -117,12 +121,19 @@ namespace {
 tseries::Series KscCentroid(const tseries::SeriesBatch& pool,
                             const std::vector<std::size_t>& member_indices,
                             tseries::SeriesView previous,
-                            common::Rng* rng, bool fft_align) {
+                            common::Rng* rng, bool fft_align,
+                            bool matrix_free) {
   const std::size_t m = previous.size();
   if (member_indices.empty()) return tseries::Series(m, 0.0);
 
   const bool align = linalg::Norm(previous) > 0.0;
-  linalg::Matrix p(m, m);
+  linalg::Matrix p;                 // Dense path: P accumulated directly.
+  std::vector<double> scaled_rows;  // Matrix-free path: rows b_i/||b_i||.
+  if (matrix_free) {
+    scaled_rows.reserve(member_indices.size() * m);
+  } else {
+    p = linalg::Matrix(m, m);
+  }
   std::vector<double> mean(m, 0.0);
   std::size_t used = 0;
   for (std::size_t idx : member_indices) {
@@ -134,13 +145,42 @@ tseries::Series KscCentroid(const tseries::SeriesBatch& pool,
               : tseries::Series(member.begin(), member.end());
     const double norm_sq = linalg::Dot(b, b);
     if (norm_sq == 0.0) continue;
-    p.AddOuterProduct(b, 1.0 / norm_sq);
+    if (matrix_free) {
+      // Pool the unit-scaled row: Σ ŝŝᵀ = Σ bbᵀ/||b||² exactly in real
+      // arithmetic, to rounding in floating point — inside the epsilon
+      // contract of the matrix-free mode.
+      const double inv_norm = 1.0 / std::sqrt(norm_sq);
+      for (const double x : b) scaled_rows.push_back(x * inv_norm);
+    } else {
+      p.AddOuterProduct(b, 1.0 / norm_sq);
+    }
     linalg::Axpy(1.0 / std::sqrt(norm_sq), b, &mean);
     ++used;
   }
   if (used == 0) return tseries::Series(m, 0.0);
 
-  std::vector<double> centroid = linalg::DominantEigenvector(p, rng);
+  std::vector<double> centroid;
+  if (matrix_free) {
+    // P·v = Σ ŝᵢ(ŝᵢ·v): the matrix-free shape-extraction structure minus
+    // the centering, O(n_c·m) per power step with P never formed. The dense
+    // fallback (stalls only) materializes from the same scaled rows.
+    linalg::RowPoolMatVec op(scaled_rows.data(), used, m);
+    const linalg::MatVecFn matvec = [&](const std::vector<double>& v,
+                                        std::vector<double>* out) {
+      op.Apply(v, *out);
+    };
+    const linalg::MaterializeFn materialize = [&]() {
+      linalg::Matrix dense(m, m);
+      for (std::size_t r = 0; r < used; ++r) {
+        dense.AddOuterProduct(
+            std::span<const double>(scaled_rows.data() + r * m, m));
+      }
+      return dense;
+    };
+    centroid = linalg::DominantEigenvectorOp(m, matvec, materialize, rng);
+  } else {
+    centroid = linalg::DominantEigenvector(p, rng);
+  }
   if (linalg::Dot(centroid, mean) < 0.0) linalg::Scale(&centroid, -1.0);
   return centroid;
 }
@@ -163,6 +203,12 @@ ClusteringResult Ksc::Cluster(const tseries::SeriesBatch& series,
     return fft_align ? KscAlignFft(x, y).distance : KscAlign(x, y).distance;
   };
 
+  // Same gate composition as the FFT path: the per-algorithm option AND the
+  // process-wide KSHAPE_MATFREE gate, so one environment variable restores
+  // the dense eigensolver everywhere bit-identically.
+  const bool matrix_free =
+      options_.use_matrix_free && linalg::MatrixFreeEnabled();
+
   ClusteringResult result;
   result.assignments = RandomAssignments(n, k, rng);
   result.centroids.assign(k, tseries::Series(m, 0.0));
@@ -170,11 +216,14 @@ ClusteringResult Ksc::Cluster(const tseries::SeriesBatch& series,
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     const std::vector<int> previous = result.assignments;
 
+    common::Stopwatch phase_clock;
     const auto groups = GroupByCluster(result.assignments, k);
     for (int j = 0; j < k; ++j) {
-      result.centroids[j] = KscCentroid(series, groups[j],
-                                        result.centroids[j], rng, fft_align);
+      result.centroids[j] = KscCentroid(series, groups[j], result.centroids[j],
+                                        rng, fft_align, matrix_free);
     }
+    result.extraction_seconds += phase_clock.ElapsedSeconds();
+    phase_clock.Reset();
 
     for (std::size_t i = 0; i < n; ++i) {
       double min_dist = std::numeric_limits<double>::infinity();
@@ -197,6 +246,7 @@ ClusteringResult Ksc::Cluster(const tseries::SeriesBatch& series,
         k, &result.assignments, [&](int j, std::size_t i) {
           return distance(series[i], result.centroids[j]);
         });
+    result.assignment_seconds += phase_clock.ElapsedSeconds();
 
     result.iterations = iter + 1;
     if (result.assignments == previous) {

@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "core/sbd.h"
 #include "core/sbd_engine.h"
 #include "core/shape_extraction.h"
@@ -256,12 +257,22 @@ ClusteringResult MiniBatchKShape::Cluster(store::ShardedSeriesStore* store,
     // order (a single streaming pass over the shards routes each member to
     // its cluster's accumulator — the same per-cluster member sequence the
     // in-memory GroupByCluster walk produces), then Finish in cluster order
-    // so any cold-start rng draws replay identically.
+    // so any cold-start rng draws replay identically. The accumulators take
+    // the caller's shape options verbatim — including the matrix-free mode
+    // and its pool cap: an uncapped pool can reach O(members·m) per cluster
+    // on a full pass, so out-of-core runs that must bound extraction memory
+    // set matrix_free_max_members (shape extraction then spills those
+    // clusters to the O(m²) Gram, bit-identical to the Gram path). No cap is
+    // derived from the shard geometry here, because the exact mode's
+    // bit-identity with the in-memory KShape holds across shard geometry —
+    // a geometry-dependent spill would break it.
+    common::Stopwatch phase_clock;
     {
       std::vector<core::ShapeAccumulator> accumulators;
       accumulators.reserve(k);
       for (int j = 0; j < k; ++j) {
-        accumulators.emplace_back(result.centroids[j]);
+        accumulators.emplace_back(result.centroids[j],
+                                  options_.shape_options);
       }
       if (full_pass) {
         for (std::size_t s = 0; s < num_shards; ++s) {
@@ -303,6 +314,8 @@ ClusteringResult MiniBatchKShape::Cluster(store::ShardedSeriesStore* store,
         }
       }
     }
+    result.extraction_seconds += phase_clock.ElapsedSeconds();
+    phase_clock.Reset();
 
     // Assignment, delegated to the Assigner. BeginIteration mints this
     // iteration's centroid queries once (MakeQueryFor — shared by every
@@ -347,6 +360,7 @@ ClusteringResult MiniBatchKShape::Cluster(store::ShardedSeriesStore* store,
         RepairEmptyClusters(k, &result.assignments, repair_distance);
     result.empty_cluster_reseeds += reseeds;
     assigner.FinishIteration(reseeds);
+    result.assignment_seconds += phase_clock.ElapsedSeconds();
 
     result.iterations = iter + 1;
     // Convergence is declared on full passes only: a sampled iteration

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "core/sbd.h"
 #include "core/sbd_engine.h"
 #include "fft/rfft.h"
@@ -162,6 +163,7 @@ cluster::ClusteringResult KShape::Cluster(
     // the previous centroid as the alignment reference (Algorithm 3, 5-10).
     // A degenerate extraction (all members zero-norm) keeps the zero centroid
     // as its documented representative and is surfaced via the result flag.
+    common::Stopwatch phase_clock;
     const auto groups = cluster::GroupByCluster(result.assignments, k);
     result.degenerate_centroids = 0;
     for (int j = 0; j < k; ++j) {
@@ -173,6 +175,8 @@ cluster::ClusteringResult KShape::Cluster(
         ++result.degenerate_centroids;
       }
     }
+    result.extraction_seconds += phase_clock.ElapsedSeconds();
+    phase_clock.Reset();
     // Assignment step: move each series to its closest centroid
     // (Algorithm 3, lines 11-17), delegated entirely to the Assigner.
     // BeginIteration mints this iteration's centroid queries (k forward
@@ -201,6 +205,7 @@ cluster::ClusteringResult KShape::Cluster(
                                      assignment_distance);
     result.empty_cluster_reseeds += reseeds;
     assigner.FinishIteration(reseeds);
+    result.assignment_seconds += phase_clock.ElapsedSeconds();
 
     result.iterations = iter + 1;
     if (result.assignments == previous) {

@@ -1,11 +1,13 @@
 #include "core/shape_extraction.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "core/sbd.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
+#include "linalg/row_pool.h"
 #include "simd/dispatch.h"
 #include "tseries/normalization.h"
 
@@ -13,10 +15,13 @@ namespace kshape::core {
 
 namespace {
 
-// Computes M = Q S Q for Q = I - (1/m) * ones in O(m^2) using
+// Centers M = Q S Q for Q = I - (1/m) * ones in O(m^2) using
 // M_ij = S_ij - rowmean_i - colmean_j + grandmean, instead of two O(m^3)
-// matrix products.
-linalg::Matrix CenterGramMatrix(const linalg::Matrix& s) {
+// matrix products. In place: the means are computed up front, so each entry
+// is read once and overwritten — no second m×m buffer (the historical
+// implementation allocated one, doubling peak Gram-path memory).
+void CenterGramInPlace(linalg::Matrix* s_ptr) {
+  linalg::Matrix& s = *s_ptr;
   const std::size_t m = s.rows();
   std::vector<double> row_mean(m, 0.0);
   std::vector<double> col_mean(m, 0.0);
@@ -34,13 +39,11 @@ linalg::Matrix CenterGramMatrix(const linalg::Matrix& s) {
   simd::Scale(col_mean, inv_m);
   grand *= inv_m * inv_m;
 
-  linalg::Matrix centered(m, m);
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = 0; j < m; ++j) {
-      centered(i, j) = s(i, j) - row_mean[i] - col_mean[j] + grand;
+      s(i, j) = s(i, j) - row_mean[i] - col_mean[j] + grand;
     }
   }
-  return centered;
 }
 
 ExtractedShape ExtractShapeImpl(
@@ -54,26 +57,35 @@ ExtractedShape ExtractShapeImpl(
     result.degenerate = true;
     return result;
   }
-  ShapeAccumulator accumulator(reference);
+  ShapeAccumulator accumulator(reference, options);
   for (tseries::SeriesView member : members) accumulator.Add(member);
   return accumulator.Finish(rng, options);
 }
 
 }  // namespace
 
-ShapeAccumulator::ShapeAccumulator(tseries::SeriesView reference)
+ShapeAccumulator::ShapeAccumulator(tseries::SeriesView reference,
+                                   const ShapeExtractionOptions& options)
     : reference_(reference.begin(), reference.end()),
       align_(linalg::Norm(reference) > 0.0),
-      s_(reference.size(), reference.size()),
+      pool_mode_(options.use_matrix_free && options.use_power_iteration &&
+                 MatrixFreeEnabled()),
+      max_pool_rows_(options.matrix_free_max_members),
       mean_(reference.size(), 0.0) {
   KSHAPE_CHECK_MSG(!reference_.empty(), "empty shape-extraction reference");
+  // The whole point of pool mode is that the m×m Gram is never allocated;
+  // s_ stays 0x0 until a max-members spill (if any).
+  if (!pool_mode_) {
+    s_ = linalg::Matrix(reference.size(), reference.size());
+  }
 }
 
 void ShapeAccumulator::Add(tseries::SeriesView member) {
   const std::size_t m = reference_.size();
   KSHAPE_CHECK_MSG(member.size() == m, "member length mismatch");
   ++added_;
-  // Accumulate S = sum_i y_i y_i^T over the aligned, z-normalized members.
+  // Accumulate S = sum_i y_i y_i^T over the aligned, z-normalized members —
+  // as an explicit Gram in Gram mode, as pooled rows in matrix-free mode.
   // Members that z-normalize to the zero series (constant after alignment)
   // contribute nothing to S or the mean; they are skipped so a fully
   // degenerate member set can be detected instead of feeding the zero matrix
@@ -83,27 +95,73 @@ void ShapeAccumulator::Add(tseries::SeriesView member) {
                                                      member.end());
   tseries::ZNormalizeInPlace(&aligned);
   if (linalg::Norm(aligned) == 0.0) return;
-  // Upper triangle only (S is symmetric); mirrored once in Finish at half
-  // the accumulation cost, bit-identical to the full outer products.
-  s_.AddSymmetricOuterProduct(aligned);
+  if (pool_mode_) {
+    pool_.Append(aligned);
+    if (max_pool_rows_ > 0 && pool_.size() > max_pool_rows_) {
+      SpillPoolToGram();
+    }
+  } else {
+    // Upper triangle only (S is symmetric); mirrored once in Finish at half
+    // the accumulation cost, bit-identical to the full outer products.
+    s_.AddSymmetricOuterProduct(aligned);
+  }
   linalg::Axpy(1.0, aligned, &mean_);
   ++used_;
+}
+
+void ShapeAccumulator::SpillPoolToGram() {
+  const std::size_t m = reference_.size();
+  s_ = linalg::Matrix(m, m);
+  for (std::size_t r = 0; r < pool_.size(); ++r) {
+    s_.AddSymmetricOuterProduct(pool_.view(r));
+  }
+  pool_ = tseries::SeriesStore();
+  pool_mode_ = false;
+}
+
+linalg::Matrix ShapeAccumulator::MirroredGram() const {
+  if (!pool_mode_) {
+    linalg::Matrix s = s_;
+    s.MirrorUpperToLower();
+    return s;
+  }
+  // Crossover (small cluster) or eigensolver fallback: fold the pooled rows
+  // into the Gram they would have accumulated — same rows, same order, so
+  // the result is bit-identical to Gram mode on this member sequence.
+  const std::size_t m = reference_.size();
+  linalg::Matrix s(m, m);
+  for (std::size_t r = 0; r < pool_.size(); ++r) {
+    s.AddSymmetricOuterProduct(pool_.view(r));
+  }
+  s.MirrorUpperToLower();
+  return s;
 }
 
 ExtractedShape ShapeAccumulator::Finish(
     common::Rng* rng, const ShapeExtractionOptions& options) const {
   KSHAPE_CHECK(rng != nullptr);
   const std::size_t m = reference_.size();
-  ExtractedShape result;
   if (used_ == 0) {
+    ExtractedShape result;
     result.centroid = tseries::Series(m, 0.0);
     result.degenerate = true;
     return result;
   }
-  linalg::Matrix s = s_;
-  s.MirrorUpperToLower();
+  // Crossover: tiny clusters pay more in per-step fan-out than the small
+  // Gram costs, so they fold the pool into the dense path (bit-identical to
+  // Gram mode; the pooled rows ARE the Gram's member sequence).
+  if (pool_mode_ && options.use_matrix_free && options.use_power_iteration &&
+      used_ >= options.matrix_free_min_members) {
+    return FinishMatrixFree(rng, options);
+  }
+  return FinishDense(rng, options);
+}
 
-  const linalg::Matrix centered = CenterGramMatrix(s);
+ExtractedShape ShapeAccumulator::FinishDense(
+    common::Rng* rng, const ShapeExtractionOptions& options) const {
+  const std::size_t m = reference_.size();
+  linalg::Matrix centered = MirroredGram();
+  CenterGramInPlace(&centered);
 
   std::vector<double> centroid;
   if (options.use_power_iteration) {
@@ -129,6 +187,52 @@ ExtractedShape ShapeAccumulator::Finish(
     linalg::Scale(&centroid, -1.0);
   }
   tseries::ZNormalizeInPlace(&centroid);
+  ExtractedShape result;
+  result.centroid = std::move(centroid);
+  return result;
+}
+
+ExtractedShape ShapeAccumulator::FinishMatrixFree(
+    common::Rng* rng, const ShapeExtractionOptions& options) const {
+  const std::size_t m = reference_.size();
+  // M·v = Q(S(Qv)) with Qv = v − mean(v)·1 (rank-one centering) and
+  // S(u) = Σ yᵢ(yᵢ·u) applied row-wise over the pooled members: O(n_c·m)
+  // per power step, the Gram never formed. The pool holds exactly the
+  // non-degenerate aligned rows, so S here is the same sum the Gram path
+  // accumulates (up to summation order — the epsilon-level difference the
+  // gate-equivalence tests allow for).
+  linalg::RowPoolMatVec pool_op(pool_.data(), pool_.size(), m);
+  std::vector<double> centered(m);
+  const linalg::MatVecFn matvec = [&](const std::vector<double>& v,
+                                      std::vector<double>* out) {
+    const double v_mean = simd::Sum(v) / static_cast<double>(m);
+    for (std::size_t j = 0; j < m; ++j) centered[j] = v[j] - v_mean;
+    pool_op.Apply(centered, *out);
+    const double w_mean = simd::Sum(*out) / static_cast<double>(m);
+    for (double& x : *out) x -= w_mean;
+  };
+  // The O(m³) stall fallback needs the dense centered matrix; materialize it
+  // lazily from the pool — at most once per cold extraction (warm starts
+  // never reach it, per the eigensolver's stall contract).
+  const linalg::MaterializeFn materialize = [&]() {
+    linalg::Matrix s = MirroredGram();
+    CenterGramInPlace(&s);
+    return s;
+  };
+
+  std::vector<double> seed;
+  if (options.warm_start && align_) {
+    seed.assign(reference_.begin(), reference_.end());
+  }
+  std::vector<double> centroid = linalg::DominantEigenvectorOp(
+      m, matvec, materialize, rng, /*max_iters=*/200, /*tol=*/1e-10,
+      /*eigenvalue=*/nullptr, seed.empty() ? nullptr : &seed);
+
+  if (linalg::Dot(centroid, mean_) < 0.0) {
+    linalg::Scale(&centroid, -1.0);
+  }
+  tseries::ZNormalizeInPlace(&centroid);
+  ExtractedShape result;
   result.centroid = std::move(centroid);
   return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 
@@ -302,12 +303,15 @@ enum class PowerStatus { kConverged, kAnnihilated, kStalled };
 // translated by shift), converging when successive normalized iterates agree
 // up to sign within tol. shift == 0.0 skips the axpy entirely so the
 // unshifted first phase is arithmetic-for-arithmetic the historical loop.
-PowerStatus RunPowerIteration(const Matrix& a, double shift, int max_iters,
-                              double tol, std::vector<double>* v_ptr) {
+// A is only touched through `matvec`, which fully overwrites its output.
+PowerStatus RunPowerIteration(const MatVecFn& matvec, double shift,
+                              int max_iters, double tol,
+                              std::vector<double>* v_ptr) {
   std::vector<double>& v = *v_ptr;
-  const std::size_t n = a.rows();
+  const std::size_t n = v.size();
+  std::vector<double> w(n);
   for (int iter = 0; iter < max_iters; ++iter) {
-    std::vector<double> w = a.MultiplyVector(v);
+    matvec(v, &w);
     if (shift != 0.0) {
       for (std::size_t i = 0; i < n; ++i) w[i] += shift * v[i];
     }
@@ -318,7 +322,7 @@ PowerStatus RunPowerIteration(const Matrix& a, double shift, int max_iters,
       diff_minus += (w[i] - v[i]) * (w[i] - v[i]);
       diff_plus += (w[i] + v[i]) * (w[i] + v[i]);
     }
-    v = std::move(w);
+    std::swap(v, w);
     if (std::min(std::sqrt(diff_minus), std::sqrt(diff_plus)) < tol) {
       return PowerStatus::kConverged;
     }
@@ -327,15 +331,27 @@ PowerStatus RunPowerIteration(const Matrix& a, double shift, int max_iters,
 }
 
 // ||A v - lambda v|| for unit-norm v.
-double EigenResidual(const Matrix& a, const std::vector<double>& v,
+double EigenResidual(const MatVecFn& matvec, const std::vector<double>& v,
                      double lambda) {
-  const std::vector<double> av = a.MultiplyVector(v);
+  std::vector<double> av(v.size());
+  matvec(v, &av);
   double r2 = 0.0;
   for (std::size_t i = 0; i < v.size(); ++i) {
     const double r = av[i] - lambda * v[i];
     r2 += r * r;
   }
   return std::sqrt(r2);
+}
+
+// Rayleigh quotient through the operator, sharing the arithmetic of the
+// Matrix overload below (denominator first, then one matvec, then the dot).
+double RayleighQuotientOp(const MatVecFn& matvec,
+                          const std::vector<double>& v) {
+  const double denom = Dot(v, v);
+  KSHAPE_CHECK_MSG(denom > 0.0, "Rayleigh quotient of the zero vector");
+  std::vector<double> av(v.size());
+  matvec(v, &av);
+  return Dot(v, av) / denom;
 }
 
 }  // namespace
@@ -348,13 +364,12 @@ void ResetDominantEigenvectorFallbackCountForTesting() {
   g_full_fallbacks.store(0, std::memory_order_relaxed);
 }
 
-std::vector<double> DominantEigenvector(const Matrix& a, common::Rng* rng,
-                                        int max_iters, double tol,
-                                        double* eigenvalue,
-                                        const std::vector<double>* initial) {
-  KSHAPE_CHECK(a.rows() == a.cols());
+std::vector<double> DominantEigenvectorOp(
+    std::size_t n, const MatVecFn& matvec, const MaterializeFn& materialize,
+    common::Rng* rng, int max_iters, double tol, double* eigenvalue,
+    const std::vector<double>* initial) {
+  KSHAPE_CHECK(n >= 1);
   KSHAPE_CHECK(rng != nullptr);
-  const std::size_t n = a.rows();
 
   std::vector<double> v;
   bool warm = false;
@@ -370,15 +385,15 @@ std::vector<double> DominantEigenvector(const Matrix& a, common::Rng* rng,
     NormalizeInPlace(&v);
   }
 
-  PowerStatus status = RunPowerIteration(a, 0.0, max_iters, tol, &v);
+  PowerStatus status = RunPowerIteration(matvec, 0.0, max_iters, tol, &v);
   if (status == PowerStatus::kAnnihilated) {
-    // a annihilated v: the matrix is (numerically) zero on this subspace;
-    // any unit vector is a valid answer for a zero matrix.
+    // The operator annihilated v: it is (numerically) zero on this subspace;
+    // any unit vector is a valid answer for a zero operator.
     if (eigenvalue != nullptr) *eigenvalue = 0.0;
     return v;
   }
   if (status == PowerStatus::kConverged) {
-    if (eigenvalue != nullptr) *eigenvalue = RayleighQuotient(a, v);
+    if (eigenvalue != nullptr) *eigenvalue = RayleighQuotientOp(matvec, v);
     return v;
   }
 
@@ -393,28 +408,29 @@ std::vector<double> DominantEigenvector(const Matrix& a, common::Rng* rng,
   //     -lambda_max), iterating on A + shift*I with shift ~ |lambda| breaks
   //     the sign oscillation: the negative end maps near zero while the
   //     dominant end doubles.
-  double lambda = RayleighQuotient(a, v);
-  if (EigenResidual(a, v, lambda) <=
+  double lambda = RayleighQuotientOp(matvec, v);
+  if (EigenResidual(matvec, v, lambda) <=
       kResidualAcceptTol * std::max(std::fabs(lambda), 1.0)) {
     if (eigenvalue != nullptr) *eigenvalue = lambda;
     return v;
   }
   for (int restart = 0; restart < kMaxShiftedRestarts; ++restart) {
     const double shift = std::max(std::fabs(lambda), 1.0);
-    status = RunPowerIteration(a, shift, max_iters, tol, &v);
+    status = RunPowerIteration(matvec, shift, max_iters, tol, &v);
     if (status == PowerStatus::kAnnihilated) break;
-    lambda = RayleighQuotient(a, v);
+    lambda = RayleighQuotientOp(matvec, v);
     if (status == PowerStatus::kConverged ||
-        EigenResidual(a, v, lambda) <=
+        EigenResidual(matvec, v, lambda) <=
             kResidualAcceptTol * std::max(std::fabs(lambda), 1.0)) {
       if (eigenvalue != nullptr) *eigenvalue = lambda;
       return v;
     }
   }
 
-  // Last resort: the deterministic full decomposition.
+  // Last resort: the deterministic full decomposition, on the lazily
+  // materialized dense form — the only point in the call that touches it.
   g_full_fallbacks.fetch_add(1, std::memory_order_relaxed);
-  EigenDecomposition decomp = SymmetricEigen(a);
+  EigenDecomposition decomp = SymmetricEigen(materialize());
   std::size_t best = 0;
   for (std::size_t j = 1; j < n; ++j) {
     if (std::fabs(decomp.eigenvalues[j]) >
@@ -424,6 +440,23 @@ std::vector<double> DominantEigenvector(const Matrix& a, common::Rng* rng,
   }
   if (eigenvalue != nullptr) *eigenvalue = decomp.eigenvalues[best];
   return decomp.eigenvectors.ColVector(best);
+}
+
+std::vector<double> DominantEigenvector(const Matrix& a, common::Rng* rng,
+                                        int max_iters, double tol,
+                                        double* eigenvalue,
+                                        const std::vector<double>* initial) {
+  KSHAPE_CHECK(a.rows() == a.cols());
+  // The dense path is the operator path with MultiplyVector as the matvec:
+  // identical kernel calls in identical order, so results (and every stall
+  // decision) are bit-identical to iterating on the matrix directly.
+  const MatVecFn matvec = [&a](const std::vector<double>& v,
+                               std::vector<double>* out) {
+    *out = a.MultiplyVector(v);
+  };
+  return DominantEigenvectorOp(
+      a.rows(), matvec, [&a] { return a; }, rng, max_iters, tol, eigenvalue,
+      initial);
 }
 
 double RayleighQuotient(const Matrix& a, const std::vector<double>& v) {

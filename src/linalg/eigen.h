@@ -1,6 +1,8 @@
 #ifndef KSHAPE_LINALG_EIGEN_H_
 #define KSHAPE_LINALG_EIGEN_H_
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/random.h"
@@ -67,6 +69,34 @@ std::vector<double> DominantEigenvector(const Matrix& a, common::Rng* rng,
                                         double* eigenvalue = nullptr,
                                         const std::vector<double>* initial =
                                             nullptr);
+
+/// A symmetric linear operator given only by its action: `apply(v, &out)`
+/// overwrites `out` with A·v (out arrives sized to the operator dimension).
+/// The callable must be deterministic — power iteration evaluates it many
+/// times and the stall handling compares successive results.
+using MatVecFn =
+    std::function<void(const std::vector<double>&, std::vector<double>*)>;
+
+/// Lazily materializes the operator as a dense symmetric Matrix. Invoked at
+/// most once per DominantEigenvectorOp call, and only on the full
+/// SymmetricEigen fallback — the matrix-free fast paths never pay for it.
+using MaterializeFn = std::function<Matrix()>;
+
+/// Operator-form DominantEigenvector: the same power iteration, residual
+/// acceptance, capped shifted restarts, and SymmetricEigen fallback, but the
+/// matrix is only ever touched through `matvec` — so callers whose A·v is
+/// cheaper than forming A (the matrix-free shape-extraction path: A = Q^T S Q
+/// applied as center → Σ yᵢ(yᵢ·u) → center in O(n_c·m) per step) never
+/// allocate the dense matrix. `materialize` supplies the dense form for the
+/// O(m³) fallback only; it runs at most once per call, and warm-started
+/// iterations in practice never reach it (the PR 8 stall contract).
+/// DominantEigenvector below is exactly this function with `matvec` wrapping
+/// Matrix::MultiplyVector, so the two paths share every acceptance decision
+/// bit for bit.
+std::vector<double> DominantEigenvectorOp(
+    std::size_t n, const MatVecFn& matvec, const MaterializeFn& materialize,
+    common::Rng* rng, int max_iters = 200, double tol = 1e-10,
+    double* eigenvalue = nullptr, const std::vector<double>* initial = nullptr);
 
 /// Process-wide count of DominantEigenvector calls that fell all the way
 /// through to SymmetricEigen (the stall regression tests pin this at 0 on

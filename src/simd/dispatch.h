@@ -129,6 +129,12 @@ inline void Radix2Pass(double* data, const double* twiddles, std::size_t n,
   Active().radix2_pass(data, twiddles, n, len, step, inverse);
 }
 
+inline void DotAxpyRows(const double* rows, std::size_t num_rows,
+                        std::size_t m, std::span<const double> u,
+                        std::span<double> out) {
+  Active().dot_axpy_rows(rows, num_rows, m, u.data(), out.data());
+}
+
 }  // namespace kshape::simd
 
 #endif  // KSHAPE_SIMD_DISPATCH_H_

@@ -148,6 +148,18 @@ struct KernelTable {
   /// sequence, so transforms are bit-identical across backends.
   void (*radix2_pass)(double* data, const double* twiddles, std::size_t n,
                       std::size_t len, std::size_t step, bool inverse);
+
+  /// Fused member pass of the matrix-free shape-extraction matvec. For each
+  /// row r in [0, num_rows) of the contiguous row-major pool `rows` (row r
+  /// at rows + r*m), in increasing r:
+  ///   d      = Σ_j rows[r*m+j] * u[j]   (the fixed 4-lane dot contract)
+  ///   out[j] += d * rows[r*m+j]          (the elementwise axpy contract)
+  /// Each row's axpy completes before the next row's dot, so the per-element
+  /// accumulation order over rows is the plain sequential row order — one
+  /// rounding per (row, element) pair, identical in every backend. `out` is
+  /// accumulated into, not overwritten; `out` and `u` may not alias `rows`.
+  void (*dot_axpy_rows)(const double* rows, std::size_t num_rows,
+                        std::size_t m, const double* u, double* out);
 };
 
 /// The portable reference backend (plain C++, compiled without

@@ -427,6 +427,18 @@ void Radix2PassAvx2(double* data, const double* twiddles, std::size_t n,
   }
 }
 
+void DotAxpyRowsAvx2(const double* rows, std::size_t num_rows,
+                     std::size_t m, const double* u, double* out) {
+  // Same row-order composition as the scalar backend: per-row 4-lane dot
+  // (one AVX2 register = the four virtual lanes) followed by the elementwise
+  // axpy while the row is hot in cache. No FMA anywhere.
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const double* x = rows + r * m;
+    const double d = DotAvx2(x, u, m);
+    AxpyAvx2(d, x, out, m);
+  }
+}
+
 }  // namespace
 
 const KernelTable* Avx2Kernels() {
@@ -451,6 +463,7 @@ const KernelTable* Avx2Kernels() {
       DtwRowAvx2,
       AbsProductPartialSumsAvx2,
       Radix2PassAvx2,
+      DotAxpyRowsAvx2,
   };
   return &table;
 }

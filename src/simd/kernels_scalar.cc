@@ -317,6 +317,19 @@ void Radix2PassScalar(double* data, const double* twiddles, std::size_t n,
   }
 }
 
+void DotAxpyRowsScalar(const double* rows, std::size_t num_rows,
+                       std::size_t m, const double* u, double* out) {
+  // Composition of the dot and axpy kernels per row: the dot walks the fixed
+  // 4-lane accumulator, the axpy is elementwise, and both touch the row while
+  // it is hot in cache — the "fused" in the name is a locality fusion, not an
+  // arithmetic one (the axpy needs the finished dot).
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const double* x = rows + r * m;
+    const double d = DotScalar(x, u, m);
+    AxpyScalar(d, x, out, m);
+  }
+}
+
 }  // namespace
 
 const KernelTable& ScalarKernels() {
@@ -338,6 +351,7 @@ const KernelTable& ScalarKernels() {
       DtwRowScalar,
       AbsProductPartialSumsScalar,
       Radix2PassScalar,
+      DotAxpyRowsScalar,
   };
   return table;
 }

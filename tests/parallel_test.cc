@@ -24,6 +24,7 @@
 #include "core/multivariate.h"
 #include "core/sbd.h"
 #include "core/sbd_engine.h"
+#include "core/shape_extraction.h"
 #include "data/generators.h"
 #include "distance/dtw.h"
 #include "tseries/conditioning.h"
@@ -154,6 +155,39 @@ TEST(ParallelInvarianceTest, KShapeFullRunWithoutSpectrumCache) {
         return algorithm.Cluster(series, 3, &rng);
       },
       ResultsBitIdentical, "k-Shape (no spectrum cache)");
+}
+
+TEST(ParallelInvarianceTest, MatrixFreeShapeExtraction) {
+  // The matrix-free extraction matvec fans out over fixed row blocks
+  // (linalg::RowPoolMatVec) with a sequential fixed-order reduction; the
+  // chunk boundaries are a pure function of the row count, never the thread
+  // count, so the centroid must be bit-identical at every parallelism level.
+  // This binary runs under TSan in CI, so the disjoint-write claim of the
+  // block partials is race-checked here too.
+  const std::vector<Series> members = MakeSeries(48, 96, 17);
+  const Series reference = tseries::ZNormalized(members[0]);
+  // Force the path under test even on the CI leg that exports
+  // KSHAPE_MATFREE=off for the rest of the suite.
+  const bool saved_gate = core::MatrixFreeEnabled();
+  core::SetMatrixFreeEnabledForTesting(true);
+  {
+    const core::ShapeAccumulator probe(reference);
+    ASSERT_TRUE(probe.matrix_free_active());
+  }
+  for (const bool warm : {false, true}) {
+    core::ShapeExtractionOptions options;
+    options.warm_start = warm;
+    ExpectInvariant<Series>(
+        [&] {
+          common::Rng rng(19);
+          return core::ExtractShape(members, warm ? reference : Series(96, 0.0),
+                                    &rng, options);
+        },
+        [](const Series& a, const Series& b) { return a == b; },
+        warm ? "matrix-free extraction (warm)"
+             : "matrix-free extraction (cold)");
+  }
+  core::SetMatrixFreeEnabledForTesting(saved_gate);
 }
 
 TEST(ParallelInvarianceTest, SbdEnginePairwiseMatrix) {

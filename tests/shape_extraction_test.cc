@@ -1,14 +1,19 @@
 #include "core/shape_extraction.h"
 
 #include <cmath>
+#include <cstddef>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/random.h"
+#include "core/kshape.h"
 #include "core/sbd.h"
+#include "fft/rfft.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
+#include "simd/dispatch.h"
 #include "tseries/normalization.h"
 
 namespace kshape::core {
@@ -311,6 +316,361 @@ TEST(ShapeExtractionTest, AccumulatorFinishIsRepeatable) {
   common::Rng rng_c(16);
   const ExtractedShape extended = accumulator.Finish(&rng_c);
   EXPECT_EQ(extended.centroid.size(), first.centroid.size());
+}
+
+// ---------------------------------------------------------------------------
+// Matrix-free extraction (ROADMAP: power iteration in O(n·m) per step with
+// the m×m Gram never formed) — equivalence, determinism, and crossover.
+// ---------------------------------------------------------------------------
+
+// Restores the process-wide KSHAPE_MATFREE gate toggled by the tests below.
+class MatrixFreeGateGuard {
+ public:
+  MatrixFreeGateGuard() : saved_(MatrixFreeEnabled()) {}
+  ~MatrixFreeGateGuard() { SetMatrixFreeEnabledForTesting(saved_); }
+
+ private:
+  bool saved_;
+};
+
+class HalfSpectrumGateGuard {
+ public:
+  HalfSpectrumGateGuard() : saved_(fft::HalfSpectrumEnabled()) {}
+  ~HalfSpectrumGateGuard() { fft::SetHalfSpectrumEnabledForTesting(saved_); }
+
+ private:
+  bool saved_;
+};
+
+class SimdBackendGuard {
+ public:
+  SimdBackendGuard() : saved_(simd::ActiveBackend()) {}
+  ~SimdBackendGuard() {
+    simd::SetBackendForTesting(saved_);
+    common::SetThreadCount(1);
+  }
+
+ private:
+  simd::Backend saved_;
+};
+
+// A well-conditioned extraction corpus: one dominant shape plus mild noise,
+// so the top eigenvalue is isolated and both eigensolver paths converge to
+// the same eigenvector (the epsilon comparisons below are then meaningful).
+std::vector<Series> NoisySineCorpus(std::size_t n, std::size_t m,
+                                    uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Series> members;
+  members.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Series s = Sine(m, 2.0, 0.05 * static_cast<double>(i % 5));
+    for (double& v : s) v += rng.Gaussian(0.0, 0.1);
+    members.push_back(tseries::ZNormalized(s));
+  }
+  return members;
+}
+
+Series ExtractWith(const std::vector<Series>& members, const Series& reference,
+                   uint64_t seed, const ShapeExtractionOptions& options) {
+  common::Rng rng(seed);
+  return ExtractShape(members, reference, &rng, options);
+}
+
+TEST(MatrixFreeExtractionTest, MatchesGramPathAcrossConfigs) {
+  // The tentpole equivalence statement: matrix-free and Gram extraction
+  // agree to epsilon (different summation order, not bitwise) under every
+  // combination of thread count x SIMD backend x warm/cold start x spectrum
+  // layout. Both paths are given identical RNG seeds; warm starts draw
+  // nothing, cold starts draw the same start vector.
+  MatrixFreeGateGuard gate_guard;
+  HalfSpectrumGateGuard spectrum_guard;
+  SimdBackendGuard backend_guard;
+  SetMatrixFreeEnabledForTesting(true);
+
+  const std::size_t m = 64;
+  const std::vector<Series> members = NoisySineCorpus(24, m, 41);
+  const Series warm_reference = tseries::ZNormalized(Sine(m, 2.0, 0.1));
+
+  std::vector<simd::Backend> backends = {simd::Backend::kScalar};
+  if (simd::Avx2Available()) backends.push_back(simd::Backend::kAvx2);
+
+  for (const simd::Backend backend : backends) {
+    simd::SetBackendForTesting(backend);
+    for (const int threads : {1, 2, 8}) {
+      common::SetThreadCount(threads);
+      for (const bool half_spectrum : {false, true}) {
+        fft::SetHalfSpectrumEnabledForTesting(half_spectrum);
+        for (const bool warm : {false, true}) {
+          const Series& reference = warm ? warm_reference : Series(m, 0.0);
+          ShapeExtractionOptions matfree;
+          matfree.warm_start = warm;
+          matfree.use_matrix_free = true;
+          ShapeExtractionOptions gram = matfree;
+          gram.use_matrix_free = false;
+
+          const Series via_pool = ExtractWith(members, reference, 43, matfree);
+          const Series via_gram = ExtractWith(members, reference, 43, gram);
+          ASSERT_EQ(via_pool.size(), m);
+          for (std::size_t t = 0; t < m; ++t) {
+            EXPECT_NEAR(via_pool[t], via_gram[t], 1e-6)
+                << "backend=" << simd::Kernels(backend).name
+                << " threads=" << threads << " half=" << half_spectrum
+                << " warm=" << warm << " t=" << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MatrixFreeExtractionTest, BitIdenticalAcrossThreadCountsAndBackends) {
+  // The determinism half of the contract: the matrix-free matvec fans out
+  // over fixed row blocks whose boundaries never depend on the thread count,
+  // and the block partials reduce in a fixed order with no-FMA fixed-lane
+  // kernels — so the centroid is bit-for-bit identical at any parallelism
+  // level and across SIMD backends.
+  MatrixFreeGateGuard gate_guard;
+  SimdBackendGuard backend_guard;
+  SetMatrixFreeEnabledForTesting(true);
+
+  const std::size_t m = 96;
+  const std::vector<Series> members = NoisySineCorpus(40, m, 47);
+  const Series reference = tseries::ZNormalized(Sine(m, 2.0, 0.2));
+
+  simd::SetBackendForTesting(simd::Backend::kScalar);
+  common::SetThreadCount(1);
+  const Series baseline = ExtractWith(members, reference, 53, {});
+
+  std::vector<simd::Backend> backends = {simd::Backend::kScalar};
+  if (simd::Avx2Available()) backends.push_back(simd::Backend::kAvx2);
+  for (const simd::Backend backend : backends) {
+    simd::SetBackendForTesting(backend);
+    for (const int threads : {1, 2, 8}) {
+      common::SetThreadCount(threads);
+      const Series other = ExtractWith(members, reference, 53, {});
+      ASSERT_EQ(other.size(), baseline.size());
+      for (std::size_t t = 0; t < m; ++t) {
+        EXPECT_EQ(baseline[t], other[t])
+            << "backend=" << simd::Kernels(backend).name
+            << " threads=" << threads << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(MatrixFreeExtractionTest, GateOffRestoresGramPathBitwise) {
+  // KSHAPE_MATFREE=off must force the Gram path process-wide: identical bits
+  // to use_matrix_free = false, and the accumulator must never enter pool
+  // mode regardless of the per-call option.
+  MatrixFreeGateGuard gate_guard;
+  const std::size_t m = 48;
+  const std::vector<Series> members = NoisySineCorpus(16, m, 59);
+  const Series reference = tseries::ZNormalized(Sine(m, 2.0, 0.3));
+
+  SetMatrixFreeEnabledForTesting(true);
+  ShapeExtractionOptions gram_options;
+  gram_options.use_matrix_free = false;
+  const Series gram = ExtractWith(members, reference, 61, gram_options);
+
+  SetMatrixFreeEnabledForTesting(false);
+  ShapeAccumulator accumulator(reference);  // Default options: matrix-free.
+  EXPECT_FALSE(accumulator.matrix_free_active());
+  const Series gated = ExtractWith(members, reference, 61, {});
+  ASSERT_EQ(gated.size(), gram.size());
+  for (std::size_t t = 0; t < m; ++t) {
+    EXPECT_EQ(gated[t], gram[t]) << "t=" << t;
+  }
+}
+
+TEST(MatrixFreeExtractionTest, CrossoverBelowMinMembersMatchesGramBitwise) {
+  // Small clusters pool their members but Finish crosses back to the dense
+  // path: folding the pooled rows into the Gram in Add-order reproduces the
+  // Gram-mode accumulation bit for bit, so the crossover is invisible.
+  MatrixFreeGateGuard gate_guard;
+  SetMatrixFreeEnabledForTesting(true);
+  const std::size_t m = 40;
+  const std::vector<Series> members = NoisySineCorpus(5, m, 67);
+  const Series reference = tseries::ZNormalized(Sine(m, 2.0, 0.4));
+
+  ShapeExtractionOptions pooled;  // Default min_members = 8 > 5 members.
+  ASSERT_LT(members.size(), pooled.matrix_free_min_members);
+  ShapeExtractionOptions gram = pooled;
+  gram.use_matrix_free = false;
+
+  ShapeAccumulator accumulator(reference, pooled);
+  for (const Series& s : members) accumulator.Add(s);
+  EXPECT_TRUE(accumulator.matrix_free_active());  // Pooled, yet...
+
+  const Series via_pool = ExtractWith(members, reference, 71, pooled);
+  const Series via_gram = ExtractWith(members, reference, 71, gram);
+  for (std::size_t t = 0; t < m; ++t) {
+    EXPECT_EQ(via_pool[t], via_gram[t]) << "t=" << t;  // ...bitwise Gram.
+  }
+}
+
+TEST(MatrixFreeExtractionTest, MaxMembersSpillMatchesGramBitwise) {
+  // The memory bound: exceeding matrix_free_max_members folds the pool into
+  // the Gram mid-accumulation. Same rows, same order — bit-identical to
+  // having accumulated the Gram from the first Add.
+  MatrixFreeGateGuard gate_guard;
+  SetMatrixFreeEnabledForTesting(true);
+  const std::size_t m = 40;
+  const std::vector<Series> members = NoisySineCorpus(12, m, 73);
+  const Series reference = tseries::ZNormalized(Sine(m, 2.0, 0.5));
+
+  ShapeExtractionOptions capped;
+  capped.matrix_free_max_members = 4;
+  ShapeExtractionOptions gram;
+  gram.use_matrix_free = false;
+
+  ShapeAccumulator accumulator(reference, capped);
+  for (const Series& s : members) accumulator.Add(s);
+  EXPECT_FALSE(accumulator.matrix_free_active());  // Spilled.
+
+  common::Rng rng_capped(79);
+  const ExtractedShape spilled = accumulator.Finish(&rng_capped, capped);
+  const Series via_gram = ExtractWith(members, reference, 79, gram);
+  ASSERT_EQ(spilled.centroid.size(), via_gram.size());
+  for (std::size_t t = 0; t < m; ++t) {
+    EXPECT_EQ(spilled.centroid[t], via_gram[t]) << "t=" << t;
+  }
+}
+
+TEST(MatrixFreeExtractionTest, DegenerateMembersAndZeroReferenceParity) {
+  // Constant members (z-normalize to zero) are dropped by both storage
+  // modes; a fully degenerate set yields the flagged zero centroid in both.
+  MatrixFreeGateGuard gate_guard;
+  SetMatrixFreeEnabledForTesting(true);
+  const std::size_t m = 32;
+
+  // Fully degenerate: every member is constant.
+  for (const bool matrix_free : {false, true}) {
+    ShapeExtractionOptions options;
+    options.use_matrix_free = matrix_free;
+    options.matrix_free_min_members = 1;
+    common::Rng rng(83);
+    const std::vector<Series> constants = {Series(m, 2.0), Series(m, -1.0)};
+    const ExtractedShape extracted = ExtractShapeFlagged(
+        constants, Series(m, 0.0), &rng, options);
+    EXPECT_TRUE(extracted.degenerate) << "matrix_free=" << matrix_free;
+    for (double v : extracted.centroid) EXPECT_EQ(v, 0.0);
+  }
+
+  // Mixed: constant members drop out of both modes, leaving the same
+  // effective member set — results agree to epsilon, with a zero-norm
+  // reference (no alignment, cold start) and a warm one.
+  std::vector<Series> members = NoisySineCorpus(10, m, 89);
+  members.insert(members.begin() + 3, Series(m, 5.0));
+  members.push_back(Series(m, 0.0));
+  for (const Series& reference :
+       {Series(m, 0.0), tseries::ZNormalized(Sine(m, 2.0, 0.6))}) {
+    ShapeExtractionOptions pooled;
+    pooled.matrix_free_min_members = 1;
+    ShapeExtractionOptions gram;
+    gram.use_matrix_free = false;
+    const Series via_pool = ExtractWith(members, reference, 97, pooled);
+    const Series via_gram = ExtractWith(members, reference, 97, gram);
+    for (std::size_t t = 0; t < m; ++t) {
+      EXPECT_NEAR(via_pool[t], via_gram[t], 1e-6) << "t=" << t;
+    }
+  }
+}
+
+TEST(MatrixFreeExtractionTest, InPlaceCenteringMatchesTwoBufferReference) {
+  // Pins the in-place Gram centering (one m×m buffer) against a test-local
+  // reimplementation of the historical two-buffer pipeline: accumulate S,
+  // mirror, write M_ij = S_ij - rowmean_i - colmean_j + grand into a FRESH
+  // matrix, then solve. Same reads, same arithmetic, different destination —
+  // the centroids must agree bit for bit.
+  MatrixFreeGateGuard gate_guard;
+  SetMatrixFreeEnabledForTesting(true);
+  const std::size_t m = 36;
+  const std::vector<Series> members = NoisySineCorpus(9, m, 101);
+  const Series reference = tseries::ZNormalized(Sine(m, 2.0, 0.7));
+
+  // Production dense path (crossover keeps 9 < min_members pooled members on
+  // the Gram path even with the gate on).
+  ShapeExtractionOptions dense;
+  dense.use_matrix_free = false;
+  const Series production = ExtractWith(members, reference, 103, dense);
+
+  // Historical pipeline, reimplemented with the explicit second buffer.
+  linalg::Matrix s(m, m);
+  std::vector<double> mean(m, 0.0);
+  for (const Series& member : members) {
+    Series aligned = Sbd(reference, member).aligned_y;
+    tseries::ZNormalizeInPlace(&aligned);
+    if (linalg::Norm(aligned) == 0.0) continue;
+    s.AddSymmetricOuterProduct(aligned);
+    linalg::Axpy(1.0, aligned, &mean);
+  }
+  s.MirrorUpperToLower();
+  std::vector<double> row_mean(m, 0.0);
+  std::vector<double> col_mean(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    row_mean[i] = simd::Active().sum(s.Row(i), m);
+    simd::Active().axpy(1.0, s.Row(i), col_mean.data(), m);
+  }
+  double grand = simd::Sum(row_mean);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  simd::Scale(row_mean, inv_m);
+  simd::Scale(col_mean, inv_m);
+  grand *= inv_m * inv_m;
+  linalg::Matrix centered(m, m);  // The second buffer the new code elides.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      centered(i, j) = s(i, j) - row_mean[i] - col_mean[j] + grand;
+    }
+  }
+  common::Rng rng(103);
+  std::vector<double> seed(reference.begin(), reference.end());
+  std::vector<double> centroid = linalg::DominantEigenvector(
+      centered, &rng, /*max_iters=*/200, /*tol=*/1e-10,
+      /*eigenvalue=*/nullptr, &seed);
+  if (linalg::Dot(centroid, mean) < 0.0) linalg::Scale(&centroid, -1.0);
+  tseries::ZNormalizeInPlace(&centroid);
+
+  ASSERT_EQ(production.size(), centroid.size());
+  for (std::size_t t = 0; t < m; ++t) {
+    EXPECT_EQ(production[t], centroid[t]) << "t=" << t;
+  }
+}
+
+TEST(MatrixFreeExtractionTest, KShapeLabelParityAcrossGateSeedSweep) {
+  // End-to-end acceptance: over a sweep of clustering seeds, k-Shape with
+  // matrix-free extraction produces EXACTLY the labels (and iteration
+  // counts) of the Gram path — the epsilon-level centroid differences never
+  // flip an assignment argmin on this corpus, so ARI between the two runs
+  // is identically 1.
+  MatrixFreeGateGuard gate_guard;
+  const std::size_t m = 64;
+  std::vector<Series> series;
+  common::Rng corpus_rng(107);
+  for (int i = 0; i < 36; ++i) {
+    Series s = Sine(m, 1.0 + (i % 3), 0.1 * (i % 4));
+    for (double& v : s) v += corpus_rng.Gaussian(0.0, 0.2);
+    series.push_back(tseries::ZNormalized(s));
+  }
+
+  const KShape algorithm;
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    SetMatrixFreeEnabledForTesting(true);
+    common::Rng rng_on(seed);
+    const cluster::ClusteringResult on = algorithm.Cluster(series, 3, &rng_on);
+
+    SetMatrixFreeEnabledForTesting(false);
+    common::Rng rng_off(seed);
+    const cluster::ClusteringResult off =
+        algorithm.Cluster(series, 3, &rng_off);
+
+    EXPECT_EQ(on.assignments, off.assignments) << "seed=" << seed;
+    EXPECT_EQ(on.iterations, off.iterations) << "seed=" << seed;
+    EXPECT_EQ(on.empty_cluster_reseeds, off.empty_cluster_reseeds)
+        << "seed=" << seed;
+    // Phase telemetry (monotonic clock) is populated on both paths.
+    EXPECT_GE(on.assignment_seconds, 0.0);
+    EXPECT_GE(on.extraction_seconds, 0.0);
+  }
 }
 
 }  // namespace

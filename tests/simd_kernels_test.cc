@@ -248,6 +248,25 @@ TEST_F(BitIdentityTest, ElementwiseKernels) {
   }
 }
 
+TEST_F(BitIdentityTest, DotAxpyRows) {
+  // The fused member pass of the matrix-free extraction matvec: for each row
+  // x_r, out += (x_r . u) x_r. Must be bit-identical across backends for
+  // every row length (lane tails) and row count.
+  common::Rng rng(109);
+  for (std::size_t m = 1; m <= kMaxLength; ++m) {
+    for (const std::size_t rows : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{8}}) {
+      const std::vector<double> pool = RandomBuffer(rows * m, &rng);
+      const std::vector<double> u = RandomBuffer(m, &rng);
+      std::vector<double> out_s = RandomBuffer(m, &rng);  // Nonzero start:
+      std::vector<double> out_v = out_s;  // the kernel accumulates into out.
+      scalar_.dot_axpy_rows(pool.data(), rows, m, u.data(), out_s.data());
+      avx2_.dot_axpy_rows(pool.data(), rows, m, u.data(), out_v.data());
+      EXPECT_EQ(out_s, out_v) << "m=" << m << " rows=" << rows;
+    }
+  }
+}
+
 TEST_F(BitIdentityTest, DtwRow) {
   common::Rng rng(107);
   constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -389,6 +408,29 @@ TEST(LegacyAgreementTest, ComplexMulConjSoaMatchesInterleavedKernel) {
         EXPECT_EQ(out_im[k], interleaved[2 * k + 1])
             << "n=" << n << " k=" << k;
       }
+    }
+  }
+}
+
+TEST(LegacyAgreementTest, DotAxpyRowsMatchesDotThenAxpyExactly) {
+  // The fused kernel is BY CONTRACT the composition of the table's own dot
+  // and axpy, row by row — no extra fusing, so agreement is exact (the
+  // matrix-free reduction-order contract depends on this, not on an epsilon).
+  common::Rng rng(207);
+  for (const Backend backend : AvailableBackends()) {
+    const KernelTable& kt = simd::Kernels(backend);
+    for (std::size_t m = 1; m <= kMaxLength; ++m) {
+      const std::size_t rows = 4;
+      const std::vector<double> pool = RandomBuffer(rows * m, &rng);
+      const std::vector<double> u = RandomBuffer(m, &rng);
+      std::vector<double> fused(m, 0.0);
+      kt.dot_axpy_rows(pool.data(), rows, m, u.data(), fused.data());
+      std::vector<double> composed(m, 0.0);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double d = kt.dot(pool.data() + r * m, u.data(), m);
+        kt.axpy(d, pool.data() + r * m, composed.data(), m);
+      }
+      EXPECT_EQ(fused, composed) << "backend=" << kt.name << " m=" << m;
     }
   }
 }
